@@ -1,0 +1,88 @@
+// Ablation study — the value of each SWAPP design decision (DESIGN.md §5).
+//
+// Runs BT-MZ classes C (WaitTime-dominated communication) and D
+// (transfer-heavier communication) at 64 and 128 tasks onto each target
+// with individual components disabled:
+//   * full            — the complete SWAPP pipeline;
+//   * no-wait         — drop the WaitTime model (comm = transfer only);
+//   * no-msr          — price Waitall as blocking Sendrecv instead of the
+//                        multi-Sendrecv Eq. 1 model;
+//   * no-rank-adjust  — skip step 4's target re-weighting;
+//   * no-acsm         — no counter extrapolation (nearest sample instead);
+//   * coupled         — scale the whole application by the compute speedup
+//                        (the non-decomposed strategy the paper improves on).
+#include <iostream>
+#include <vector>
+
+#include "experiments/lab.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+int main() {
+  using namespace swapp;
+  experiments::Lab lab;
+
+  struct Variant {
+    const char* name;
+    core::ProjectionOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", {}});
+  {
+    core::ProjectionOptions o;
+    o.comm.use_wait_model = false;
+    variants.push_back({"no-wait", o});
+  }
+  {
+    core::ProjectionOptions o;
+    o.comm.use_multi_sendrecv = false;
+    variants.push_back({"no-msr", o});
+  }
+  {
+    core::ProjectionOptions o;
+    o.compute.use_rank_adjustment = false;
+    variants.push_back({"no-rank-adjust", o});
+  }
+  {
+    core::ProjectionOptions o;
+    o.compute.use_acsm = false;
+    variants.push_back({"no-acsm", o});
+  }
+  {
+    core::ProjectionOptions o;
+    o.decouple_components = false;
+    variants.push_back({"coupled", o});
+  }
+
+  TextTable table({"Variant", "Avg combined err %", "Avg comm err %",
+                   "Max combined err %"});
+  table.set_title(
+      "Ablation — BT-MZ classes C+D at 64/128 tasks, all targets (lower is "
+      "better)");
+  for (const Variant& v : variants) {
+    std::vector<double> combined;
+    std::vector<double> comm;
+    for (const std::string& target : lab.target_names()) {
+      for (const int ranks : {64, 128}) {
+        for (const auto cls :
+             {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
+          const experiments::ErrorRow row = lab.error_row(
+              nas::Benchmark::kBT, cls, target, ranks, v.options);
+          combined.push_back(row.combined);
+          comm.push_back(row.overall_comm);
+        }
+      }
+    }
+    const ErrorSummary s = summarize_errors(combined);
+    table.add_row({v.name, TextTable::num(s.mean_abs_error),
+                   TextTable::num(mean(comm)),
+                   TextTable::num(s.max_abs_error)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: dropping the WaitTime model is catastrophic for "
+               "BT-MZ (its communication IS load-imbalance wait).  Coupling "
+               "the components looks tolerable exactly where wait dominates "
+               "(wait scales with compute anyway) and loses where transfer "
+               "does — the regime the paper's decomposition targets.\n";
+  return 0;
+}

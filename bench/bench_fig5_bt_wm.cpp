@@ -1,0 +1,16 @@
+// Figure 5 — BT-MZ projection errors on Westmere X5670.
+//
+// Regenerates the paper's Figure 5: percent projection error for the
+// P2P-NB, P2P-B and COLLECTIVES communication classes, the overall
+// communication, the computation, and the combined projection, at 16–128
+// tasks for classes C and D.  (LU excepted: see bench_fig6.)
+#include "paper_reference.h"
+
+int main() {
+  using namespace swapp;
+  experiments::Lab lab({experiments::Lab::westmere_name()});
+  const experiments::FigureData figure =
+      lab.figure(nas::Benchmark::kBT, experiments::Lab::westmere_name());
+  bench::report_figure(figure, bench::kFig5);
+  return 0;
+}

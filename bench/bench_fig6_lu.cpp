@@ -1,0 +1,39 @@
+// Figure 6 — LU-MZ projection errors on all three target systems.
+//
+// LU-MZ has 4×4 = 16 zones, so it runs at a single task count (16); the
+// paper's Figure 6 therefore shows one bar group per (system, class) rather
+// than a core-count sweep.
+#include <iostream>
+
+#include "paper_reference.h"
+
+int main() {
+  using namespace swapp;
+  experiments::Lab lab;  // all three targets
+
+  TextTable table({"System/Class", "P2P-NB", "P2P-B", "COLLECTIVES",
+                   "Overall Comm", "Computation", "Combined"});
+  table.set_title(
+      "Figure 6 — LU-MZ results on the three systems (percent error)");
+  std::vector<double> combined;
+  for (const std::string& target : lab.target_names()) {
+    for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
+      const experiments::ErrorRow row =
+          lab.error_row(nas::Benchmark::kLU, cls, target, 16);
+      combined.push_back(row.combined);
+      table.add_row({target + " " + nas::to_string(cls),
+                     TextTable::num(row.p2p_nb), TextTable::num(row.p2p_b),
+                     TextTable::num(row.collectives),
+                     TextTable::num(row.overall_comm),
+                     TextTable::num(row.computation),
+                     TextTable::num(row.combined)});
+    }
+  }
+  table.print(std::cout);
+  const ErrorSummary s = summarize_errors(combined);
+  std::cout << "Figure 6 summary: mean combined error "
+            << TextTable::num(s.mean_abs_error) << "% (paper: "
+            << TextTable::num(bench::kFig6.average_error) << "%), max "
+            << TextTable::num(s.max_abs_error) << "%\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 7 — SP-MZ projection errors on BlueGene/P.
+//
+// Regenerates the paper's Figure 7: percent projection error for the
+// P2P-NB, P2P-B and COLLECTIVES communication classes, the overall
+// communication, the computation, and the combined projection, at 16–128
+// tasks for classes C and D.  (LU excepted: see bench_fig6.)
+#include "paper_reference.h"
+
+int main() {
+  using namespace swapp;
+  experiments::Lab lab({experiments::Lab::bluegene_name()});
+  const experiments::FigureData figure =
+      lab.figure(nas::Benchmark::kSP, experiments::Lab::bluegene_name());
+  bench::report_figure(figure, bench::kFig7);
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate and the
+// projection pipeline — the performance properties that make the whole
+// reproduction tractable on one core.
+#include <benchmark/benchmark.h>
+
+#include "core/ga.h"
+#include "core/ranking.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "mpi/world.h"
+#include "nas/zones.h"
+#include "sim/engine.h"
+#include "spec/suite.h"
+#include "support/interp.h"
+#include "workload/compute_model.h"
+
+namespace {
+
+using namespace swapp;
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<double>(i) * 1e-6, [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber fiber([] {
+    while (true) sim::Fiber::yield();
+  });
+  for (auto _ : state) fiber.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_ComputeModelEvaluate(benchmark::State& state) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const workload::Kernel& k = spec::benchmark_by_name("bwaves").kernel;
+  const workload::ComputeContext ctx{.active_cores_per_node = 16,
+                                     .smt = machine::SmtMode::kSingleThread};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::evaluate(k, 1e6, m, ctx).seconds);
+  }
+}
+BENCHMARK(BM_ComputeModelEvaluate);
+
+void BM_MpiPingPongSimulation(benchmark::State& state) {
+  const machine::Machine m = machine::make_power5_hydra();
+  for (auto _ : state) {
+    mpi::World world(m, 2);
+    world.run([](mpi::RankCtx& ctx) {
+      for (int i = 0; i < 100; ++i) {
+        if (ctx.rank() == 0) {
+          ctx.send(1, 1024);
+          ctx.recv(1, 1024);
+        } else {
+          ctx.recv(0, 1024);
+          ctx.send(0, 1024);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(world.wall_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_MpiPingPongSimulation);
+
+void BM_CollectiveSimulation(benchmark::State& state) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::World world(m, ranks);
+    world.run([](mpi::RankCtx& ctx) {
+      for (int i = 0; i < 10; ++i) ctx.allreduce(4096);
+    });
+    benchmark::DoNotOptimize(world.wall_time());
+  }
+}
+BENCHMARK(BM_CollectiveSimulation)->Arg(16)->Arg(128);
+
+void BM_ZoneDecomposition(benchmark::State& state) {
+  for (auto _ : state) {
+    const nas::Decomposition d(nas::Benchmark::kBT, nas::ProblemClass::kD,
+                               static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(d.imbalance());
+  }
+}
+BENCHMARK(BM_ZoneDecomposition)->Arg(16)->Arg(128);
+
+void BM_LogLogTableLookup(benchmark::State& state) {
+  CoreSizeTable table;
+  for (const int c : {16, 32, 64, 128}) {
+    for (const double b : {64.0, 512.0, 4096.0, 32768.0, 262144.0}) {
+      table.insert(c, b, 1e-6 * b / 64.0 * c);
+    }
+  }
+  double bytes = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(48, bytes));
+    bytes = bytes < 2e5 ? bytes * 1.1 : 100.0;
+  }
+}
+BENCHMARK(BM_LogLogTableLookup);
+
+void BM_GaSurrogateSearch(benchmark::State& state) {
+  const machine::Machine base = machine::make_power5_hydra();
+  core::SpecData spec;
+  for (const spec::BenchmarkRun& run :
+       spec::run_suite(base, machine::SmtMode::kSingleThread)) {
+    spec.names.push_back(run.name);
+    spec.base_counters_st.emplace(run.name, run.counters);
+    spec.base_runtime.emplace(run.name, run.runtime);
+  }
+  for (const spec::BenchmarkRun& run :
+       spec::run_suite(base, machine::SmtMode::kSmt)) {
+    spec.base_counters_smt.emplace(run.name, run.counters);
+  }
+  const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
+  const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  core::GaOptions options;
+  options.restarts = 1;
+  options.generations = 80;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::find_surrogate(app, app_smt, weights, spec, 100.0, options)
+            .fitness);
+  }
+}
+BENCHMARK(BM_GaSurrogateSearch);
+
+void BM_ImbMeasurement(benchmark::State& state) {
+  const machine::Machine m = machine::make_power5_hydra();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        imb::run_imb(m, imb::ImbBenchmark::kAllreduce, 32, 4096, 8).time);
+  }
+}
+BENCHMARK(BM_ImbMeasurement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

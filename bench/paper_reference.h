@@ -1,0 +1,79 @@
+// Reference values from the paper's evaluation (§4), printed next to our
+// measurements so every bench binary reports paper-vs-reproduction directly.
+#pragma once
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiments/lab.h"
+#include "support/stats.h"
+
+namespace swapp::bench {
+
+/// Paper's per-figure average projection errors (percent).
+struct PaperFigure {
+  const char* id;
+  const char* description;
+  double average_error;
+};
+
+inline constexpr PaperFigure kFig3 = {"Figure 3", "BT-MZ on BlueGene/P",
+                                      10.53};
+inline constexpr PaperFigure kFig4 = {"Figure 4", "BT-MZ on POWER6 575", 9.32};
+inline constexpr PaperFigure kFig5 = {"Figure 5", "BT-MZ on Westmere X5670",
+                                      13.61};
+inline constexpr PaperFigure kFig6 = {"Figure 6", "LU-MZ on all systems",
+                                      11.87};
+inline constexpr PaperFigure kFig7 = {"Figure 7", "SP-MZ on BlueGene/P",
+                                      11.06};
+inline constexpr PaperFigure kFig8 = {"Figure 8", "SP-MZ on POWER6 575", 9.08};
+inline constexpr PaperFigure kFig9 = {"Figure 9", "SP-MZ on Westmere X5670",
+                                      13.54};
+
+/// Paper's per-system summary (§4 / abstract).
+struct PaperSystemSummary {
+  const char* machine;
+  double average_error;
+  double stddev;
+};
+inline constexpr PaperSystemSummary kPaperBgp = {"IBM BlueGene/P", 11.93,
+                                                 1.97};
+inline constexpr PaperSystemSummary kPaperP6 = {"IBM POWER6 575", 8.58, 1.07};
+inline constexpr PaperSystemSummary kPaperWm = {
+    "IBM iDataPlex (Westmere X5670)", 13.79, 0.27};
+/// "54% of the projections were above the actual values."
+inline constexpr double kPaperFractionAbove = 0.54;
+
+/// Prints a figure table followed by the paper-vs-measured comparison line.
+inline void report_figure(const experiments::FigureData& figure,
+                          const PaperFigure& reference) {
+  experiments::FigureData copy = figure;
+  copy.title = std::string(reference.id) + " — " + reference.description;
+  copy.to_table().print(std::cout);
+
+  std::vector<double> combined;
+  combined.reserve(figure.rows.size());
+  for (const experiments::ErrorRow& row : figure.rows) {
+    combined.push_back(row.combined);
+  }
+  const ErrorSummary s = summarize_errors(combined);
+  std::cout << reference.id << " summary: mean combined error "
+            << TextTable::num(s.mean_abs_error) << "% (paper: "
+            << TextTable::num(reference.average_error) << "%), max "
+            << TextTable::num(s.max_abs_error) << "%\n\n";
+
+  // Plot-ready artifact next to the console table.
+  std::error_code ec;
+  std::filesystem::create_directories("artifacts", ec);
+  if (!ec) {
+    std::string slug = reference.id;  // "Figure 3" -> "figure3"
+    for (char& ch : slug) ch = ch == ' ' ? '_' : static_cast<char>(std::tolower(ch));
+    std::ofstream csv("artifacts/" + slug + ".csv");
+    if (csv) copy.to_table().write_csv(csv);
+  }
+}
+
+}  // namespace swapp::bench

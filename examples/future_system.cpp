@@ -1,0 +1,113 @@
+// Future-system study — the paper's motivating use case for hardware
+// vendors: "the projections aid hardware vendors in the design of future
+// systems".
+//
+// We sketch a hypothetical next-generation machine (a POWER7-like design:
+// higher frequency, eight cores per chip, bigger shared L3, much more
+// memory bandwidth, QDR InfiniBand) that exists only as benchmark numbers —
+// exactly the situation before silicon is widely available, when early
+// benchmark measurements (or simulator estimates) exist but production
+// applications cannot run yet.  SWAPP projects the NAS workloads onto it and
+// we quantify what each design lever buys by re-projecting onto variants.
+#include <iostream>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace swapp;
+
+/// A plausible 2010-era next-generation design.
+machine::Machine make_future_system() {
+  machine::Machine m = machine::make_power6_575();
+  m.name = "Future POWER (concept)";
+  m.processor.name = "POWER-next";
+  m.processor.frequency_ghz = 3.8;
+  m.processor.ooo_window_factor = 0.70;  // back to aggressive out-of-order
+  m.processor.simd_width = 2.0;          // VSX-style vector doubles
+  m.processor.prefetch_strength = 0.85;
+  m.cores_per_node = 32;
+  m.caches = machine::CacheHierarchy(
+      {
+          {.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+           .latency_cycles = 3.0, .line_bytes = 128},
+          {.name = "L2", .capacity = 256_KiB, .shared_by_cores = 1,
+           .latency_cycles = 8.0, .line_bytes = 128},
+          {.name = "L3", .capacity = 32_MiB, .shared_by_cores = 8,
+           .latency_cycles = 28.0, .line_bytes = 128},
+      },
+      machine::MemoryConfig{.latency_cycles = 350.0,
+                            .remote_latency_cycles = 520.0,
+                            .node_bandwidth_gbs = 100.0,
+                            .sockets = 4});
+  m.network.link_bandwidth_gbs = 3.2;  // QDR
+  m.network.base_latency = 1.5e-6;
+  m.total_cores = 8192;
+  m.os_jitter = 0.012;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine future = make_future_system();
+
+  // Design variants: what does each lever buy?
+  machine::Machine slow_memory = future;
+  slow_memory.name = "concept / half memory bandwidth";
+  slow_memory.caches = machine::CacheHierarchy(
+      future.caches.levels(), [&] {
+        machine::MemoryConfig mem = future.caches.memory();
+        mem.node_bandwidth_gbs /= 2.0;
+        return mem;
+      }());
+
+  machine::Machine slow_network = future;
+  slow_network.name = "concept / DDR instead of QDR";
+  slow_network.network.link_bandwidth_gbs = 1.8;
+  slow_network.network.base_latency = 2.4e-6;
+
+  const std::vector<machine::Machine> designs = {future, slow_memory,
+                                                 slow_network};
+
+  std::cout << "Collecting benchmark data for the concept designs (these are "
+               "the numbers a vendor would estimate pre-silicon)...\n";
+  const core::SpecLibrary spec = experiments::collect_spec_library(
+      base, designs, {16, 32, 64, 128});
+  core::Projector projector(base, spec, imb::measure_database(base));
+  for (const machine::Machine& d : designs) {
+    projector.add_target(d.name, imb::measure_database(d));
+  }
+
+  std::cout << "Profiling the workloads on the base system...\n";
+  const nas::NasApp bt(nas::Benchmark::kBT, nas::ProblemClass::kD);
+  const nas::NasApp sp(nas::Benchmark::kSP, nas::ProblemClass::kD);
+  const core::AppBaseData bt_data = experiments::collect_base_data(
+      bt, base, {16, 32, 64, 128}, {16, 32, 64});
+  const core::AppBaseData sp_data = experiments::collect_base_data(
+      sp, base, {16, 32, 64, 128}, {16, 32, 64});
+
+  TextTable table({"Design", "BT-MZ.D @128 (s)", "SP-MZ.D @128 (s)",
+                   "vs concept"});
+  table.set_title("Projected production workloads on the concept designs");
+  double reference = 0.0;
+  for (const machine::Machine& d : designs) {
+    const double bt_s = projector.project(bt_data, d.name, 128).total_target();
+    const double sp_s = projector.project(sp_data, d.name, 128).total_target();
+    const double total = bt_s + sp_s;
+    if (reference == 0.0) reference = total;
+    table.add_row({d.name, TextTable::num(bt_s, 1), TextTable::num(sp_s, 1),
+                   TextTable::num(total / reference, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nNo application ever ran on any of these designs — only "
+               "benchmark estimates were needed, which is the projection "
+               "use case the paper's introduction leads with.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Hybrid MPI/OpenMP study — the paper's §6 future-work extension in action.
+//
+// Profiles SP-MZ class C at several thread-per-rank counts on the base
+// machine, projects each configuration onto the POWER6 target, and compares
+// the projected sweet spot (tasks × threads at fixed hardware-thread budget)
+// against ground truth.
+#include <iostream>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace swapp;
+
+core::AppBaseData profile_hybrid(const nas::NasApp& app,
+                                 const machine::Machine& base, int threads,
+                                 const std::vector<int>& counts) {
+  core::AppBaseData data;
+  data.app = app.name();
+  data.base_machine = base.name;
+  data.threads_per_rank = threads;
+  for (const int c : counts) {
+    const auto st =
+        app.run(base, c, machine::SmtMode::kSingleThread, threads);
+    data.mpi_profiles.emplace(c, st->profile());
+    data.mean_compute.emplace(c, st->profile().mean_compute());
+    data.counters_st.emplace(c, st->counters());
+    const auto smt = app.run(base, c, machine::SmtMode::kSmt, threads);
+    data.counters_smt.emplace(c, smt->counters());
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  const nas::NasApp app(nas::Benchmark::kSP, nas::ProblemClass::kC);
+
+  // Fixed budget of 128 hardware threads on the target, split three ways.
+  struct Config {
+    int tasks;
+    int threads;
+  };
+  const std::vector<Config> configs = {{128, 1}, {64, 2}, {32, 4}};
+
+  std::cout << "Collecting benchmark databases...\n";
+  const core::SpecLibrary spec = experiments::collect_spec_library(
+      base, {target}, {32, 64, 128});
+  core::Projector projector(base, spec, imb::measure_database(base));
+  projector.add_target(target.name, imb::measure_database(target));
+
+  TextTable table({"Tasks x Threads", "Projected (s)", "Measured (s)",
+                   "Error %"});
+  table.set_title("SP-MZ.C on " + target.name +
+                  " with a 128-hardware-thread budget");
+  for (const Config& cfg : configs) {
+    std::cout << "Profiling " << cfg.tasks << " tasks x " << cfg.threads
+              << " threads on the base...\n";
+    const core::AppBaseData data = profile_hybrid(
+        app, base, cfg.threads,
+        {cfg.tasks / 4, cfg.tasks / 2, cfg.tasks});
+    const core::ProjectionResult r =
+        projector.project(data, target.name, cfg.tasks);
+    const auto truth = app.run(target, cfg.tasks,
+                               machine::SmtMode::kSingleThread, cfg.threads);
+    table.add_row({std::to_string(cfg.tasks) + " x " +
+                       std::to_string(cfg.threads),
+                   TextTable::num(r.total_target(), 2),
+                   TextTable::num(truth->wall_time(), 2),
+                   TextTable::num(percent_error(r.total_target(),
+                                                truth->wall_time()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nSWAPP ranks the task/thread trade-off without running the "
+               "application on the target — the §6 extension in practice.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Procurement study — the paper's motivating use case for HPC users:
+// given a workload mix and benchmark data for several candidate systems,
+// rank the candidates *without ever running the applications on them*.
+//
+// The study projects a three-application mix (BT-MZ, SP-MZ, LU-MZ — a CFD
+// production portfolio) at the site's production task counts onto every
+// candidate, aggregates projected node-hours, and prints a ranking.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "support/table.h"
+
+int main() {
+  using namespace swapp;
+
+  const machine::Machine base = machine::make_power5_hydra();
+  const std::vector<machine::Machine> candidates = {
+      machine::make_power6_575(), machine::make_bluegene_p(),
+      machine::make_westmere_x5670()};
+
+  // The site's workload mix: application, class, production task count, and
+  // weekly job count.
+  struct MixEntry {
+    nas::Benchmark bench;
+    nas::ProblemClass cls;
+    int tasks;
+    int jobs_per_week;
+  };
+  const std::vector<MixEntry> mix = {
+      {nas::Benchmark::kBT, nas::ProblemClass::kD, 128, 20},
+      {nas::Benchmark::kSP, nas::ProblemClass::kD, 64, 35},
+      {nas::Benchmark::kLU, nas::ProblemClass::kC, 16, 50},
+  };
+
+  std::cout << "Collecting benchmark data for " << candidates.size()
+            << " candidate systems...\n";
+  const core::SpecLibrary spec = experiments::collect_spec_library(
+      base, candidates, {16, 32, 64, 128});
+  core::Projector projector(base, spec, imb::measure_database(base));
+  for (const machine::Machine& c : candidates) {
+    projector.add_target(c.name, imb::measure_database(c));
+  }
+
+  // Profile the mix once on the base system.
+  std::map<std::string, core::AppBaseData> profiles;
+  for (const MixEntry& e : mix) {
+    const nas::NasApp app(e.bench, e.cls);
+    if (profiles.count(app.name())) continue;
+    std::cout << "Profiling " << app.name() << " on the base system...\n";
+    const bool lu = e.bench == nas::Benchmark::kLU;
+    profiles.emplace(
+        app.name(),
+        experiments::collect_base_data(
+            app, base, lu ? std::vector<int>{4, 8, 16}
+                          : std::vector<int>{16, 32, 64, 128},
+            lu ? std::vector<int>{4, 8, 16} : std::vector<int>{16, 32, 64}));
+  }
+
+  // Project every mix entry onto every candidate.
+  TextTable table({"System", "Weekly core-hours (projected)",
+                   "vs. best", "Largest job (s)"});
+  table.set_title("Procurement ranking for the production mix");
+  struct Outcome {
+    std::string name;
+    double core_hours;
+    double largest;
+  };
+  std::vector<Outcome> outcomes;
+  for (const machine::Machine& c : candidates) {
+    double core_hours = 0.0;
+    double largest = 0.0;
+    for (const MixEntry& e : mix) {
+      const nas::NasApp app(e.bench, e.cls);
+      const core::ProjectionResult r =
+          projector.project(profiles.at(app.name()), c.name, e.tasks);
+      const double job_seconds = r.total_target();
+      core_hours += job_seconds * e.tasks * e.jobs_per_week / 3600.0;
+      largest = std::max(largest, job_seconds);
+    }
+    outcomes.push_back({c.name, core_hours, largest});
+  }
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const Outcome& a, const Outcome& b) {
+              return a.core_hours < b.core_hours;
+            });
+  for (const Outcome& o : outcomes) {
+    table.add_row({o.name, TextTable::num(o.core_hours, 0),
+                   TextTable::num(o.core_hours / outcomes.front().core_hours,
+                                  2) + "x",
+                   TextTable::num(o.largest, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAll numbers are projections from base-system profiles and "
+               "published benchmark data — no candidate system ran a single "
+               "application job.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart — project one application onto one target machine.
+//
+// The end-to-end SWAPP workflow in ~60 lines:
+//   1. profile the application on the base machine (MPI profiles at several
+//      task counts, hardware counters at a few of them, ST + SMT);
+//   2. gather benchmark data: SPEC-style runtimes (base + target) and
+//      IMB-style interconnect tables (base + target);
+//   3. project — no application run on the target is ever needed;
+//   4. (here only, for demonstration) compare against a real run.
+#include <iostream>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "support/stats.h"
+
+int main() {
+  using namespace swapp;
+
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  const nas::NasApp app(nas::Benchmark::kBT, nas::ProblemClass::kC);
+  constexpr int kTasks = 64;
+
+  // 1. Application profiles on the base machine only.
+  std::cout << "Profiling " << app.name() << " on " << base.name << "...\n";
+  const core::AppBaseData profiles = experiments::collect_base_data(
+      app, base, /*mpi_counts=*/{16, 32, 64}, /*counter_counts=*/{16, 32});
+
+  // 2. Benchmark data for both machines (the "published data" SWAPP needs).
+  std::cout << "Collecting benchmark data (SPEC-style + IMB-style)...\n";
+  const core::SpecLibrary spec =
+      experiments::collect_spec_library(base, {target}, {16, 32, 64});
+  const imb::ImbDatabase base_imb = imb::measure_database(base);
+  const imb::ImbDatabase target_imb = imb::measure_database(target);
+
+  // 3. Project.
+  core::Projector projector(base, spec, base_imb);
+  projector.add_target(target.name, target_imb);
+  const core::ProjectionResult r =
+      projector.project(profiles, target.name, kTasks);
+
+  std::cout << "\nProjection of " << app.name() << " at " << kTasks
+            << " tasks onto " << target.name << ":\n"
+            << "  compute  : " << r.compute.target_compute << " s\n"
+            << "  comm     : " << r.comm.target_total() << " s\n"
+            << "  total    : " << r.total_target() << " s\n"
+            << "  surrogate:";
+  for (const core::SurrogateTerm& t : r.compute.surrogate.terms) {
+    std::cout << ' ' << t.benchmark << "*" << TextTable::num(t.weight, 3);
+  }
+  std::cout << "\n";
+
+  // 4. Validation (only possible here because the target is simulated too).
+  const experiments::ActualRun truth =
+      experiments::run_actual(app, target, kTasks);
+  std::cout << "\nMeasured on the target: " << truth.wall << " s\n"
+            << "Projection error: "
+            << TextTable::num(percent_error(r.total_target(), truth.wall))
+            << "% (the paper reports < 15% across its evaluation)\n";
+  return 0;
+}

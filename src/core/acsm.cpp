@@ -1,0 +1,125 @@
+#include "core/acsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+#include "support/fit.h"
+
+namespace swapp::core {
+namespace {
+
+/// Fraction of the largest observed value below which a reload metric is
+/// treated as "contained in a lower level".
+constexpr double kContainedFraction = 0.05;
+
+std::vector<double> metric_series(
+    const std::map<int, machine::PmuCounters>& samples,
+    double machine::PmuCounters::*member) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& [cores, counters] : samples) out.push_back(counters.*member);
+  return out;
+}
+
+}  // namespace
+
+AcsmModel::AcsmModel(
+    const std::map<int, machine::PmuCounters>& counters_by_cores,
+    const machine::Machine& base)
+    : samples_(counters_by_cores), base_(base) {
+  SWAPP_REQUIRE(samples_.size() >= 2,
+                "ACSM needs counters at >= 2 core counts");
+  cores_.reserve(samples_.size());
+  for (const auto& [cores, counters] : samples_) {
+    cores_.push_back(static_cast<double>(cores));
+  }
+
+  // Ch: earliest predicted crossing among the reload metrics (paper's
+  // example: the count where DATA_FROM_L3 reaches zero).
+  ch_ = std::numeric_limits<double>::infinity();
+  for (const auto member : {&machine::PmuCounters::data_from_l3_per_instr,
+                            &machine::PmuCounters::data_from_local_mem_per_instr,
+                            &machine::PmuCounters::data_from_remote_mem_per_instr}) {
+    const std::vector<double> series = metric_series(samples_, member);
+    const double peak = *std::max_element(series.begin(), series.end());
+    if (peak <= 0.0) continue;
+    const double crossing =
+        extrapolate_zero_crossing(cores_, series, peak * kContainedFraction);
+    ch_ = std::min(ch_, crossing);
+  }
+}
+
+bool AcsmModel::needs_extrapolation(int ck) const {
+  return samples_.find(ck) == samples_.end();
+}
+
+double AcsmModel::extrapolate_metric(const std::vector<double>& values,
+                                     int ck) const {
+  // Power-law fit in core count, clamped to non-negative; constant when the
+  // series is flat or non-positive.
+  bool positive = true;
+  for (const double v : values) positive = positive && v > 0.0;
+  if (!positive) return values.back();
+  const PowerFit fit = fit_power(cores_, values);
+  const double predicted = fit(static_cast<double>(ck));
+  if (!std::isfinite(predicted) || predicted < 0.0) return 0.0;
+  // A metric predicted below the containment threshold has dropped a level.
+  const double peak = *std::max_element(values.begin(), values.end());
+  return predicted < peak * kContainedFraction ? 0.0 : predicted;
+}
+
+machine::PmuCounters AcsmModel::counters_at(int ck) const {
+  const auto exact = samples_.find(ck);
+  if (exact != samples_.end()) return exact->second;
+
+  // Start from the nearest sampled profile (in log space).
+  const auto nearest = std::min_element(
+      samples_.begin(), samples_.end(), [&](const auto& a, const auto& b) {
+        const double da = std::abs(std::log(static_cast<double>(a.first)) -
+                                   std::log(static_cast<double>(ck)));
+        const double db = std::abs(std::log(static_cast<double>(b.first)) -
+                                   std::log(static_cast<double>(ck)));
+        return da < db;
+      });
+  machine::PmuCounters out = nearest->second;
+
+  const auto extrapolate = [&](double machine::PmuCounters::*member) {
+    out.*member = extrapolate_metric(metric_series(samples_, member), ck);
+  };
+  // G5 — the model's core purpose.
+  extrapolate(&machine::PmuCounters::data_from_l2_per_instr);
+  extrapolate(&machine::PmuCounters::data_from_l3_per_instr);
+  extrapolate(&machine::PmuCounters::data_from_local_mem_per_instr);
+  extrapolate(&machine::PmuCounters::data_from_remote_mem_per_instr);
+  // G4 and G6 shrink with the footprint as well.
+  extrapolate(&machine::PmuCounters::erat_miss_rate);
+  extrapolate(&machine::PmuCounters::slb_miss_rate);
+  extrapolate(&machine::PmuCounters::tlb_miss_rate);
+  extrapolate(&machine::PmuCounters::memory_bandwidth_gbs);
+
+  // Re-derive the memory-stall CPI from the synthesised reload mix using the
+  // base machine's cache latencies, preserving the observed overlap ratio
+  // (observed stall / latency-weighted reloads) of the nearest sample.
+  const auto latency_weighted = [&](const machine::PmuCounters& c) {
+    const auto& levels = base_.caches.levels();
+    double sum = 0.0;
+    for (const auto& level : levels) {
+      if (level.name == "L2") sum += c.data_from_l2_per_instr * level.latency_cycles;
+      if (level.name == "L3") sum += c.data_from_l3_per_instr * level.latency_cycles;
+    }
+    sum += c.data_from_local_mem_per_instr * base_.caches.memory().latency_cycles;
+    sum += c.data_from_remote_mem_per_instr *
+           base_.caches.memory().remote_latency_cycles;
+    return sum;
+  };
+  const double observed = latency_weighted(nearest->second);
+  if (observed > 0.0) {
+    const double overlap_ratio = nearest->second.cpi_stall_mem / observed;
+    out.cpi_stall_mem = latency_weighted(out) * overlap_ratio;
+  }
+  return out;
+}
+
+}  // namespace swapp::core

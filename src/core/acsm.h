@@ -1,0 +1,53 @@
+// Application Cache Strong Scaling Model (paper §3.1).
+//
+// ACSM extrapolates the G5 reload metrics m5,1…m5,4 collected at a few core
+// counts Ci to (a) find Ch — the core count at which the application's
+// per-rank cache footprint drops into a lower cache level, producing
+// hyper-scaling — and (b) synthesise a counter profile at an arbitrary
+// target count Ck, so the compute projection (which matches counter
+// signatures) uses counters that reflect the cache regime at Ck rather than
+// at the counts where counters happened to be collected.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "machine/counters.h"
+#include "machine/machine.h"
+#include "support/units.h"
+
+namespace swapp::core {
+
+class AcsmModel {
+ public:
+  /// Builds the model from counters at >= 2 core counts on the base machine.
+  /// `base` supplies the cache-level latencies used to re-derive the memory
+  /// stall component of a synthesised profile.
+  AcsmModel(const std::map<int, machine::PmuCounters>& counters_by_cores,
+            const machine::Machine& base);
+
+  /// Core count at which hyper-scaling begins: the first count where a
+  /// reload metric's extrapolation reaches (near) zero beyond the sampled
+  /// range.  +infinity when no crossing is predicted.
+  double hyper_scaling_cores() const noexcept { return ch_; }
+
+  /// True when projecting at `ck` requires extrapolated counters (ck lies
+  /// beyond the sampled counter range).
+  bool needs_extrapolation(int ck) const;
+
+  /// Counter profile to use when projecting at task count `ck`: the sampled
+  /// profile when available, otherwise a synthesis with G4/G5/G6 metrics
+  /// extrapolated and the memory-stall CPI re-derived from base-machine
+  /// cache latencies.
+  machine::PmuCounters counters_at(int ck) const;
+
+ private:
+  double extrapolate_metric(const std::vector<double>& values, int ck) const;
+
+  std::map<int, machine::PmuCounters> samples_;
+  std::vector<double> cores_;
+  machine::Machine base_;
+  double ch_ = 0.0;
+};
+
+}  // namespace swapp::core

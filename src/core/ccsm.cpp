@@ -1,0 +1,51 @@
+#include "core/ccsm.h"
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace swapp::core {
+
+CcsmModel::CcsmModel(const std::map<int, Seconds>& compute_by_cores)
+    : samples_(compute_by_cores) {
+  SWAPP_REQUIRE(samples_.size() >= 2,
+                "CCSM needs compute times at >= 2 task counts");
+  std::vector<double> cores;
+  std::vector<double> times;
+  cores.reserve(samples_.size());
+  times.reserve(samples_.size());
+  for (const auto& [c, t] : samples_) {
+    SWAPP_REQUIRE(t > 0.0, "CCSM compute times must be positive");
+    cores.push_back(static_cast<double>(c));
+    times.push_back(t);
+    max_profiled_ = c;
+  }
+  fit_ = fit_scaling(cores, times);
+}
+
+double CcsmModel::gamma(int from_cores, int to_cores) const {
+  SWAPP_REQUIRE(from_cores >= 1 && to_cores >= 1,
+                "core counts must be positive");
+  // Prefer exact profiled ratios when both counts were measured — the fit is
+  // only needed to inter/extra-polate.
+  const auto from_it = samples_.find(from_cores);
+  const auto to_it = samples_.find(to_cores);
+  if (from_it != samples_.end() && to_it != samples_.end()) {
+    return to_it->second / from_it->second;
+  }
+  return fit_.scale_factor(static_cast<double>(from_cores),
+                           static_cast<double>(to_cores));
+}
+
+Seconds CcsmModel::predict(int cores) const {
+  const auto it = samples_.find(cores);
+  if (it != samples_.end()) return it->second;
+  return fit_(static_cast<double>(cores));
+}
+
+bool CcsmModel::gamma_reliable(int cores, double ch) const {
+  if (cores <= max_profiled_) return true;
+  return static_cast<double>(cores) < ch;
+}
+
+}  // namespace swapp::core

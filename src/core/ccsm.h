@@ -1,0 +1,43 @@
+// Compute Component Strong Scaling Model (paper §3.2).
+//
+// CCSM fits the mean per-task compute time from the base-machine MPI
+// profiles against task count with the strong-scaling law
+// T(C) = a·C^(−b) + c and exposes the scaling factor γ between two counts
+// (Eq. 7's γ).  The curve-fitting machinery is support/fit.h; this class
+// adds the profile plumbing and the ACSM guard: beyond the hyper-scaling
+// count Ch the fitted law is flagged as unreliable.
+#pragma once
+
+#include <map>
+
+#include "support/fit.h"
+#include "support/units.h"
+
+namespace swapp::core {
+
+class CcsmModel {
+ public:
+  /// `compute_by_cores`: mean per-task compute seconds at each profiled Cj.
+  explicit CcsmModel(const std::map<int, Seconds>& compute_by_cores);
+
+  const ScalingFit& fit() const noexcept { return fit_; }
+
+  /// γ scaling the per-task compute time from `from_cores` to `to_cores`.
+  double gamma(int from_cores, int to_cores) const;
+
+  /// Predicted per-task compute time at `cores` on the machine the profiles
+  /// came from (used for diagnostics and tests).
+  Seconds predict(int cores) const;
+
+  /// True when `cores` lies beyond both the profiled range and the ACSM
+  /// hyper-scaling point `ch` — the regime where §3.3 says γ "will not be
+  /// applicable" without the ACSM-corrected counters.
+  bool gamma_reliable(int cores, double ch) const;
+
+ private:
+  std::map<int, Seconds> samples_;
+  ScalingFit fit_;
+  int max_profiled_ = 0;
+};
+
+}  // namespace swapp::core

@@ -1,0 +1,123 @@
+#include "core/comm_projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::core {
+
+Seconds CommProjection::base_total() const {
+  Seconds total = 0.0;
+  for (const auto& [cls, projection] : by_class) {
+    total += projection.base_elapsed;
+  }
+  return total;
+}
+
+Seconds CommProjection::target_total() const {
+  Seconds total = 0.0;
+  for (const auto& [cls, projection] : by_class) {
+    total += projection.target_total();
+  }
+  return total;
+}
+
+const ClassProjection& CommProjection::of(mpi::RoutineClass c) const {
+  static const ClassProjection kEmpty{};
+  const auto it = by_class.find(c);
+  return it == by_class.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+double per_task(double aggregate, int ranks) {
+  return ranks > 0 ? aggregate / static_cast<double>(ranks) : 0.0;
+}
+
+}  // namespace
+
+CommProjection project_communication(const mpi::MpiProfile& profile, int ck,
+                                     const imb::ImbDatabase& base_imb,
+                                     const imb::ImbDatabase& target_imb,
+                                     double compute_scale,
+                                     const CommProjectionOptions& options) {
+  SWAPP_REQUIRE(profile.ranks >= 1, "profile has no tasks");
+  SWAPP_REQUIRE(compute_scale > 0.0, "compute scale must be positive");
+
+  CommProjection out;
+
+  for (const auto& [routine, rp] : profile.routines) {
+    const mpi::RoutineClass cls = mpi::routine_class(routine);
+    ClassProjection& acc = out.by_class[cls];
+
+    // Every routine's elapsed time participates in the class's Eq. 4 budget;
+    // Isend/Irecv posting time is already inside the multi-Sendrecv
+    // measurements, so only Waitall buckets are priced for P2P-NB.
+    acc.base_elapsed += per_task(rp.total_elapsed, profile.ranks);
+    if (routine == mpi::Routine::kIsend || routine == mpi::Routine::kIrecv) {
+      continue;
+    }
+
+    for (const auto& [bytes, bucket] : rp.by_size) {
+      const double calls =
+          per_task(static_cast<double>(bucket.calls), profile.ranks);
+      if (calls <= 0.0) continue;
+
+      Seconds base_per_call = 0.0;
+      Seconds target_per_call = 0.0;
+      if (routine == mpi::Routine::kWaitall) {
+        if (options.use_multi_sendrecv) {
+          // The profile's peer-distance data tells each machine how much of
+          // the exchange stays on a node (different cores-per-node ⇒
+          // different intra-node shares on base and target).
+          base_per_call = base_imb.multi_sendrecv_time(
+              bucket.avg_in_flight, bytes, ck,
+              base_imb.intra_node_fraction(bucket.avg_rank_distance));
+          target_per_call = target_imb.multi_sendrecv_time(
+              bucket.avg_in_flight, bytes, ck,
+              target_imb.intra_node_fraction(bucket.avg_rank_distance));
+        } else {
+          // Ablation: each in-flight message priced as a blocking Sendrecv.
+          base_per_call =
+              bucket.avg_in_flight *
+              base_imb.lookup(mpi::Routine::kSendrecv, bytes, ck);
+          target_per_call =
+              bucket.avg_in_flight *
+              target_imb.lookup(mpi::Routine::kSendrecv, bytes, ck);
+        }
+      } else {
+        base_per_call = base_imb.lookup(routine, bytes, ck);
+        target_per_call = target_imb.lookup(routine, bytes, ck);
+      }
+      acc.base_transfer += calls * base_per_call;
+      acc.target_transfer += calls * target_per_call;
+    }
+  }
+
+  // Eq. 4 residual and Eq. 5 wait scaling, per class.
+  for (auto& [cls, acc] : out.by_class) {
+    acc.base_wait = std::max(0.0, acc.base_elapsed - acc.base_transfer);
+    if (!options.use_wait_model) {
+      acc.target_wait = 0.0;
+      continue;
+    }
+    // WaitTime is dominated by compute load imbalance, so its scale follows
+    // the projected compute speedup, with a secondary transfer-speedup term.
+    // The transfer ratio is clamped around the compute scale: when the base
+    // transfer is a sliver of the class budget (e.g. all-intra-node runs) the
+    // raw ratio is numerically meaningless and must not leak into the wait.
+    double comm_scale = acc.base_transfer > 0.0
+                            ? acc.target_transfer / acc.base_transfer
+                            : compute_scale;
+    comm_scale =
+        std::clamp(comm_scale, 0.2 * compute_scale, 5.0 * compute_scale);
+    const double wait_scale =
+        options.wait_compute_alpha * compute_scale +
+        (1.0 - options.wait_compute_alpha) * comm_scale;
+    acc.target_wait = acc.base_wait * wait_scale;
+  }
+  return out;
+}
+
+}  // namespace swapp::core

@@ -1,0 +1,61 @@
+// Communication-component performance projection (paper §2.4).
+//
+// The application's MPI model — per routine, message size, and call count at
+// task count Ck — is mapped onto the target machine's IMB-measured
+// parameters P_Ck(m_i, S_k) (Eq. 3) to obtain T_transfer on the target.
+// Isend/Irecv/Waitall phases are priced through the multi-Sendrecv benchmark
+// (Eq. 1 separates library overhead from per-message time in flight).  The
+// WaitTime model then computes, per routine class,
+// T_wait = T_elapsed − T_transfer on the base (Eq. 4), scales it to the
+// target by a blend of the projected compute speedup (load imbalance is
+// compute skew) and the transfer speedup, and assembles Eq. 5/6:
+// T_elapsed^target = T_transfer^target + T_wait^target.
+#pragma once
+
+#include <map>
+
+#include "imb/suite.h"
+#include "mpi/profile.h"
+#include "support/units.h"
+
+namespace swapp::core {
+
+struct CommProjectionOptions {
+  /// Weight of the compute speedup in the WaitTime scaling factor; the
+  /// remainder follows the transfer speedup.  The paper notes WaitTime
+  /// "highly depends on the computation projection".
+  double wait_compute_alpha = 0.9;
+  bool use_wait_model = true;       ///< ablation: drop T_wait entirely
+  bool use_multi_sendrecv = true;   ///< ablation: price Waitall as blocking
+                                    ///< Sendrecv instead of Eq. 1
+};
+
+/// Projection of one routine class (P2P-NB / P2P-B / COLLECTIVES).
+struct ClassProjection {
+  Seconds base_elapsed = 0.0;    ///< per-task elapsed in the base profile
+  Seconds base_transfer = 0.0;   ///< IMB-priced transfer on the base
+  Seconds base_wait = 0.0;       ///< Eq. 4 residual
+  Seconds target_transfer = 0.0;
+  Seconds target_wait = 0.0;
+
+  Seconds target_total() const { return target_transfer + target_wait; }
+};
+
+struct CommProjection {
+  std::map<mpi::RoutineClass, ClassProjection> by_class;
+
+  Seconds base_total() const;
+  Seconds target_total() const;
+  const ClassProjection& of(mpi::RoutineClass c) const;
+};
+
+/// Projects the communication component at task count `ck`.
+/// `compute_scale` is the projected target/base compute-speed ratio from the
+/// compute projection (T_comp^target / T_comp^base at Ck).
+CommProjection project_communication(const mpi::MpiProfile& profile, int ck,
+                                     const imb::ImbDatabase& base_imb,
+                                     const imb::ImbDatabase& target_imb,
+                                     double compute_scale,
+                                     const CommProjectionOptions& options);
+
+}  // namespace swapp::core

@@ -1,0 +1,55 @@
+// Compute-component performance projection (paper §2.3 + §3.1/§3.2).
+//
+// Pipeline: select/synthesise the application's counter profile for the
+// requested task count Ck (ACSM), derive metric-group weights on the base
+// and adjust them to the target (ranking), search for a surrogate (GA), and
+// apply Eq. 2/Eq. 7: the projected per-task compute time on the target is
+// the surrogate's weighted runtime there.  The CCSM scaling factor γ is
+// folded into the base-runtime anchor: the GA constrains the surrogate to
+// the application's per-task compute time *at Ck* (measured when Ck was
+// profiled, CCSM-fitted otherwise), which is exactly γ · T(C_ref).
+#pragma once
+
+#include <string>
+
+#include "core/acsm.h"
+#include "core/ccsm.h"
+#include "core/ga.h"
+#include "core/profiles.h"
+#include "core/ranking.h"
+#include "machine/machine.h"
+
+namespace swapp::core {
+
+struct ComputeProjectionOptions {
+  GaOptions ga;
+  bool use_acsm = true;             ///< ablation: counter extrapolation
+  bool use_rank_adjustment = true;  ///< ablation: step-4 target adjustment
+};
+
+struct ComputeProjection {
+  /// Projected per-task compute seconds on the target at Ck.
+  Seconds target_compute = 0.0;
+  /// The application's per-task compute anchor on the base at Ck.
+  Seconds base_compute = 0.0;
+
+  Surrogate surrogate;
+  GroupWeights base_weights;
+  GroupWeights adjusted_weights;
+  double hyper_scaling_cores = 0.0;  ///< ACSM Ch
+  double gamma = 1.0;                ///< CCSM factor, diagnostics
+  bool extrapolated_counters = false;
+
+  /// Target/base compute-speed ratio — the compute scale the WaitTime model
+  /// consumes (paper §2.4 step 4).
+  double compute_scale() const {
+    return base_compute > 0.0 ? target_compute / base_compute : 1.0;
+  }
+};
+
+ComputeProjection project_compute(const AppBaseData& app, const SpecData& spec,
+                                  const machine::Machine& base,
+                                  const std::string& target_machine, int ck,
+                                  const ComputeProjectionOptions& options);
+
+}  // namespace swapp::core

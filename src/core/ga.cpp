@@ -1,0 +1,344 @@
+#include "core/ga.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace swapp::core {
+
+Seconds Surrogate::project_runtime(const SpecData& spec,
+                                   const std::string& machine_name) const {
+  Seconds total = 0.0;
+  for (const SurrogateTerm& t : terms) {
+    total += t.weight * spec.runtime_on(machine_name, t.benchmark);
+  }
+  return total;
+}
+
+Seconds Surrogate::base_runtime(const SpecData& spec) const {
+  Seconds total = 0.0;
+  for (const SurrogateTerm& t : terms) {
+    total += t.weight * spec.base_runtime.at(t.benchmark);
+  }
+  return total;
+}
+
+namespace {
+
+using Genome = std::vector<double>;  // one weight per suite benchmark
+
+struct Problem {
+  std::vector<machine::MetricVector> bench_st;
+  std::vector<machine::MetricVector> bench_smt;
+  std::vector<double> bench_base_time;
+  machine::MetricVector app_st;
+  machine::MetricVector app_smt;
+  std::array<double, machine::kMetricCount> scale{};
+  std::array<double, machine::kMetricCount> metric_weight{};
+  double app_compute = 0.0;
+  double lambda = 2.0;
+
+  std::size_t size() const { return bench_base_time.size(); }
+
+  /// Rescales the genome so Σ w_k T_k(base) = app compute time.  The metric
+  /// distance is invariant under global rescaling, so this is always the
+  /// optimal scale — the GA only has to search proportions.
+  void normalise_scale(Genome& g) const {
+    double total = 0.0;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      total += g[k] * bench_base_time[k];
+    }
+    if (total <= 0.0) return;
+    const double factor = app_compute / total;
+    for (double& w : g) w *= factor;
+  }
+
+  double metric_distance(const Genome& g) const {
+    // Blend benchmark signatures by their share of the surrogate's runtime
+    // (per-instruction rates combine by execution share).
+    double share_total = 0.0;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      share_total += g[k] * bench_base_time[k];
+    }
+    if (share_total <= 0.0) return 1e18;
+
+    double distance = 0.0;
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      double blend_st = 0.0;
+      double blend_smt = 0.0;
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        if (g[k] == 0.0) continue;
+        const double share = g[k] * bench_base_time[k] / share_total;
+        blend_st += share * bench_st[k].values[i];
+        blend_smt += share * bench_smt[k].values[i];
+      }
+      const double d_st = (blend_st - app_st.values[i]) / scale[i];
+      const double d_smt = (blend_smt - app_smt.values[i]) / scale[i];
+      distance += metric_weight[i] * (d_st * d_st + d_smt * d_smt);
+    }
+    return distance;
+  }
+
+  double runtime_error(const Genome& g) const {
+    double total = 0.0;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      total += g[k] * bench_base_time[k];
+    }
+    return std::abs(total - app_compute) / app_compute;
+  }
+
+  double fitness(const Genome& g) const {
+    const double r = runtime_error(g);
+    return metric_distance(g) + lambda * r * r;
+  }
+};
+
+int nonzero_count(const Genome& g) {
+  int n = 0;
+  for (const double w : g) n += (w > 0.0);
+  return n;
+}
+
+void prune_to(Genome& g, int max_terms) {
+  while (nonzero_count(g) > max_terms) {
+    std::size_t smallest = 0;
+    double smallest_w = 1e300;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      if (g[k] > 0.0 && g[k] < smallest_w) {
+        smallest_w = g[k];
+        smallest = k;
+      }
+    }
+    g[smallest] = 0.0;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
+                              const machine::PmuCounters& app_smt,
+                              const GroupWeights& weights,
+                              const SpecData& spec, Seconds app_base_compute,
+                              const GaOptions& options) {
+  SWAPP_REQUIRE(app_base_compute > 0.0,
+                "application base compute time must be positive");
+  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
+
+  Problem prob;
+  prob.app_st = machine::MetricVector::from_counters(app_st);
+  prob.app_smt = machine::MetricVector::from_counters(app_smt);
+  prob.app_compute = app_base_compute;
+  prob.lambda = options.runtime_penalty;
+  for (const std::string& name : spec.names) {
+    prob.bench_st.push_back(
+        machine::MetricVector::from_counters(spec.base_counters_st.at(name)));
+    prob.bench_smt.push_back(
+        machine::MetricVector::from_counters(spec.base_counters_smt.at(name)));
+    prob.bench_base_time.push_back(spec.base_runtime.at(name));
+  }
+
+  // Per-metric scale: application magnitude, floored by the suite mean, so
+  // near-zero application metrics don't explode the distance.
+  for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+    double suite_mean = 0.0;
+    for (const auto& v : prob.bench_st) suite_mean += v.values[i];
+    suite_mean /= static_cast<double>(prob.bench_st.size());
+    prob.scale[i] = std::max({std::abs(prob.app_st.values[i]),
+                              0.25 * suite_mean, 1e-9});
+    prob.metric_weight[i] =
+        weights[machine::MetricVector::group_of(i)];
+  }
+
+  Rng rng(options.seed);
+  const std::size_t n = prob.size();
+
+  const auto random_genome = [&] {
+    Genome g(n, 0.0);
+    const int terms = static_cast<int>(rng.range(2, 4));
+    for (int t = 0; t < terms; ++t) {
+      const auto k = static_cast<std::size_t>(rng.below(n));
+      g[k] = prob.app_compute /
+             (static_cast<double>(terms) * prob.bench_base_time[k]) *
+             rng.uniform(0.5, 1.5);
+    }
+    prob.normalise_scale(g);
+    return g;
+  };
+
+  std::vector<Genome> population;
+  std::vector<double> fitness;
+  population.reserve(static_cast<std::size_t>(options.population));
+  for (int i = 0; i < options.population; ++i) {
+    population.push_back(random_genome());
+    fitness.push_back(prob.fitness(population.back()));
+  }
+
+  const auto tournament = [&]() -> const Genome& {
+    std::size_t best = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(options.population)));
+    for (int t = 1; t < 3; ++t) {
+      const auto c = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(options.population)));
+      if (fitness[c] < fitness[best]) best = c;
+    }
+    return population[best];
+  };
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    // Elitism: keep the two best individuals.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return fitness[a] < fitness[b];
+              });
+
+    std::vector<Genome> next;
+    next.reserve(population.size());
+    next.push_back(population[order[0]]);
+    next.push_back(population[order[1]]);
+
+    while (next.size() < population.size()) {
+      const Genome& a = tournament();
+      const Genome& b = tournament();
+      Genome child(n, 0.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        child[k] = rng.chance(0.5) ? a[k] : b[k];
+      }
+      // Mutations: perturb, add, drop.
+      if (rng.chance(0.6)) {
+        std::vector<std::size_t> nz;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (child[k] > 0.0) nz.push_back(k);
+        }
+        if (!nz.empty()) {
+          const std::size_t k = nz[rng.below(nz.size())];
+          child[k] *= std::exp(rng.normal(0.0, 0.35));
+        }
+      }
+      if (rng.chance(0.25)) {
+        const auto k = static_cast<std::size_t>(rng.below(n));
+        if (child[k] == 0.0) {
+          child[k] = prob.app_compute / (4.0 * prob.bench_base_time[k]) *
+                     rng.uniform(0.2, 1.0);
+        }
+      }
+      if (rng.chance(0.15) && nonzero_count(child) > 1) {
+        std::vector<std::size_t> nz;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (child[k] > 0.0) nz.push_back(k);
+        }
+        child[nz[rng.below(nz.size())]] = 0.0;
+      }
+      prune_to(child, options.max_terms);
+      prob.normalise_scale(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      fitness[i] = prob.fitness(population[i]);
+    }
+  }
+
+  std::size_t best = static_cast<std::size_t>(
+      std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+
+  // Deterministic local polish: multiplicative coordinate tweaks on the
+  // winner until no single-weight change improves the objective.
+  Genome polished = population[best];
+  double polished_fit = fitness[best];
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (polished[k] == 0.0) continue;
+      for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
+        Genome candidate = polished;
+        candidate[k] *= factor;
+        prob.normalise_scale(candidate);
+        const double f = prob.fitness(candidate);
+        if (f + 1e-12 < polished_fit) {
+          polished = std::move(candidate);
+          polished_fit = f;
+          improved = true;
+        }
+      }
+    }
+  }
+  const Genome& g = polished;
+
+  Surrogate out;
+  out.fitness = polished_fit;
+  out.metric_distance = prob.metric_distance(g);
+  out.runtime_error = prob.runtime_error(g);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (g[k] > 0.0) {
+      out.terms.push_back(SurrogateTerm{spec.names[k], g[k]});
+    }
+  }
+  SWAPP_ASSERT(!out.terms.empty(), "GA produced an empty surrogate");
+  return out;
+}
+
+}  // namespace
+
+Surrogate find_surrogate(const machine::PmuCounters& app_st,
+                         const machine::PmuCounters& app_smt,
+                         const GroupWeights& weights, const SpecData& spec,
+                         Seconds app_base_compute, const GaOptions& options) {
+  SWAPP_REQUIRE(options.restarts >= 1, "GA needs at least one restart");
+  std::vector<Surrogate> runs;
+  runs.reserve(static_cast<std::size_t>(options.restarts));
+  double best_fitness = 0.0;
+  for (int r = 0; r < options.restarts; ++r) {
+    GaOptions run = options;
+    run.seed = options.seed +
+               0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r);
+    runs.push_back(find_surrogate_once(app_st, app_smt, weights, spec,
+                                       app_base_compute, run));
+    if (r == 0 || runs.back().fitness < best_fitness) {
+      best_fitness = runs.back().fitness;
+    }
+  }
+  // Bagging: near-tied restarts (within 25% of the best objective) are
+  // averaged.  Distinct surrogates can fit the counter signature equally
+  // well yet imply different target runtimes; the ensemble mean is a far
+  // more stable estimator than an arbitrary tie-break.
+  std::map<std::string, double> merged;
+  int contributors = 0;
+  for (const Surrogate& s : runs) {
+    if (s.fitness > best_fitness * 1.25 + 1e-12) continue;
+    for (const SurrogateTerm& t : s.terms) merged[t.benchmark] += t.weight;
+    ++contributors;
+  }
+  SWAPP_ASSERT(contributors > 0, "no GA restart survived the fitness filter");
+
+  Surrogate out;
+  out.fitness = best_fitness;
+  for (auto& [name, weight] : merged) {
+    out.terms.push_back(
+        SurrogateTerm{name, weight / static_cast<double>(contributors)});
+  }
+  // Re-anchor the averaged weights to the base compute time (Eq. 2's scale).
+  const Seconds base_total = out.base_runtime(spec);
+  SWAPP_ASSERT(base_total > 0.0, "ensemble surrogate has zero base runtime");
+  for (SurrogateTerm& t : out.terms) {
+    t.weight *= app_base_compute / base_total;
+  }
+  // Diagnostics from the best single run.
+  for (const Surrogate& s : runs) {
+    if (s.fitness == best_fitness) {
+      out.metric_distance = s.metric_distance;
+      out.runtime_error = s.runtime_error;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace swapp::core

@@ -1,0 +1,63 @@
+// Genetic-algorithm surrogate search (paper §2.3 step 5).
+//
+// A surrogate is a sparse, non-negatively weighted subset of the benchmark
+// suite whose combined counter signature reproduces the application's
+// signature (Eq. 2: P_app = Σ w_k · P_k).  The GA minimises the
+// rank-weighted metric distance between Σ w_k · M_k and the application's
+// metric vector — simultaneously in ST and SMT modes, per the paper's
+// observation that surrogates should track the application across computing
+// conditions — under a base-runtime consistency penalty that pins the scale
+// of the weights: Σ w_k · T_k(base) must match the application's compute
+// time on the base machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profiles.h"
+#include "core/ranking.h"
+#include "machine/counters.h"
+
+namespace swapp::core {
+
+/// One selected benchmark with its coefficient w.
+struct SurrogateTerm {
+  std::string benchmark;
+  double weight = 0.0;
+};
+
+/// The GA's result: the surrogate and its fit diagnostics.
+struct Surrogate {
+  std::vector<SurrogateTerm> terms;
+  double fitness = 0.0;          ///< final objective value (lower is better)
+  double metric_distance = 0.0;  ///< rank-weighted signature distance
+  double runtime_error = 0.0;    ///< relative base-runtime mismatch
+
+  /// Σ w_k · runtime of benchmark k on `machine_name` (Eq. 2 applied).
+  Seconds project_runtime(const SpecData& spec,
+                          const std::string& machine_name) const;
+  /// Σ w_k · T_k(base).
+  Seconds base_runtime(const SpecData& spec) const;
+};
+
+struct GaOptions {
+  int population = 96;
+  int generations = 240;
+  int restarts = 5;  ///< independent GA runs; best result wins
+  int max_terms = 6;           ///< sparsity cap on the surrogate
+  double runtime_penalty = 2.0;  ///< λ on the consistency term
+  std::uint64_t seed = 0x5eed0001;
+};
+
+/// Runs the search.  `app_st`/`app_smt` are the application's counters on
+/// the base machine in the two SMT modes; `weights` are the (target-adjusted)
+/// metric-group weights; `app_base_compute` is the application's per-task
+/// compute time on the base machine at the reference task count.
+Surrogate find_surrogate(const machine::PmuCounters& app_st,
+                         const machine::PmuCounters& app_smt,
+                         const GroupWeights& weights, const SpecData& spec,
+                         Seconds app_base_compute,
+                         const GaOptions& options = {});
+
+}  // namespace swapp::core

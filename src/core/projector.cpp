@@ -1,0 +1,82 @@
+#include "core/projector.h"
+
+#include "support/error.h"
+
+namespace swapp::core {
+
+Projector::Projector(machine::Machine base, SpecLibrary spec,
+                     imb::ImbDatabase base_imb)
+    : base_(std::move(base)),
+      spec_(std::move(spec)),
+      base_imb_(std::move(base_imb)) {
+  SWAPP_REQUIRE(!spec_.names.empty(), "SpecLibrary has no benchmarks");
+}
+
+void Projector::add_target(const std::string& machine_name,
+                           imb::ImbDatabase imb) {
+  SWAPP_REQUIRE(spec_.targets.count(machine_name) != 0,
+                "SpecLibrary has no benchmark runtimes for " + machine_name);
+  target_imb_.emplace(machine_name, std::move(imb));
+}
+
+SpecData Projector::spec_view(const std::string& target_machine, int ck,
+                              int threads_per_rank) const {
+  SWAPP_REQUIRE(threads_per_rank >= 1, "threads_per_rank must be >= 1");
+  const auto target_it = spec_.targets.find(target_machine);
+  if (target_it == spec_.targets.end()) {
+    throw NotFound("SpecLibrary has no target: " + target_machine);
+  }
+  // A hybrid job occupies ck · threads hardware threads under block
+  // placement, capped by the node size on each machine.
+  const int demand = ck * threads_per_rank;
+  const int base_occ = SpecLibrary::occupancy_for(demand, base_.cores_per_node);
+  const int target_occ =
+      SpecLibrary::occupancy_for(demand, target_it->second.cores_per_node);
+  return spec_.view(base_occ, target_machine, target_occ);
+}
+
+ProjectionResult Projector::project(const AppBaseData& app,
+                                    const std::string& target_machine, int ck,
+                                    const ProjectionOptions& options) const {
+  const auto imb_it = target_imb_.find(target_machine);
+  if (imb_it == target_imb_.end()) {
+    throw NotFound("target not registered: " + target_machine);
+  }
+
+  ProjectionResult result;
+  result.app = app.app;
+  result.target = target_machine;
+  result.cores = ck;
+
+  // Step 1+2 of §3.3: compute projection with CCSM/ACSM scaling, against
+  // benchmark data at the occupancy Ck implies on each machine.
+  const SpecData view = spec_view(target_machine, ck, app.threads_per_rank);
+  result.compute =
+      project_compute(app, view, base_, target_machine, ck, options.compute);
+
+  const mpi::MpiProfile& profile = app.profile_at(ck);
+
+  if (options.decouple_components) {
+    // Step 2 of §3.3: communication projection with the WaitTime model fed
+    // by the projected compute speedup.
+    result.comm = project_communication(profile, ck, base_imb_,
+                                        imb_it->second,
+                                        result.compute.compute_scale(),
+                                        options.comm);
+  } else {
+    // Coupled ablation: the whole communication budget follows the compute
+    // speedup — the strategy the paper's decomposition improves upon.
+    CommProjection coupled;
+    for (const auto& [routine, rp] : profile.routines) {
+      ClassProjection& acc = coupled.by_class[mpi::routine_class(routine)];
+      const Seconds elapsed =
+          rp.total_elapsed / static_cast<double>(profile.ranks);
+      acc.base_elapsed += elapsed;
+      acc.target_transfer += elapsed * result.compute.compute_scale();
+    }
+    result.comm = coupled;
+  }
+  return result;
+}
+
+}  // namespace swapp::core

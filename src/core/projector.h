@@ -1,0 +1,86 @@
+// The SWAPP facade: combined compute + communication projection (paper §3.3).
+//
+// Quickstart:
+//
+//   using namespace swapp;
+//   core::Projector projector(base_machine, spec_data, base_imb);
+//   projector.add_target("IBM POWER6 575", p6_imb);
+//   core::ProjectionResult r =
+//       projector.project(app_base_data, "IBM POWER6 575", /*ck=*/128);
+//   std::cout << r.total_target() << "\n";
+//
+// `spec_data` must contain benchmark runtimes for every added target (the
+// "published data" of §2.3 step 1); `app_base_data` holds only base-machine
+// application profiles.  The projector never touches a target-machine
+// application run.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/comm_projection.h"
+#include "core/compute_projection.h"
+#include "core/profiles.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+
+namespace swapp::core {
+
+struct ProjectionOptions {
+  ComputeProjectionOptions compute;
+  CommProjectionOptions comm;
+  /// Ablation: couple the components — scale the base total runtime by the
+  /// compute speedup alone, ignoring the separate communication projection.
+  bool decouple_components = true;
+};
+
+/// A full application projection at one task count on one target.
+struct ProjectionResult {
+  std::string app;
+  std::string target;
+  int cores = 0;
+
+  ComputeProjection compute;
+  CommProjection comm;
+
+  /// Projected per-task compute + communication time — the quantity the
+  /// paper compares against measured runtimes.
+  Seconds total_target() const {
+    return compute.target_compute + comm.target_total();
+  }
+  /// The application's base-machine total at the same count (diagnostics).
+  Seconds total_base() const {
+    return compute.base_compute + comm.base_total();
+  }
+};
+
+class Projector {
+ public:
+  Projector(machine::Machine base, SpecLibrary spec, imb::ImbDatabase base_imb);
+
+  /// Registers a target's IMB tables.  Benchmark runtimes for the target
+  /// must already be present in the SpecLibrary passed at construction.
+  void add_target(const std::string& machine_name, imb::ImbDatabase imb);
+
+  const machine::Machine& base() const noexcept { return base_; }
+  const SpecLibrary& spec() const noexcept { return spec_; }
+
+  /// The flat benchmark-data view a projection at `ck` onto
+  /// `target_machine` consumes (occupancy-matched on both machines;
+  /// hybrid jobs occupy ck · threads hardware threads).
+  SpecData spec_view(const std::string& target_machine, int ck,
+                     int threads_per_rank = 1) const;
+
+  /// Projects `app` onto `target_machine` at task count `ck`.
+  ProjectionResult project(const AppBaseData& app,
+                           const std::string& target_machine, int ck,
+                           const ProjectionOptions& options = {}) const;
+
+ private:
+  machine::Machine base_;
+  SpecLibrary spec_;
+  imb::ImbDatabase base_imb_;
+  std::map<std::string, imb::ImbDatabase> target_imb_;
+};
+
+}  // namespace swapp::core

@@ -1,0 +1,148 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace swapp::core {
+
+std::array<int, machine::kMetricGroupCount> GroupWeights::ranks() const {
+  std::array<std::size_t, machine::kMetricGroupCount> order{};
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;
+  });
+  std::array<int, machine::kMetricGroupCount> out{};
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    out[order[pos]] = static_cast<int>(pos) + 1;
+  }
+  return out;
+}
+
+GroupWeights base_group_weights(const machine::PmuCounters& app,
+                                const machine::Machine& base) {
+  const machine::ProcessorConfig& p = base.processor;
+
+  // Per-group runtime contributions in cycles per instruction.  G1/G2 are
+  // CPI components directly; G3–G6 are re-expressed in cycles through the
+  // base machine's architectural cost parameters (paper: "the two steps
+  // follow directly from the architectural specifications of the base").
+  std::array<double, machine::kMetricGroupCount> contribution{};
+  contribution[0] = app.cpi_completion;  // G1
+  contribution[1] = app.cpi_stall_fp + app.cpi_stall_mem +
+                    app.cpi_stall_branch + app.cpi_stall_other;  // G2
+  contribution[2] = app.fp_per_instr / std::max(p.fp_per_cycle, 1e-9);  // G3
+  contribution[3] = app.erat_miss_rate * p.erat_penalty_cycles +
+                    app.slb_miss_rate * p.slb_penalty_cycles +
+                    app.tlb_miss_rate * p.tlb_penalty_cycles;  // G4
+
+  double reload_cycles = 0.0;  // G5: latency-weighted reload traffic
+  for (const auto& level : base.caches.levels()) {
+    if (level.name == "L2") {
+      reload_cycles += app.data_from_l2_per_instr * level.latency_cycles;
+    } else if (level.name == "L3") {
+      reload_cycles += app.data_from_l3_per_instr * level.latency_cycles;
+    }
+  }
+  reload_cycles += app.data_from_local_mem_per_instr *
+                   base.caches.memory().latency_cycles;
+  reload_cycles += app.data_from_remote_mem_per_instr *
+                   base.caches.memory().remote_latency_cycles;
+  contribution[4] = reload_cycles;
+
+  // G6: cycles per instruction spent at the bandwidth ceiling if this
+  // application's bandwidth demand were served alone.
+  const double node_bw = base.caches.memory().node_bandwidth_gbs;
+  contribution[5] =
+      app.memory_bandwidth_gbs / std::max(node_bw, 1e-9) * app.total_cpi();
+
+  const double total =
+      std::accumulate(contribution.begin(), contribution.end(), 0.0);
+  SWAPP_ASSERT(total > 0.0, "all metric-group contributions are zero");
+
+  GroupWeights out;
+  for (std::size_t g = 0; g < contribution.size(); ++g) {
+    out.weight[g] = contribution[g] / total;
+  }
+  return out;
+}
+
+namespace {
+
+/// Intensity of one benchmark in one metric group, normalised across the
+/// suite so groups with different units are comparable.
+std::array<double, machine::kMetricGroupCount> group_intensity(
+    const machine::MetricVector& v,
+    const std::array<double, machine::kMetricCount>& scale) {
+  std::array<double, machine::kMetricGroupCount> out{};
+  for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+    const auto g = static_cast<std::size_t>(machine::MetricVector::group_of(i));
+    out[g] += v.values[i] / scale[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
+                                      const SpecData& spec,
+                                      const std::string& target_machine) {
+  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
+
+  // Per-metric normalisation scale: the suite mean (guards against zero).
+  std::array<double, machine::kMetricCount> scale{};
+  scale.fill(0.0);
+  std::vector<machine::MetricVector> vectors;
+  vectors.reserve(spec.names.size());
+  for (const std::string& name : spec.names) {
+    vectors.push_back(machine::MetricVector::from_counters(
+        spec.base_counters_st.at(name)));
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      scale[i] += vectors.back().values[i];
+    }
+  }
+  for (double& s : scale) {
+    s = std::max(s / static_cast<double>(spec.names.size()), 1e-12);
+  }
+
+  // Suite-wide mean speedup and per-group intensity-weighted mean speedup.
+  double mean_speedup = 0.0;
+  std::array<double, machine::kMetricGroupCount> weighted_speedup{};
+  std::array<double, machine::kMetricGroupCount> intensity_sum{};
+  for (std::size_t k = 0; k < spec.names.size(); ++k) {
+    const std::string& name = spec.names[k];
+    const double speedup = spec.base_runtime.at(name) /
+                           spec.runtime_on(target_machine, name);
+    mean_speedup += speedup;
+    const auto intensity = group_intensity(vectors[k], scale);
+    for (std::size_t g = 0; g < machine::kMetricGroupCount; ++g) {
+      weighted_speedup[g] += intensity[g] * speedup;
+      intensity_sum[g] += intensity[g];
+    }
+  }
+  mean_speedup /= static_cast<double>(spec.names.size());
+
+  // Groups whose heavy benchmarks speed up less than average grow in
+  // importance on the target; cap the correction to keep it a re-weighting,
+  // not a replacement, of the base analysis.
+  GroupWeights out;
+  double total = 0.0;
+  for (std::size_t g = 0; g < machine::kMetricGroupCount; ++g) {
+    double factor = 1.0;
+    if (intensity_sum[g] > 1e-12 && mean_speedup > 0.0) {
+      const double group_speedup = weighted_speedup[g] / intensity_sum[g];
+      factor = std::clamp(mean_speedup / std::max(group_speedup, 1e-12),
+                          0.5, 2.0);
+    }
+    out.weight[g] = base_weights.weight[g] * factor;
+    total += out.weight[g];
+  }
+  SWAPP_ASSERT(total > 0.0, "adjusted weights vanished");
+  for (double& w : out.weight) w /= total;
+  return out;
+}
+
+}  // namespace swapp::core

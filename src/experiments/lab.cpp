@@ -1,0 +1,273 @@
+#include "experiments/lab.h"
+
+#include <algorithm>
+#include <set>
+
+#include "spec/suite.h"
+#include "support/error.h"
+#include "support/stats.h"
+
+namespace swapp::experiments {
+
+const std::vector<int>& bt_sp_core_counts() {
+  static const std::vector<int> kCounts = {16, 32, 64, 128};
+  return kCounts;
+}
+
+const std::vector<int>& bt_sp_counter_counts() {
+  // Counters at n = 3 counts; projecting at 128 exercises ACSM
+  // extrapolation, exactly the situation §3.1 describes.
+  static const std::vector<int> kCounts = {16, 32, 64};
+  return kCounts;
+}
+
+const std::vector<int>& lu_core_counts() {
+  static const std::vector<int> kCounts = {4, 8, 16};
+  return kCounts;
+}
+
+core::AppBaseData collect_base_data(const nas::NasApp& app,
+                                    const machine::Machine& base,
+                                    const std::vector<int>& mpi_counts,
+                                    const std::vector<int>& counter_counts) {
+  core::AppBaseData data;
+  data.app = app.name();
+  data.base_machine = base.name;
+  for (const int c : mpi_counts) {
+    const auto world = app.run(base, c, machine::SmtMode::kSingleThread);
+    data.mpi_profiles.emplace(c, world->profile());
+    data.mean_compute.emplace(c, world->profile().mean_compute());
+    // ST counters come for free from the same run.
+    if (std::find(counter_counts.begin(), counter_counts.end(), c) !=
+        counter_counts.end()) {
+      data.counters_st.emplace(c, world->counters());
+    }
+  }
+  for (const int c : counter_counts) {
+    if (data.counters_st.find(c) == data.counters_st.end()) {
+      const auto world = app.run(base, c, machine::SmtMode::kSingleThread);
+      data.counters_st.emplace(c, world->counters());
+    }
+    const auto world = app.run(base, c, machine::SmtMode::kSmt);
+    data.counters_smt.emplace(c, world->counters());
+  }
+  return data;
+}
+
+ActualRun run_actual(const nas::NasApp& app, const machine::Machine& m,
+                     int ranks) {
+  const auto world = app.run(m, ranks, machine::SmtMode::kSingleThread);
+  const mpi::MpiProfile& profile = world->profile();
+  ActualRun out;
+  out.wall = world->wall_time();
+  out.mean_compute = profile.mean_compute();
+  out.mean_comm = profile.mean_communication();
+  for (const auto cls : {mpi::RoutineClass::kPointToPointBlocking,
+                         mpi::RoutineClass::kPointToPointNonblocking,
+                         mpi::RoutineClass::kCollective}) {
+    out.class_elapsed[cls] = profile.mean_class_elapsed(cls);
+  }
+  return out;
+}
+
+core::SpecLibrary collect_spec_library(
+    const machine::Machine& base, const std::vector<machine::Machine>& targets,
+    const std::vector<int>& task_counts) {
+  core::SpecLibrary lib;
+  lib.base_machine = base.name;
+  lib.base_cores_per_node = base.cores_per_node;
+  for (const spec::Benchmark& b : spec::suite()) lib.names.push_back(b.name());
+
+  const auto occupancies_for = [&](const machine::Machine& m) {
+    std::set<int> occ;
+    for (const int c : task_counts) {
+      occ.insert(core::SpecLibrary::occupancy_for(c, m.cores_per_node));
+    }
+    return occ;
+  };
+
+  for (const int occ : occupancies_for(base)) {
+    for (const spec::BenchmarkRun& run :
+         spec::run_suite(base, machine::SmtMode::kSingleThread, occ)) {
+      lib.base_counters_st[occ].emplace(run.name, run.counters);
+      lib.base_runtime[occ].emplace(run.name, run.runtime);
+    }
+    for (const spec::BenchmarkRun& run :
+         spec::run_suite(base, machine::SmtMode::kSmt, occ)) {
+      lib.base_counters_smt[occ].emplace(run.name, run.counters);
+    }
+  }
+  for (const machine::Machine& target : targets) {
+    core::SpecLibrary::TargetInfo& info = lib.targets[target.name];
+    info.cores_per_node = target.cores_per_node;
+    for (const int occ : occupancies_for(target)) {
+      for (const spec::BenchmarkRun& run :
+           spec::run_suite(target, machine::SmtMode::kSingleThread, occ)) {
+        info.runtime[occ].emplace(run.name, run.runtime);
+      }
+    }
+  }
+  return lib;
+}
+
+// ---------------------------------------------------------------------------
+// Lab
+// ---------------------------------------------------------------------------
+
+std::string Lab::power6_name() { return machine::make_power6_575().name; }
+std::string Lab::bluegene_name() { return machine::make_bluegene_p().name; }
+std::string Lab::westmere_name() {
+  return machine::make_westmere_x5670().name;
+}
+
+Lab::Lab(std::vector<std::string> target_names)
+    : base_(machine::make_power5_hydra()) {
+  if (target_names.empty()) {
+    target_names = {power6_name(), bluegene_name(), westmere_name()};
+  }
+  target_names_ = target_names;
+  for (const std::string& name : target_names_) {
+    targets_.emplace(name, machine::machine_by_name(name));
+  }
+}
+
+const machine::Machine& Lab::target(const std::string& name) const {
+  const auto it = targets_.find(name);
+  if (it == targets_.end()) throw NotFound("target not prepared: " + name);
+  return it->second;
+}
+
+void Lab::ensure_databases() {
+  if (projector_) return;
+  std::vector<machine::Machine> target_list;
+  target_list.reserve(targets_.size());
+  for (const auto& [name, m] : targets_) target_list.push_back(m);
+  // All task counts any experiment uses (union of BT/SP and LU grids).
+  std::vector<int> task_counts = bt_sp_core_counts();
+  task_counts.insert(task_counts.end(), lu_core_counts().begin(),
+                     lu_core_counts().end());
+  spec_ = collect_spec_library(base_, target_list, task_counts);
+
+  imb::ImbDatabase base_imb = imb::measure_database(base_);
+  projector_ = std::make_unique<core::Projector>(base_, *spec_, base_imb);
+  for (const auto& [name, m] : targets_) {
+    projector_->add_target(name, imb::measure_database(m));
+  }
+}
+
+const core::Projector& Lab::projector() {
+  ensure_databases();
+  return *projector_;
+}
+
+const core::AppBaseData& Lab::base_data(nas::Benchmark b,
+                                        nas::ProblemClass c) {
+  const nas::NasApp app(b, c);
+  const std::string key = app.name();
+  const auto it = app_data_.find(key);
+  if (it != app_data_.end()) return it->second;
+
+  const bool is_lu = (b == nas::Benchmark::kLU);
+  const std::vector<int>& mpi_counts =
+      is_lu ? lu_core_counts() : bt_sp_core_counts();
+  const std::vector<int> counter_counts =
+      is_lu ? lu_core_counts() : bt_sp_counter_counts();
+  return app_data_
+      .emplace(key, collect_base_data(app, base_, mpi_counts, counter_counts))
+      .first->second;
+}
+
+const ActualRun& Lab::actual(nas::Benchmark b, nas::ProblemClass c,
+                             const std::string& machine_name, int ranks) {
+  const nas::NasApp app(b, c);
+  const std::string key =
+      app.name() + "@" + machine_name + "#" + std::to_string(ranks);
+  const auto it = actuals_.find(key);
+  if (it != actuals_.end()) return it->second;
+  return actuals_
+      .emplace(key, run_actual(app, target(machine_name), ranks))
+      .first->second;
+}
+
+namespace {
+
+double component_error(Seconds projected, Seconds actual) {
+  if (actual <= 0.0) return 0.0;  // component absent from the application
+  return percent_error(projected, actual);
+}
+
+}  // namespace
+
+ErrorRow Lab::error_row(nas::Benchmark b, nas::ProblemClass c,
+                        const std::string& target_name, int ranks,
+                        const core::ProjectionOptions& options) {
+  const core::ProjectionResult projection =
+      project(b, c, target_name, ranks, options);
+  const ActualRun& truth = actual(b, c, target_name, ranks);
+
+  ErrorRow row;
+  row.cores = ranks;
+  row.cls = c;
+  row.p2p_nb = component_error(
+      projection.comm.of(mpi::RoutineClass::kPointToPointNonblocking)
+          .target_total(),
+      truth.class_elapsed.at(mpi::RoutineClass::kPointToPointNonblocking));
+  row.p2p_b = component_error(
+      projection.comm.of(mpi::RoutineClass::kPointToPointBlocking)
+          .target_total(),
+      truth.class_elapsed.at(mpi::RoutineClass::kPointToPointBlocking));
+  row.collectives = component_error(
+      projection.comm.of(mpi::RoutineClass::kCollective).target_total(),
+      truth.class_elapsed.at(mpi::RoutineClass::kCollective));
+  row.overall_comm =
+      component_error(projection.comm.target_total(), truth.mean_comm);
+  row.computation =
+      component_error(projection.compute.target_compute, truth.mean_compute);
+  row.combined = component_error(projection.total_target(), truth.wall);
+  row.combined_signed =
+      signed_percent_error(projection.total_target(), truth.wall);
+  return row;
+}
+
+core::ProjectionResult Lab::project(nas::Benchmark b, nas::ProblemClass c,
+                                    const std::string& target_name, int ranks,
+                                    const core::ProjectionOptions& options) {
+  ensure_databases();
+  const core::AppBaseData& data = base_data(b, c);
+  return projector_->project(data, target_name, ranks, options);
+}
+
+FigureData Lab::figure(nas::Benchmark b, const std::string& target_name,
+                       const core::ProjectionOptions& options) {
+  FigureData fig;
+  fig.app = nas::to_string(b);
+  fig.target = target_name;
+  fig.title = fig.app + " results on " + target_name;
+
+  const bool is_lu = (b == nas::Benchmark::kLU);
+  const std::vector<int> counts =
+      is_lu ? std::vector<int>{16} : bt_sp_core_counts();
+  for (const int ranks : counts) {
+    for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
+      fig.rows.push_back(error_row(b, cls, target_name, ranks, options));
+    }
+  }
+  return fig;
+}
+
+TextTable FigureData::to_table() const {
+  TextTable table({"Cores/Class", "P2P-NB", "P2P-B", "COLLECTIVES",
+                   "Overall Comm", "Computation", "Combined"});
+  table.set_title(title + "  (percent error magnitude vs. measured)");
+  for (const ErrorRow& row : rows) {
+    table.add_row({std::to_string(row.cores) + "/" + nas::to_string(row.cls),
+                   TextTable::num(row.p2p_nb), TextTable::num(row.p2p_b),
+                   TextTable::num(row.collectives),
+                   TextTable::num(row.overall_comm),
+                   TextTable::num(row.computation),
+                   TextTable::num(row.combined)});
+  }
+  return table;
+}
+
+}  // namespace swapp::experiments

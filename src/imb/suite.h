@@ -1,0 +1,98 @@
+// IMB-style MPI benchmark suite, including the paper's custom multi-Sendrecv.
+//
+// These benchmarks produce the target-machine parameters of Eq. 3:
+// P_Cj(m_i, S_k) — the time of MPI routine m_i at message size S_k and core
+// count C_j — for both the base and target machines.  The paper's extra
+// multi-Sendrecv benchmark measures x successions of Isend/Irecv followed by
+// one Waitall, which lets the projection separate library overhead from time
+// in flight (Eq. 1: T_transfer = T_libraryOverhead + x · T_inFlight).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "mpi/types.h"
+#include "support/interp.h"
+#include "support/units.h"
+
+namespace swapp::imb {
+
+/// Benchmarks in the suite.  Pingpong/Sendrecv parameterise blocking p2p;
+/// the collectives parameterise themselves; MultiSendrecv parameterises
+/// nonblocking exchange phases (Waitall).
+enum class ImbBenchmark {
+  kPingPong,
+  kSendrecv,
+  kExchange,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+  kBarrier,
+  kMultiSendrecv,
+};
+
+std::string to_string(ImbBenchmark b);
+
+/// All benchmarks, in execution order.
+std::vector<ImbBenchmark> all_benchmarks();
+
+/// One measurement: average per-operation completion time.
+struct ImbSample {
+  ImbBenchmark benchmark = ImbBenchmark::kPingPong;
+  int ranks = 0;
+  Bytes bytes = 0;
+  int sequences = 1;  ///< x of multi-Sendrecv; 1 elsewhere
+  Seconds time = 0.0;
+};
+
+/// Runs one benchmark configuration on the machine and returns the averaged
+/// per-call time (excluding warm-up iterations).  `near_pairs` selects the
+/// intra-node pairing for the pairwise patterns (IMB reports intra- and
+/// inter-cluster performance separately, as the paper notes in §2.2).
+ImbSample run_imb(const machine::Machine& m, ImbBenchmark benchmark,
+                  int ranks, Bytes bytes, int repetitions = 16,
+                  int sequences = 1, bool near_pairs = false);
+
+/// Default sweep grids used throughout the experiments.
+const std::vector<Bytes>& default_message_sizes();
+const std::vector<int>& default_core_counts();
+
+/// The benchmark database SWAPP consumes: per-routine (core count × message
+/// size) tables plus the two multi-Sendrecv tables (x = 1 and x = 2) needed
+/// to solve Eq. 1 for T_libraryOverhead and T_inFlight.
+struct ImbDatabase {
+  std::string machine_name;
+  int cores_per_node = 1;
+  std::map<mpi::Routine, CoreSizeTable> tables;
+  /// Inter-node (far-pair) multi-Sendrecv at x = 1 and x = 2.
+  CoreSizeTable multi_sendrecv_x1;
+  CoreSizeTable multi_sendrecv_x2;
+  /// Intra-node (near-pair) counterparts.
+  CoreSizeTable multi_sendrecv_near_x1;
+  CoreSizeTable multi_sendrecv_near_x2;
+
+  /// Per-op time of `routine` at (`bytes`, `ranks`), interpolated.
+  Seconds lookup(mpi::Routine routine, Bytes bytes, int ranks) const;
+  /// Eq. 1 applied to the multi-Sendrecv tables: transfer time of a Waitall
+  /// completing `in_flight` messages of `bytes` each, a fraction
+  /// `intra_fraction` of which stay within a node.
+  Seconds multi_sendrecv_time(double in_flight, Bytes bytes, int ranks,
+                              double intra_fraction = 0.0) const;
+
+  /// Intra-node share of messages whose mean |peer − self| rank distance is
+  /// `rank_distance`, under block placement on this machine.
+  double intra_node_fraction(double rank_distance) const;
+};
+
+/// Measures the full database for a machine (the "benchmark data for the
+/// target system" the paper assumes is published/available).
+ImbDatabase measure_database(const machine::Machine& m,
+                             const std::vector<int>& core_counts,
+                             const std::vector<Bytes>& sizes);
+ImbDatabase measure_database(const machine::Machine& m);
+
+}  // namespace swapp::imb

@@ -1,0 +1,48 @@
+// Persistence for SWAPP's data artifacts.
+//
+// The projection workflow naturally splits across time and teams: benchmark
+// databases for a target system are collected (or published) once and reused
+// for every application; application base profiles are collected by the
+// application team once and projected onto many candidates.  These functions
+// store each artifact as a versioned, line-oriented text file (io/record.h):
+//
+//   * imb::ImbDatabase    — the Eq. 3 parameter tables per machine;
+//   * core::SpecLibrary   — SPEC-style runtimes/counters per occupancy;
+//   * core::AppBaseData   — application MPI profiles + counters.
+//
+// Round-tripping is exact up to double formatting (which uses round-trip
+// precision), so saved and freshly-measured databases project identically.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/profiles.h"
+#include "imb/suite.h"
+
+namespace swapp::io {
+
+// --- streams ---------------------------------------------------------------
+void write_imb_database(std::ostream& os, const imb::ImbDatabase& db);
+imb::ImbDatabase read_imb_database(std::istream& is);
+
+void write_spec_library(std::ostream& os, const core::SpecLibrary& lib);
+core::SpecLibrary read_spec_library(std::istream& is);
+
+void write_app_data(std::ostream& os, const core::AppBaseData& data);
+core::AppBaseData read_app_data(std::istream& is);
+
+// --- files -----------------------------------------------------------------
+void save_imb_database(const std::filesystem::path& path,
+                       const imb::ImbDatabase& db);
+imb::ImbDatabase load_imb_database(const std::filesystem::path& path);
+
+void save_spec_library(const std::filesystem::path& path,
+                       const core::SpecLibrary& lib);
+core::SpecLibrary load_spec_library(const std::filesystem::path& path);
+
+void save_app_data(const std::filesystem::path& path,
+                   const core::AppBaseData& data);
+core::AppBaseData load_app_data(const std::filesystem::path& path);
+
+}  // namespace swapp::io

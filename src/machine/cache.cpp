@@ -1,0 +1,80 @@
+#include "machine/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::machine {
+
+double hit_fraction(double coverage, double locality_theta) {
+  SWAPP_REQUIRE(locality_theta > 0.0, "locality exponent must be positive");
+  if (coverage <= 0.0) return 0.0;
+  if (coverage >= 1.0) return 1.0;
+  return std::pow(coverage, locality_theta);
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevelConfig> levels,
+                               MemoryConfig memory)
+    : levels_(std::move(levels)), memory_(memory) {
+  SWAPP_REQUIRE(!levels_.empty(), "cache hierarchy needs at least one level");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    SWAPP_REQUIRE(levels_[i].capacity > 0, "cache level capacity must be > 0");
+    SWAPP_REQUIRE(levels_[i].shared_by_cores >= 1,
+                  "shared_by_cores must be >= 1");
+    if (i > 0) {
+      SWAPP_REQUIRE(levels_[i].capacity >= levels_[i - 1].capacity,
+                    "cache levels must be ordered smallest to largest");
+    }
+  }
+  SWAPP_REQUIRE(memory_.sockets >= 1, "node needs at least one socket");
+  SWAPP_REQUIRE(memory_.node_bandwidth_gbs > 0.0,
+                "memory bandwidth must be positive");
+}
+
+Bytes CacheHierarchy::effective_capacity(std::size_t level,
+                                         int active_cores) const {
+  SWAPP_REQUIRE(level < levels_.size(), "cache level out of range");
+  SWAPP_REQUIRE(active_cores >= 1, "active core count must be >= 1");
+  const CacheLevelConfig& cfg = levels_[level];
+  const int sharers = std::min(cfg.shared_by_cores, active_cores);
+  return cfg.capacity / static_cast<Bytes>(std::max(sharers, 1));
+}
+
+ReloadBreakdown CacheHierarchy::reloads(Bytes working_set,
+                                        double locality_theta,
+                                        int active_cores,
+                                        double remote_fraction) const {
+  SWAPP_REQUIRE(working_set > 0, "working set must be positive");
+  SWAPP_REQUIRE(remote_fraction >= 0.0 && remote_fraction <= 1.0,
+                "remote fraction must be in [0,1]");
+
+  ReloadBreakdown out;
+  out.cache_fraction.resize(levels_.size(), 0.0);
+
+  double served_below = 0.0;  // cumulative fraction served by levels so far
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const double coverage =
+        static_cast<double>(effective_capacity(i, active_cores)) /
+        static_cast<double>(working_set);
+    const double cum = hit_fraction(coverage, locality_theta);
+    out.cache_fraction[i] = std::max(0.0, cum - served_below);
+    served_below = std::max(served_below, cum);
+  }
+  const double mem_fraction = std::max(0.0, 1.0 - served_below);
+  // Remote traffic only exists on multi-socket nodes.
+  const double remote = memory_.sockets > 1 ? remote_fraction : 0.0;
+  out.remote_mem_fraction = mem_fraction * remote;
+  out.local_mem_fraction = mem_fraction * (1.0 - remote);
+
+  double latency = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    latency += out.cache_fraction[i] * levels_[i].latency_cycles;
+  }
+  latency += out.local_mem_fraction * memory_.latency_cycles;
+  latency += out.remote_mem_fraction * memory_.remote_latency_cycles;
+  out.average_latency_cycles = latency;
+  return out;
+}
+
+}  // namespace swapp::machine

@@ -1,0 +1,115 @@
+// Machine models: processor microarchitecture, node geometry, MPI library
+// parameters, and interconnect configuration for the base and target systems
+// of the paper's evaluation (Table 2).
+//
+// SWAPP never inspects these configurations directly when projecting — it
+// only sees counter profiles and benchmark timings, exactly like the paper.
+// The configurations exist so the *simulated substrate* can produce those
+// profiles and ground-truth runtimes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/cache.h"
+#include "net/network.h"
+#include "support/units.h"
+
+namespace swapp::machine {
+
+/// Simultaneous-multithreading mode, as in the paper's §4 (ST vs SMT runs on
+/// the POWER systems).
+enum class SmtMode { kSingleThread, kSmt };
+
+std::string to_string(SmtMode mode);
+
+/// Processor microarchitecture parameters — inputs to the CPI-stack model.
+struct ProcessorConfig {
+  std::string name;
+  std::string isa;          ///< "POWER", "PPC", "x86" — documentation only
+  double frequency_ghz = 1.0;
+
+  int issue_width = 4;      ///< sustained instructions per cycle, ideal code
+  double fp_latency_cycles = 6.0;   ///< dependent FP op latency
+  double fp_per_cycle = 2.0;        ///< peak FP ops issued per cycle (scalar)
+  double simd_width = 1.0;          ///< additional FP throughput for
+                                    ///< vectorised code (1 = no SIMD)
+  double branch_penalty_cycles = 12.0;
+  double predictor_strength = 0.9;  ///< fraction of "hard" branches predicted
+
+  /// Latency-hiding ability of the out-of-order window: 0 = fully exposed
+  /// miss latency (in-order), 1 = perfectly overlapped.
+  double ooo_window_factor = 0.5;
+  int max_outstanding_misses = 8;   ///< memory-level parallelism supported
+  double prefetch_strength = 0.5;   ///< 0..1; discount on streaming misses
+
+  int smt_ways = 1;
+  /// Per-thread share of core throughput when SMT is active (e.g. 0.62 means
+  /// two threads each get 62% of single-thread issue capability).
+  double smt_issue_efficiency = 0.62;
+
+  // Address translation.
+  double tlb_entries = 1024;
+  Bytes page_bytes = 4096;
+  double tlb_penalty_cycles = 40.0;
+  bool has_erat = false;            ///< POWER-family effective-to-real cache
+  double erat_entries = 128;
+  double erat_penalty_cycles = 12.0;
+  bool has_slb = false;             ///< POWER segment lookaside buffer
+  double slb_penalty_cycles = 60.0;
+};
+
+/// MPI library cost parameters (Eq. 1's library-overhead component).
+struct MpiLibraryConfig {
+  Seconds send_overhead = 1_us;       ///< CPU time to issue a send
+  Seconds recv_overhead = 1_us;       ///< CPU time to complete a receive
+  Seconds nonblocking_post_overhead = 300_ns;  ///< Isend/Irecv posting cost
+  Bytes eager_threshold = 16_KiB;     ///< above this, rendezvous protocol
+  Seconds rendezvous_overhead = 2_us; ///< extra handshake for large messages
+  double reduction_bandwidth_gbs = 2.0;  ///< local combine speed for Reduce
+  /// Whether collectives may use a dedicated tree network when the
+  /// interconnect provides one (BG/P).
+  bool use_collective_tree = true;
+};
+
+/// A complete system: node microarchitecture + interconnect.
+struct Machine {
+  std::string name;
+  ProcessorConfig processor;
+  CacheHierarchy caches;
+  int cores_per_node = 1;
+  Bytes memory_per_core = 2_GiB;
+  MpiLibraryConfig mpi;
+  net::NetworkConfig network;
+
+  int total_cores = 0;  ///< size of the installation (Table 2)
+
+  /// Relative amplitude of OS/system noise on compute phases.  Commodity
+  /// clusters sit around 1–2 %; BlueGene's microkernel is famously quiet.
+  /// Applied deterministically (hash of rank and call index), this is what
+  /// keeps perfectly-balanced applications from showing exactly zero
+  /// WaitTime, as on real systems.
+  double os_jitter = 0.02;
+
+  Seconds cycle_time() const { return cycle_seconds(processor.frequency_ghz); }
+  int nodes_for_ranks(int ranks) const {
+    return (ranks + cores_per_node - 1) / cores_per_node;
+  }
+  /// Node index hosting a rank under block placement (the paper keeps task
+  /// placement identical between application and benchmark runs).
+  int node_of_rank(int rank) const { return rank / cores_per_node; }
+};
+
+/// The four systems of Table 2.
+Machine make_power5_hydra();     ///< TAMU Hydra, POWER5+ — the base system
+Machine make_power6_575();       ///< IBM POWER6 575 cluster, InfiniBand
+Machine make_bluegene_p();       ///< BG/P, 3-D torus + collective tree
+Machine make_westmere_x5670();   ///< IBM iDataPlex, Intel Xeon X5670
+
+/// All four, base first.
+std::vector<Machine> all_machines();
+
+/// Lookup by name; throws NotFound.
+Machine machine_by_name(const std::string& name);
+
+}  // namespace swapp::machine

@@ -1,0 +1,301 @@
+// The four systems of the paper's Table 2.
+//
+// Parameter values are drawn from the published microarchitecture literature
+// for each processor (frequencies, cache geometries, issue widths, memory
+// latencies) and from vendor MPI/interconnect datasheets (link bandwidths,
+// zero-byte latencies).  They do not need to be exact: SWAPP consumes the
+// machines only through benchmark measurements, so what matters is that the
+// *relative* characteristics — cache capacities, ISA/µarch distance from the
+// POWER5+ base, interconnect speeds — are faithful.
+#include "machine/machine.h"
+
+#include "support/error.h"
+
+namespace swapp::machine {
+
+std::string to_string(SmtMode mode) {
+  return mode == SmtMode::kSingleThread ? "ST" : "SMT";
+}
+
+Machine make_power5_hydra() {
+  ProcessorConfig p;
+  p.name = "POWER5+";
+  p.isa = "POWER";
+  p.frequency_ghz = 1.9;
+  p.issue_width = 5;
+  p.fp_latency_cycles = 6.0;
+  p.fp_per_cycle = 4.0;  // two FPUs with FMA
+  p.simd_width = 1.0;
+  p.branch_penalty_cycles = 12.0;
+  p.predictor_strength = 0.90;
+  p.ooo_window_factor = 0.55;
+  p.max_outstanding_misses = 8;
+  p.prefetch_strength = 0.55;
+  p.smt_ways = 2;
+  p.smt_issue_efficiency = 0.62;
+  p.tlb_entries = 1024;
+  p.page_bytes = 4096;
+  p.tlb_penalty_cycles = 45.0;
+  p.has_erat = true;
+  p.erat_entries = 128;
+  p.erat_penalty_cycles = 13.0;
+  p.has_slb = true;
+  p.slb_penalty_cycles = 70.0;
+
+  CacheHierarchy caches(
+      {
+          {.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+           .latency_cycles = 4.0, .line_bytes = 128},
+          {.name = "L2", .capacity = 1920_KiB, .shared_by_cores = 2,
+           .latency_cycles = 14.0, .line_bytes = 128},
+          {.name = "L3", .capacity = 36_MiB, .shared_by_cores = 2,
+           .latency_cycles = 90.0, .line_bytes = 128},  // 256B lines, 128B sectors
+      },
+      MemoryConfig{.latency_cycles = 230.0,
+                   .remote_latency_cycles = 340.0,
+                   .node_bandwidth_gbs = 12.0,
+                   .sockets = 8});  // 8 dual-core DCMs per 16-way node
+
+  net::NetworkConfig nw;
+  nw.kind = net::TopologyKind::kFederation;
+  nw.link_bandwidth_gbs = 2.0;
+  nw.base_latency = 4.2_us;
+  nw.per_hop_latency = 300_ns;
+  nw.fat_tree_radix = 16;
+  nw.intra_node_bandwidth_gbs = 6.0;
+  nw.intra_node_latency = 500_ns;
+  nw.contention_factor = 1.6;
+
+  MpiLibraryConfig mpi;
+  mpi.send_overhead = 1.6_us;
+  mpi.recv_overhead = 1.6_us;
+  mpi.nonblocking_post_overhead = 350_ns;
+  mpi.eager_threshold = 16_KiB;
+  mpi.rendezvous_overhead = 2.4_us;
+  mpi.reduction_bandwidth_gbs = 1.5;
+
+  return Machine{.name = "TAMU Hydra (POWER5+)",
+                 .processor = p,
+                 .caches = caches,
+                 .cores_per_node = 16,
+                 .memory_per_core = 2_GiB,
+                 .mpi = mpi,
+                 .network = nw,
+                 .total_cores = 832,
+                 .os_jitter = 0.020};
+}
+
+Machine make_power6_575() {
+  ProcessorConfig p;
+  p.name = "POWER6";
+  p.isa = "POWER";
+  p.frequency_ghz = 4.7;
+  p.issue_width = 5;
+  p.fp_latency_cycles = 7.0;
+  p.fp_per_cycle = 4.0;
+  p.simd_width = 1.0;
+  p.branch_penalty_cycles = 16.0;
+  p.predictor_strength = 0.92;
+  p.ooo_window_factor = 0.35;  // largely in-order pipeline
+  p.max_outstanding_misses = 10;
+  p.prefetch_strength = 0.75;  // strong hardware stream prefetch
+  p.smt_ways = 2;
+  p.smt_issue_efficiency = 0.64;
+  p.tlb_entries = 1024;
+  p.page_bytes = 4096;
+  p.tlb_penalty_cycles = 60.0;
+  p.has_erat = true;
+  p.erat_entries = 128;
+  p.erat_penalty_cycles = 14.0;
+  p.has_slb = true;
+  p.slb_penalty_cycles = 80.0;
+
+  CacheHierarchy caches(
+      {
+          {.name = "L1", .capacity = 64_KiB, .shared_by_cores = 1,
+           .latency_cycles = 4.0, .line_bytes = 128},
+          {.name = "L2", .capacity = 4_MiB, .shared_by_cores = 1,
+           .latency_cycles = 26.0, .line_bytes = 128},
+          {.name = "L3", .capacity = 32_MiB, .shared_by_cores = 2,
+           .latency_cycles = 130.0, .line_bytes = 128},
+      },
+      MemoryConfig{.latency_cycles = 420.0,
+                   .remote_latency_cycles = 580.0,
+                   .node_bandwidth_gbs = 40.0,
+                   .sockets = 16});  // 16 dual-core chips per 32-way node
+
+  net::NetworkConfig nw;
+  nw.kind = net::TopologyKind::kFatTree;
+  nw.link_bandwidth_gbs = 1.8;  // 4x DDR InfiniBand
+  nw.base_latency = 2.4_us;
+  nw.per_hop_latency = 150_ns;
+  nw.fat_tree_radix = 16;
+  nw.intra_node_bandwidth_gbs = 10.0;
+  nw.intra_node_latency = 400_ns;
+  nw.contention_factor = 1.5;
+
+  MpiLibraryConfig mpi;
+  mpi.send_overhead = 1.1_us;
+  mpi.recv_overhead = 1.1_us;
+  mpi.nonblocking_post_overhead = 250_ns;
+  mpi.eager_threshold = 16_KiB;
+  mpi.rendezvous_overhead = 1.8_us;
+  mpi.reduction_bandwidth_gbs = 3.0;
+
+  return Machine{.name = "IBM POWER6 575",
+                 .processor = p,
+                 .caches = caches,
+                 .cores_per_node = 32,
+                 .memory_per_core = 4_GiB,
+                 .mpi = mpi,
+                 .network = nw,
+                 .total_cores = 128,
+                 .os_jitter = 0.015};
+}
+
+Machine make_bluegene_p() {
+  ProcessorConfig p;
+  p.name = "PowerPC 450";
+  p.isa = "PPC";
+  p.frequency_ghz = 0.85;
+  p.issue_width = 2;
+  p.fp_latency_cycles = 5.0;
+  p.fp_per_cycle = 2.0;
+  p.simd_width = 2.0;  // "double hummer" dual FPU
+  p.branch_penalty_cycles = 5.0;
+  p.predictor_strength = 0.85;
+  p.ooo_window_factor = 0.25;  // in-order embedded core
+  p.max_outstanding_misses = 4;
+  p.prefetch_strength = 0.65;  // L2 stream prefetch engines
+  p.smt_ways = 1;
+  p.smt_issue_efficiency = 1.0;
+  p.tlb_entries = 64;
+  p.page_bytes = 64_KiB;  // CNK maps compute memory with large pages
+  p.tlb_penalty_cycles = 30.0;
+  p.has_erat = false;
+  p.has_slb = false;
+
+  CacheHierarchy caches(
+      {
+          {.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+           .latency_cycles = 4.0, .line_bytes = 32},
+          {.name = "L2", .capacity = 2_MiB, .shared_by_cores = 4,
+           .latency_cycles = 12.0, .line_bytes = 128},
+          {.name = "L3", .capacity = 8_MiB, .shared_by_cores = 4,
+           .latency_cycles = 50.0, .line_bytes = 128},
+      },
+      MemoryConfig{.latency_cycles = 104.0,
+                   .remote_latency_cycles = 104.0,
+                   .node_bandwidth_gbs = 13.6,
+                   .sockets = 1});
+
+  net::NetworkConfig nw;
+  nw.kind = net::TopologyKind::kTorus3D;
+  nw.link_bandwidth_gbs = 0.425;  // 3.4 Gb/s per torus link
+  nw.base_latency = 2.8_us;
+  nw.per_hop_latency = 100_ns;
+  nw.has_collective_tree = true;
+  nw.tree_per_hop_latency = 60_ns;
+  nw.tree_bandwidth_gbs = 0.82;
+  nw.intra_node_bandwidth_gbs = 3.0;
+  nw.intra_node_latency = 300_ns;
+  nw.contention_factor = 1.3;  // torus spreads dense traffic well
+
+  MpiLibraryConfig mpi;
+  mpi.send_overhead = 2.4_us;  // slow core pays more per call
+  mpi.recv_overhead = 2.4_us;
+  mpi.nonblocking_post_overhead = 600_ns;
+  mpi.eager_threshold = 4_KiB;
+  mpi.rendezvous_overhead = 3.2_us;
+  mpi.reduction_bandwidth_gbs = 0.8;
+  mpi.use_collective_tree = true;
+
+  return Machine{.name = "IBM BlueGene/P",
+                 .processor = p,
+                 .caches = caches,
+                 .cores_per_node = 4,  // "Virtual Node" mode, as in the paper
+                 .memory_per_core = 1_GiB,
+                 .mpi = mpi,
+                 .network = nw,
+                 .total_cores = 4096,
+                 .os_jitter = 0.003};
+}
+
+Machine make_westmere_x5670() {
+  ProcessorConfig p;
+  p.name = "Xeon X5670 (Westmere)";
+  p.isa = "x86";
+  p.frequency_ghz = 2.93;
+  p.issue_width = 4;
+  p.fp_latency_cycles = 5.0;
+  p.fp_per_cycle = 2.0;
+  p.simd_width = 2.0;  // SSE packed double
+  p.branch_penalty_cycles = 17.0;
+  p.predictor_strength = 0.95;
+  p.ooo_window_factor = 0.80;  // deep out-of-order window
+  p.max_outstanding_misses = 10;
+  p.prefetch_strength = 0.85;
+  p.smt_ways = 2;
+  p.smt_issue_efficiency = 0.58;
+  p.tlb_entries = 512;
+  p.page_bytes = 4096;
+  p.tlb_penalty_cycles = 30.0;
+  p.has_erat = false;
+  p.has_slb = false;
+
+  CacheHierarchy caches(
+      {
+          {.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+           .latency_cycles = 4.0, .line_bytes = 64},
+          {.name = "L2", .capacity = 256_KiB, .shared_by_cores = 1,
+           .latency_cycles = 10.0, .line_bytes = 64},
+          {.name = "L3", .capacity = 12_MiB, .shared_by_cores = 6,
+           .latency_cycles = 42.0, .line_bytes = 64},
+      },
+      MemoryConfig{.latency_cycles = 190.0,
+                   .remote_latency_cycles = 310.0,
+                   .node_bandwidth_gbs = 50.0,  // 2 sockets, 3-channel DDR3
+                   .sockets = 2});
+
+  net::NetworkConfig nw;
+  nw.kind = net::TopologyKind::kFatTree;
+  nw.link_bandwidth_gbs = 3.2;  // 4x QDR InfiniBand
+  nw.base_latency = 1.7_us;
+  nw.per_hop_latency = 100_ns;
+  nw.fat_tree_radix = 18;
+  nw.intra_node_bandwidth_gbs = 5.0;
+  nw.intra_node_latency = 350_ns;
+  nw.contention_factor = 1.5;
+
+  MpiLibraryConfig mpi;
+  mpi.send_overhead = 0.9_us;
+  mpi.recv_overhead = 0.9_us;
+  mpi.nonblocking_post_overhead = 200_ns;
+  mpi.eager_threshold = 16_KiB;
+  mpi.rendezvous_overhead = 1.4_us;
+  mpi.reduction_bandwidth_gbs = 3.5;
+
+  return Machine{.name = "IBM iDataPlex (Westmere X5670)",
+                 .processor = p,
+                 .caches = caches,
+                 .cores_per_node = 12,
+                 .memory_per_core = 2_GiB,
+                 .mpi = mpi,
+                 .network = nw,
+                 .total_cores = 768,
+                 .os_jitter = 0.022};
+}
+
+std::vector<Machine> all_machines() {
+  return {make_power5_hydra(), make_power6_575(), make_bluegene_p(),
+          make_westmere_x5670()};
+}
+
+Machine machine_by_name(const std::string& name) {
+  for (Machine& m : all_machines()) {
+    if (m.name == name) return m;
+  }
+  throw NotFound("unknown machine: " + name);
+}
+
+}  // namespace swapp::machine

@@ -1,0 +1,99 @@
+#include "mpi/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::mpi {
+namespace {
+
+int stages_for(int nranks) {
+  return nranks <= 1
+             ? 0
+             : static_cast<int>(
+                   std::ceil(std::log2(static_cast<double>(nranks))));
+}
+
+}  // namespace
+
+Seconds collective_cost(const machine::Machine& m, const net::Network& network,
+                        Routine routine, Bytes bytes, int nranks) {
+  SWAPP_REQUIRE(nranks >= 1, "collective needs at least one rank");
+  if (nranks == 1) return m.mpi.send_overhead;  // self-completion bookkeeping
+
+  // The Network instance is sized by the caller's placement (hybrid-aware).
+  const int nodes = std::min(network.nodes(), nranks);
+  // Representative path for the algorithm's per-stage message: halfway
+  // across the participating nodes (intra-node when the job fits one node).
+  const int far_node = nodes / 2;
+  const Seconds lat = network.latency(0, far_node);
+  const double bw_gbs = network.bandwidth_gbs(0, far_node);
+  const Seconds o = m.mpi.send_overhead + m.mpi.recv_overhead;
+  const int stages = stages_for(nranks);
+  const double n = static_cast<double>(nranks);
+
+  const auto ser = [&](double b) { return b / (bw_gbs * 1e9); };
+  const auto reduce_compute = [&](double b) {
+    return b / (m.mpi.reduction_bandwidth_gbs * 1e9);
+  };
+  const double b = static_cast<double>(bytes);
+
+  const bool tree = m.mpi.use_collective_tree &&
+                    network.config().has_collective_tree &&
+                    (routine == Routine::kBcast || routine == Routine::kReduce ||
+                     routine == Routine::kAllreduce);
+  if (tree) {
+    const Seconds tree_time = network.collective_tree_time(nodes, bytes);
+    switch (routine) {
+      case Routine::kBcast:
+        return o + tree_time;
+      case Routine::kReduce:
+        // Combines at line rate while flowing up the tree.
+        return o + tree_time + reduce_compute(b) / std::max(1.0, n / 8.0);
+      case Routine::kAllreduce:
+        // Up (reduce) + down (broadcast) through the tree.
+        return o + 2.0 * tree_time + reduce_compute(b) / std::max(1.0, n / 8.0);
+      default:
+        break;
+    }
+  }
+
+  switch (routine) {
+    case Routine::kBarrier:
+      // Dissemination barrier with 8-byte tokens.
+      return stages * (o + lat + ser(8.0));
+    case Routine::kBcast:
+      if (bytes <= m.mpi.eager_threshold) {
+        // Binomial tree.
+        return stages * (o + lat + ser(b));
+      }
+      // Scatter + ring allgather (van de Geijn) for large payloads.
+      return stages * (o + lat) + 2.0 * ser(b) * (n - 1.0) / n +
+             m.mpi.rendezvous_overhead;
+    case Routine::kReduce:
+      if (bytes <= m.mpi.eager_threshold) {
+        return stages * (o + lat + ser(b) + reduce_compute(b));
+      }
+      return stages * (o + lat) + 2.0 * ser(b) * (n - 1.0) / n +
+             reduce_compute(b) + m.mpi.rendezvous_overhead;
+    case Routine::kAllreduce:
+      // Rabenseifner: reduce-scatter + allgather.
+      return 2.0 * stages * (o + lat) + 2.0 * ser(b) * (n - 1.0) / n +
+             reduce_compute(b);
+    case Routine::kAllgather:
+      // Ring: n-1 steps of the per-rank contribution.
+      return (n - 1.0) * (o + lat + ser(b));
+    case Routine::kAlltoall: {
+      // Pairwise exchange under contention.
+      const double contended =
+          bw_gbs / std::max(1.0, network.config().contention_factor);
+      return (n - 1.0) * (o + lat + b / (contended * 1e9));
+    }
+    default:
+      throw InvalidArgument("collective_cost: " + to_string(routine) +
+                            " is not a collective");
+  }
+}
+
+}  // namespace swapp::mpi

@@ -1,0 +1,22 @@
+// Algorithmic cost model for MPI collectives.
+//
+// Collectives complete after an algorithm-derived time on top of the
+// synchronised entry of all ranks: binomial trees for rooted small-message
+// collectives, Rabenseifner reduce-scatter/allgather for Allreduce, ring
+// Allgather, pairwise Alltoall under link contention.  On BlueGene/P,
+// Bcast/Reduce/Allreduce use the dedicated collective-tree network instead,
+// as the real machine does.
+#pragma once
+
+#include "machine/machine.h"
+#include "mpi/types.h"
+#include "net/network.h"
+#include "support/units.h"
+
+namespace swapp::mpi {
+
+/// Time from synchronised entry to completion for one collective call.
+Seconds collective_cost(const machine::Machine& m, const net::Network& network,
+                        Routine routine, Bytes bytes, int nranks);
+
+}  // namespace swapp::mpi

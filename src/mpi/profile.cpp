@@ -1,0 +1,42 @@
+#include "mpi/profile.h"
+
+namespace swapp::mpi {
+
+Seconds MpiProfile::mean_compute() const {
+  if (per_task.empty()) return 0.0;
+  Seconds sum = 0.0;
+  for (const TaskBreakdown& t : per_task) sum += t.compute;
+  return sum / static_cast<double>(per_task.size());
+}
+
+Seconds MpiProfile::mean_communication() const {
+  if (per_task.empty()) return 0.0;
+  Seconds sum = 0.0;
+  for (const TaskBreakdown& t : per_task) sum += t.communication;
+  return sum / static_cast<double>(per_task.size());
+}
+
+double MpiProfile::communication_fraction() const {
+  const Seconds compute = mean_compute();
+  const Seconds comm = mean_communication();
+  const Seconds total = compute + comm;
+  return total > 0.0 ? comm / total : 0.0;
+}
+
+Seconds MpiProfile::mean_routine_elapsed(Routine r) const {
+  const auto it = routines.find(r);
+  if (it == routines.end() || ranks == 0) return 0.0;
+  return it->second.total_elapsed / static_cast<double>(ranks);
+}
+
+Seconds MpiProfile::mean_class_elapsed(RoutineClass c) const {
+  Seconds sum = 0.0;
+  for (const auto& [routine, profile] : routines) {
+    if (routine_class(routine) == c && ranks > 0) {
+      sum += profile.total_elapsed / static_cast<double>(ranks);
+    }
+  }
+  return sum;
+}
+
+}  // namespace swapp::mpi

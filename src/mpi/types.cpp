@@ -1,0 +1,53 @@
+#include "mpi/types.h"
+
+#include "support/error.h"
+
+namespace swapp::mpi {
+
+std::string to_string(Routine r) {
+  switch (r) {
+    case Routine::kSend: return "MPI_Send";
+    case Routine::kRecv: return "MPI_Recv";
+    case Routine::kSendrecv: return "MPI_Sendrecv";
+    case Routine::kIsend: return "MPI_Isend";
+    case Routine::kIrecv: return "MPI_Irecv";
+    case Routine::kWaitall: return "MPI_Waitall";
+    case Routine::kBarrier: return "MPI_Barrier";
+    case Routine::kBcast: return "MPI_Bcast";
+    case Routine::kReduce: return "MPI_Reduce";
+    case Routine::kAllreduce: return "MPI_Allreduce";
+    case Routine::kAllgather: return "MPI_Allgather";
+    case Routine::kAlltoall: return "MPI_Alltoall";
+  }
+  throw InternalError("unknown Routine");
+}
+
+std::string to_string(RoutineClass c) {
+  switch (c) {
+    case RoutineClass::kPointToPointBlocking: return "P2P-B";
+    case RoutineClass::kPointToPointNonblocking: return "P2P-NB";
+    case RoutineClass::kCollective: return "COLLECTIVES";
+  }
+  throw InternalError("unknown RoutineClass");
+}
+
+RoutineClass routine_class(Routine r) {
+  switch (r) {
+    case Routine::kSend:
+    case Routine::kRecv:
+    case Routine::kSendrecv:
+      return RoutineClass::kPointToPointBlocking;
+    case Routine::kIsend:
+    case Routine::kIrecv:
+    case Routine::kWaitall:
+      return RoutineClass::kPointToPointNonblocking;
+    default:
+      return RoutineClass::kCollective;
+  }
+}
+
+bool is_collective(Routine r) {
+  return routine_class(r) == RoutineClass::kCollective;
+}
+
+}  // namespace swapp::mpi

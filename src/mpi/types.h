@@ -1,0 +1,48 @@
+// Common MPI-layer types: routine identifiers, requests, routine classes.
+//
+// Routine identity matters to SWAPP: the communication model is a function of
+// MPI routine, message size and call count (paper §2.4 step 2), and the
+// figures break projection error down by routine class (P2P-NB, P2P-B,
+// COLLECTIVES).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace swapp::mpi {
+
+enum class Routine {
+  kSend,
+  kRecv,
+  kSendrecv,
+  kIsend,
+  kIrecv,
+  kWaitall,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+  kAlltoall,
+};
+
+/// The paper's figure categories.
+enum class RoutineClass {
+  kPointToPointBlocking,     ///< "P2P-B"
+  kPointToPointNonblocking,  ///< "P2P-NB" (Isend/Irecv/Waitall)
+  kCollective,               ///< "COLLECTIVES"
+};
+
+std::string to_string(Routine r);
+std::string to_string(RoutineClass c);
+RoutineClass routine_class(Routine r);
+/// True for routines whose profile entries the communication model projects
+/// directly (Waitall carries the nonblocking wait; Isend/Irecv only post).
+bool is_collective(Routine r);
+
+/// Handle for a nonblocking operation.
+struct Request {
+  std::uint64_t id = 0;
+};
+
+}  // namespace swapp::mpi

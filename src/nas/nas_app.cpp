@@ -1,0 +1,160 @@
+#include "nas/nas_app.h"
+
+#include <memory>
+
+#include "support/error.h"
+
+namespace swapp::nas {
+
+const workload::Kernel& kernel_for(Benchmark b) {
+  static const workload::Kernel bt = [] {
+    workload::Kernel k;
+    k.name = "bt-solver";
+    // Block-tridiagonal solves: FP dense, good ILP, large per-point state.
+    k.fp_fraction = 0.42;
+    k.load_fraction = 0.30;
+    k.store_fraction = 0.12;
+    k.branch_fraction = 0.04;
+    k.ilp = 3.6;
+    k.vectorizable = 0.35;
+    k.bytes_per_point = 160;
+    k.locality_theta = 0.55;
+    k.streaming_fraction = 0.80;
+    k.mlp = 6;
+    k.tlb_hostility = 0.015;
+    k.remote_access_fraction = 0.15;
+    k.instructions_per_point = 11000;
+    return k;
+  }();
+  static const workload::Kernel sp = [] {
+    workload::Kernel k;
+    k.name = "sp-solver";
+    // Scalar pentadiagonal: lighter per point, more streaming.
+    k.fp_fraction = 0.40;
+    k.load_fraction = 0.31;
+    k.store_fraction = 0.13;
+    k.branch_fraction = 0.04;
+    k.ilp = 3.4;
+    k.vectorizable = 0.45;
+    k.bytes_per_point = 140;
+    k.locality_theta = 0.60;
+    k.streaming_fraction = 0.85;
+    k.mlp = 7;
+    k.tlb_hostility = 0.015;
+    k.remote_access_fraction = 0.12;
+    k.instructions_per_point = 7000;
+    return k;
+  }();
+  static const workload::Kernel lu = [] {
+    workload::Kernel k;
+    k.name = "lu-solver";
+    // SSOR sweeps: wavefront dependencies limit ILP; modest vectorisation.
+    k.fp_fraction = 0.41;
+    k.load_fraction = 0.30;
+    k.store_fraction = 0.11;
+    k.branch_fraction = 0.06;
+    k.ilp = 3.0;
+    k.vectorizable = 0.30;
+    k.bytes_per_point = 130;
+    k.locality_theta = 0.52;
+    k.streaming_fraction = 0.65;
+    k.pointer_chasing = 0.02;
+    k.mlp = 5;
+    k.tlb_hostility = 0.05;  // strided plane sweeps touch many pages
+    k.remote_access_fraction = 0.12;
+    k.instructions_per_point = 9000;
+    return k;
+  }();
+  switch (b) {
+    case Benchmark::kBT: return bt;
+    case Benchmark::kSP: return sp;
+    case Benchmark::kLU: return lu;
+  }
+  throw InternalError("unknown Benchmark");
+}
+
+NasApp::NasApp(Benchmark b, ProblemClass c)
+    : benchmark_(b), class_(c), spec_(grid_spec(b, c)) {}
+
+std::string NasApp::name() const {
+  return to_string(benchmark_) + "." + to_string(class_);
+}
+
+int NasApp::max_ranks() const { return spec_.zone_count(); }
+
+const std::vector<NasApp::RankPlan>& NasApp::plans_for(int ranks) const {
+  auto it = plan_cache_.find(ranks);
+  if (it != plan_cache_.end()) return it->second;
+
+  const Decomposition decomp(benchmark_, class_, ranks);
+  std::vector<RankPlan> plans(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    plans[static_cast<std::size_t>(r)].points = decomp.rank_points(r);
+  }
+  for (const Decomposition::BoundaryMessage& m : decomp.messages()) {
+    plans[static_cast<std::size_t>(m.from_rank)].sends.push_back(
+        {.peer = m.to_rank, .bytes = m.bytes, .tag = m.tag});
+    plans[static_cast<std::size_t>(m.to_rank)].recvs.push_back(
+        {.peer = m.from_rank, .bytes = m.bytes, .tag = m.tag});
+  }
+  return plan_cache_.emplace(ranks, std::move(plans)).first->second;
+}
+
+void NasApp::run_rank(mpi::RankCtx& ctx) const {
+  const int ranks = ctx.size();
+  SWAPP_REQUIRE(ranks <= max_ranks(),
+                name() + " supports at most " + std::to_string(max_ranks()) +
+                    " ranks");
+  const RankPlan& plan = plans_for(ranks)[static_cast<std::size_t>(ctx.rank())];
+  const workload::Kernel& solver = kernel();
+
+  // Setup: root distributes zone metadata (sizes, ownership).
+  const Bytes metadata =
+      static_cast<Bytes>(spec_.zone_count()) * 16u;
+  ctx.bcast(0, metadata);
+
+  constexpr int kResidualInterval = 25;
+  constexpr Bytes kResidualBytes = 40;  // five norms, double precision
+
+  for (int step = 0; step < spec_.timesteps; ++step) {
+    // Boundary exchange: all ghost faces in flight, one Waitall.
+    if (ranks > 1) {
+      std::vector<mpi::Request> requests;
+      requests.reserve(plan.recvs.size() + plan.sends.size());
+      for (const RankPlan::Wire& w : plan.recvs) {
+        requests.push_back(ctx.irecv(w.peer, w.bytes, w.tag));
+      }
+      for (const RankPlan::Wire& w : plan.sends) {
+        requests.push_back(ctx.isend(w.peer, w.bytes, w.tag));
+      }
+      if (!requests.empty()) ctx.waitall(requests);
+    }
+
+    // Solver sweep over all owned zones.
+    ctx.compute(solver, plan.points);
+
+    // Residual norm for convergence monitoring.
+    if (ranks > 1 && (step + 1) % kResidualInterval == 0) {
+      ctx.reduce(0, kResidualBytes);
+    }
+  }
+
+  // Verification reduction.
+  if (ranks > 1) ctx.reduce(0, kResidualBytes);
+}
+
+std::unique_ptr<mpi::World> NasApp::run(const machine::Machine& m, int ranks,
+                                        machine::SmtMode smt,
+                                        int threads_per_rank) const {
+  // Build plans before spawning so the cache is never mutated mid-run.
+  plans_for(ranks);
+  auto world = std::make_unique<mpi::World>(
+      m, ranks,
+      mpi::World::Options{.smt = smt,
+                          .app_name = name(),
+                          .threads_per_rank = threads_per_rank});
+  world->run([this](mpi::RankCtx& ctx) { run_rank(ctx); });
+  return world;
+}
+
+}  // namespace swapp::nas

@@ -1,0 +1,74 @@
+// Runnable NAS Multi-Zone application skeletons over the simulated MPI.
+//
+// Each skeleton reproduces the structure the paper's projection depends on:
+//   * setup broadcast of the zone metadata (MPI_Bcast);
+//   * per timestep: a nonblocking boundary exchange — Isend/Irecv per
+//     cross-rank zone face followed by one Waitall — then the per-zone
+//     solver sweep (compute);
+//   * a periodic small residual reduction (MPI_Reduce).
+// There are no blocking point-to-point calls, matching the paper's note that
+// the NAS-MZ codes have no P2P-B routines and that Isend/Irecv/Waitall map to
+// multi-Sendrecv with one sequence.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/world.h"
+#include "nas/zones.h"
+#include "workload/kernel.h"
+
+namespace swapp::nas {
+
+/// Solver kernel characteristics for a benchmark (BT block-tridiagonal,
+/// SP scalar-pentadiagonal, LU SSOR).
+const workload::Kernel& kernel_for(Benchmark b);
+
+/// A configured NAS-MZ instance.
+class NasApp {
+ public:
+  NasApp(Benchmark b, ProblemClass c);
+
+  Benchmark benchmark() const noexcept { return benchmark_; }
+  ProblemClass problem_class() const noexcept { return class_; }
+  /// "BT-MZ.C" style identifier.
+  std::string name() const;
+  /// Maximum usable MPI tasks (the zone count; 16 for LU-MZ).
+  int max_ranks() const;
+  const workload::Kernel& kernel() const { return kernel_for(benchmark_); }
+
+  /// The full benchmark body for one rank.  Pass to mpi::World::run.
+  /// `ranks` must equal the world size and be <= max_ranks().
+  void run_rank(mpi::RankCtx& ctx) const;
+
+  /// Convenience: runs the app on `m` with `ranks` tasks and returns the
+  /// completed world (profile, counters, wall time).  `threads_per_rank > 1`
+  /// runs the hybrid MPI/OpenMP mode (each rank's solver sweep is
+  /// thread-parallel — the configuration the paper's §6 targets).
+  std::unique_ptr<mpi::World> run(const machine::Machine& m, int ranks,
+                                  machine::SmtMode smt =
+                                      machine::SmtMode::kSingleThread,
+                                  int threads_per_rank = 1) const;
+
+ private:
+  struct RankPlan {
+    double points = 0.0;  ///< owned grid points
+    struct Wire {
+      int peer;
+      Bytes bytes;
+      int tag;
+    };
+    std::vector<Wire> sends;
+    std::vector<Wire> recvs;
+  };
+  /// Decomposition and per-rank message plans are cached per rank count.
+  const std::vector<RankPlan>& plans_for(int ranks) const;
+
+  Benchmark benchmark_;
+  ProblemClass class_;
+  GridSpec spec_;
+  mutable std::map<int, std::vector<RankPlan>> plan_cache_;
+};
+
+}  // namespace swapp::nas

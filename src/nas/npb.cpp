@@ -1,0 +1,215 @@
+#include "nas/npb.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::nas {
+
+std::string to_string(NpbBenchmark b) {
+  switch (b) {
+    case NpbBenchmark::kCG: return "CG";
+    case NpbBenchmark::kMG: return "MG";
+    case NpbBenchmark::kFT: return "FT";
+  }
+  throw InternalError("unknown NpbBenchmark");
+}
+
+const workload::Kernel& npb_kernel_for(NpbBenchmark b) {
+  static const workload::Kernel cg = [] {
+    workload::Kernel k;
+    k.name = "cg-spmv";
+    // Sparse matrix-vector product: indirect access dominates.
+    k.fp_fraction = 0.30;
+    k.load_fraction = 0.42;
+    k.store_fraction = 0.08;
+    k.branch_fraction = 0.06;
+    k.ilp = 2.2;
+    k.vectorizable = 0.10;
+    k.bytes_per_point = 220;  // row + index + value streams
+    k.locality_theta = 0.65;
+    k.streaming_fraction = 0.35;
+    k.pointer_chasing = 0.20;
+    k.mlp = 3;
+    k.tlb_hostility = 0.06;
+    k.instructions_per_point = 900;
+    k.sweep_passes = 1.0;
+    return k;
+  }();
+  static const workload::Kernel mg = [] {
+    workload::Kernel k;
+    k.name = "mg-stencil";
+    // 27-point stencil smoother: streaming with strong reuse.
+    k.fp_fraction = 0.42;
+    k.load_fraction = 0.32;
+    k.store_fraction = 0.12;
+    k.branch_fraction = 0.03;
+    k.ilp = 3.5;
+    k.vectorizable = 0.55;
+    k.bytes_per_point = 80;
+    k.locality_theta = 0.60;
+    k.streaming_fraction = 0.85;
+    k.mlp = 8;
+    k.tlb_hostility = 0.015;
+    k.instructions_per_point = 300;
+    k.sweep_passes = 2.0;
+    return k;
+  }();
+  static const workload::Kernel ft = [] {
+    workload::Kernel k;
+    k.name = "ft-fft";
+    // 1-D pencil FFTs: FP dense, cache-friendly butterflies.
+    k.fp_fraction = 0.48;
+    k.load_fraction = 0.30;
+    k.store_fraction = 0.14;
+    k.branch_fraction = 0.03;
+    k.ilp = 3.8;
+    k.vectorizable = 0.65;
+    k.bytes_per_point = 16;  // complex double
+    k.locality_theta = 0.35;
+    k.streaming_fraction = 0.60;
+    k.mlp = 6;
+    k.tlb_hostility = 0.02;
+    k.instructions_per_point = 450;  // ~5·log2(n) flops per element per pass
+    k.sweep_passes = 3.0;
+    return k;
+  }();
+  switch (b) {
+    case NpbBenchmark::kCG: return cg;
+    case NpbBenchmark::kMG: return mg;
+    case NpbBenchmark::kFT: return ft;
+  }
+  throw InternalError("unknown NpbBenchmark");
+}
+
+NpbApp::NpbApp(NpbBenchmark b, ProblemClass c) : benchmark_(b), class_(c) {
+  // Reference sizes per the NPB specification; iteration counts are halved
+  // (like the MZ skeletons) to keep simulation turnaround short.
+  const bool d = (c == ProblemClass::kD);
+  switch (b) {
+    case NpbBenchmark::kCG:
+      total_points_ = d ? 1.5e6 : 1.5e5;  // matrix rows
+      iterations_ = 38;                   // 75 CG iterations halved
+      break;
+    case NpbBenchmark::kMG:
+      total_points_ = d ? 1024.0 * 1024 * 1024 : 512.0 * 512 * 512;
+      iterations_ = d ? 25 : 10;  // V-cycles
+      break;
+    case NpbBenchmark::kFT:
+      total_points_ = d ? 2048.0 * 1024 * 1024 : 512.0 * 512 * 512;
+      iterations_ = d ? 13 : 10;
+      break;
+  }
+}
+
+std::string NpbApp::name() const {
+  return to_string(benchmark_) + "." + to_string(class_);
+}
+
+bool NpbApp::supports_ranks(int ranks) const {
+  if (ranks < 2) return false;
+  return (ranks & (ranks - 1)) == 0;  // power of two
+}
+
+void NpbApp::run_rank(mpi::RankCtx& ctx) const {
+  SWAPP_REQUIRE(supports_ranks(ctx.size()),
+                name() + " needs a power-of-two rank count >= 2");
+  ctx.bcast(0, 1024);  // problem setup
+  switch (benchmark_) {
+    case NpbBenchmark::kCG: run_cg(ctx); break;
+    case NpbBenchmark::kMG: run_mg(ctx); break;
+    case NpbBenchmark::kFT: run_ft(ctx); break;
+  }
+  ctx.reduce(0, 40);  // verification norm
+}
+
+void NpbApp::run_cg(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  // 2-D process grid: rows × cols, cols = rows or 2·rows (as in NPB CG).
+  int rows = 1;
+  while (rows * rows * 4 <= n) rows *= 2;
+  const int cols = n / rows;
+  const int my_row = ctx.rank() / cols;
+  const int my_col = ctx.rank() % cols;
+  const workload::Kernel& spmv = npb_kernel_for(NpbBenchmark::kCG);
+  const double my_rows = total_points_ / n;
+  // Vector segment exchanged along the transpose direction each iteration.
+  const Bytes segment =
+      static_cast<Bytes>(total_points_ / std::max(rows, cols) * 8.0);
+
+  for (int it = 0; it < iterations_; ++it) {
+    // SpMV over the local block.
+    ctx.compute(spmv, my_rows);
+    // Transpose exchange with the mirrored rank in the process grid
+    // (fold exchange when the grid is rectangular, as NPB CG does).
+    const int peer = rows == cols ? my_col * cols + my_row
+                                  : (ctx.rank() + n / 2) % n;
+    if (peer != ctx.rank()) {
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(ctx.irecv(peer, segment, it));
+      reqs.push_back(ctx.isend(peer, segment, it));
+      ctx.waitall(reqs);
+    }
+    // Two dot products per iteration (rho, alpha).
+    ctx.allreduce(16);
+    ctx.allreduce(16);
+  }
+}
+
+void NpbApp::run_mg(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  const workload::Kernel& stencil = npb_kernel_for(NpbBenchmark::kMG);
+  // Levels from the full grid down to a coarse 8³-ish grid.
+  const int levels = 7;
+  const int right = (ctx.rank() + 1) % n;
+  const int left = (ctx.rank() + n - 1) % n;
+
+  for (int cycle = 0; cycle < iterations_; ++cycle) {
+    // Down-sweep then up-sweep: coarser levels shrink by 8× per step.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int level = 0; level < levels; ++level) {
+        const int depth = pass == 0 ? level : levels - 1 - level;
+        const double level_points =
+            total_points_ / std::pow(8.0, depth) / n;
+        if (level_points < 1.0) continue;
+        // Face exchange: message size follows the level's face area.
+        const Bytes face = static_cast<Bytes>(
+            std::max(64.0, std::pow(level_points, 2.0 / 3.0) * 8.0));
+        std::vector<mpi::Request> reqs;
+        reqs.push_back(ctx.irecv(left, face, depth));
+        reqs.push_back(ctx.irecv(right, face, levels + depth));
+        reqs.push_back(ctx.isend(right, face, depth));
+        reqs.push_back(ctx.isend(left, face, levels + depth));
+        ctx.waitall(reqs);
+        ctx.compute(stencil, level_points);
+      }
+    }
+    ctx.allreduce(8);  // residual norm
+  }
+}
+
+void NpbApp::run_ft(mpi::RankCtx& ctx) const {
+  const int n = ctx.size();
+  const workload::Kernel& fft = npb_kernel_for(NpbBenchmark::kFT);
+  const double my_points = total_points_ / n;
+  // Global transpose: every pair exchanges its slab slice.
+  const Bytes per_pair =
+      static_cast<Bytes>(std::max(64.0, my_points * 16.0 / n));
+
+  for (int it = 0; it < iterations_; ++it) {
+    ctx.compute(fft, my_points);   // local pencil FFTs
+    ctx.alltoall(per_pair);        // global transpose
+    ctx.compute(fft, my_points);   // FFT along the transposed dimension
+    if ((it + 1) % 5 == 0) ctx.allreduce(16);  // checksum
+  }
+}
+
+std::unique_ptr<mpi::World> NpbApp::run(const machine::Machine& m, int ranks,
+                                        machine::SmtMode smt) const {
+  auto world = std::make_unique<mpi::World>(
+      m, ranks, mpi::World::Options{.smt = smt, .app_name = name()});
+  world->run([this](mpi::RankCtx& ctx) { run_rank(ctx); });
+  return world;
+}
+
+}  // namespace swapp::nas

@@ -1,0 +1,65 @@
+// Classic (single-zone) NAS Parallel Benchmark skeletons: CG, MG, FT.
+//
+// The paper evaluates SWAPP on the Multi-Zone benchmarks, whose
+// communication is almost entirely nonblocking neighbour exchange.  These
+// three classic NPB skeletons extend the workload library with the
+// communication patterns NAS-MZ never exercises:
+//
+//   * CG — conjugate gradient: sparse matrix-vector products
+//     (latency-bound, pointer-chasing compute) with transpose exchanges on a
+//     2-D process grid and two small Allreduce dot products per iteration;
+//   * MG — multigrid V-cycles: stencil compute across 9 grid levels with
+//     face exchanges whose message sizes span four orders of magnitude;
+//   * FT — 3-D FFT: compute-dense pencil transforms punctuated by a global
+//     Alltoall transpose each iteration (the bandwidth-hostile pattern).
+//
+// They serve as beyond-paper validation targets for the projection pipeline
+// (bench_npb_extension) and as additional example applications.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpi/world.h"
+#include "nas/zones.h"  // ProblemClass
+#include "workload/kernel.h"
+
+namespace swapp::nas {
+
+enum class NpbBenchmark { kCG, kMG, kFT };
+
+std::string to_string(NpbBenchmark b);
+
+/// Solver kernel characteristics for each benchmark.
+const workload::Kernel& npb_kernel_for(NpbBenchmark b);
+
+/// A configured classic-NPB instance.
+class NpbApp {
+ public:
+  NpbApp(NpbBenchmark b, ProblemClass c);
+
+  NpbBenchmark benchmark() const noexcept { return benchmark_; }
+  ProblemClass problem_class() const noexcept { return class_; }
+  /// "CG.C" style identifier.
+  std::string name() const;
+  /// Ranks must be a power of two (and a square for CG's 2-D grid when > 2).
+  bool supports_ranks(int ranks) const;
+
+  void run_rank(mpi::RankCtx& ctx) const;
+
+  std::unique_ptr<mpi::World> run(const machine::Machine& m, int ranks,
+                                  machine::SmtMode smt =
+                                      machine::SmtMode::kSingleThread) const;
+
+ private:
+  void run_cg(mpi::RankCtx& ctx) const;
+  void run_mg(mpi::RankCtx& ctx) const;
+  void run_ft(mpi::RankCtx& ctx) const;
+
+  NpbBenchmark benchmark_;
+  ProblemClass class_;
+  double total_points_ = 0.0;  ///< problem elements (rows / grid points)
+  int iterations_ = 0;
+};
+
+}  // namespace swapp::nas

@@ -1,0 +1,180 @@
+#include "nas/zones.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace swapp::nas {
+
+std::string to_string(Benchmark b) {
+  switch (b) {
+    case Benchmark::kBT: return "BT-MZ";
+    case Benchmark::kSP: return "SP-MZ";
+    case Benchmark::kLU: return "LU-MZ";
+  }
+  throw InternalError("unknown Benchmark");
+}
+
+std::string to_string(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kC: return "C";
+    case ProblemClass::kD: return "D";
+  }
+  throw InternalError("unknown ProblemClass");
+}
+
+GridSpec grid_spec(Benchmark b, ProblemClass c) {
+  // Aggregate sizes follow NAS-03-010; timestep counts are halved relative
+  // to the reference inputs to keep simulation turnaround short — this
+  // rescales every runtime identically, so projections and errors are
+  // unaffected.
+  GridSpec g;
+  if (c == ProblemClass::kC) {
+    g.gx = 480;
+    g.gy = 320;
+    g.gz = 28;
+  } else {
+    g.gx = 1632;
+    g.gy = 1216;
+    g.gz = 34;
+  }
+  switch (b) {
+    case Benchmark::kBT:
+      g.x_zones = (c == ProblemClass::kC) ? 16 : 32;
+      g.y_zones = g.x_zones;
+      g.timesteps = (c == ProblemClass::kC) ? 100 : 125;
+      break;
+    case Benchmark::kSP:
+      g.x_zones = (c == ProblemClass::kC) ? 16 : 32;
+      g.y_zones = g.x_zones;
+      g.timesteps = (c == ProblemClass::kC) ? 150 : 150;
+      break;
+    case Benchmark::kLU:
+      g.x_zones = 4;
+      g.y_zones = 4;
+      g.timesteps = (c == ProblemClass::kC) ? 125 : 150;
+      break;
+  }
+  return g;
+}
+
+namespace {
+
+/// Per-dimension zone widths.  BT-MZ widths follow a geometric progression
+/// with a √20 span per dimension (so zone areas span ≈ 20×); SP-MZ and LU-MZ
+/// are uniform.
+std::vector<double> zone_widths(int zones, double total, bool geometric) {
+  std::vector<double> w(static_cast<std::size_t>(zones));
+  if (!geometric || zones == 1) {
+    std::fill(w.begin(), w.end(), total / zones);
+    return w;
+  }
+  const double span = std::sqrt(20.0);
+  const double ratio = std::pow(span, 1.0 / (zones - 1));
+  double sum = 0.0;
+  for (int i = 0; i < zones; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(ratio, i);
+    sum += w[static_cast<std::size_t>(i)];
+  }
+  for (double& x : w) x *= total / sum;
+  return w;
+}
+
+}  // namespace
+
+Decomposition::Decomposition(Benchmark b, ProblemClass c, int ranks)
+    : spec_(grid_spec(b, c)), ranks_(ranks) {
+  SWAPP_REQUIRE(ranks >= 1, "need at least one rank");
+  SWAPP_REQUIRE(ranks <= spec_.zone_count(),
+                to_string(b) + " supports at most " +
+                    std::to_string(spec_.zone_count()) + " ranks");
+
+  const bool geometric = (b == Benchmark::kBT);
+  const std::vector<double> wx =
+      zone_widths(spec_.x_zones, spec_.gx, geometric);
+  const std::vector<double> wy =
+      zone_widths(spec_.y_zones, spec_.gy, geometric);
+
+  zones_.reserve(static_cast<std::size_t>(spec_.zone_count()));
+  for (int iy = 0; iy < spec_.y_zones; ++iy) {
+    for (int ix = 0; ix < spec_.x_zones; ++ix) {
+      Zone z;
+      z.id = iy * spec_.x_zones + ix;
+      z.ix = ix;
+      z.iy = iy;
+      z.nx = wx[static_cast<std::size_t>(ix)];
+      z.ny = wy[static_cast<std::size_t>(iy)];
+      z.nz = spec_.gz;
+      zones_.push_back(z);
+    }
+  }
+
+  // Greedy longest-processing-time assignment (the benchmark's own
+  // load-balancing strategy): biggest zones first, each to the currently
+  // least-loaded rank.
+  owners_.assign(zones_.size(), 0);
+  rank_points_.assign(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<int> order(zones_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int bz) {
+    const double pa = zones_[static_cast<std::size_t>(a)].points();
+    const double pb = zones_[static_cast<std::size_t>(bz)].points();
+    if (pa != pb) return pa > pb;
+    return a < bz;  // deterministic tie-break
+  });
+  for (const int zid : order) {
+    const auto lightest =
+        std::min_element(rank_points_.begin(), rank_points_.end());
+    const int rank = static_cast<int>(lightest - rank_points_.begin());
+    owners_[static_cast<std::size_t>(zid)] = rank;
+    *lightest += zones_[static_cast<std::size_t>(zid)].points();
+  }
+
+  // Cross-rank boundary messages: each zone sends one ghost-layer face (five
+  // flow variables, double precision) to each of its up to four neighbours.
+  constexpr double kVars = 5.0;
+  constexpr double kBytesPerValue = 8.0;
+  const auto zone_at = [&](int ix, int iy) -> const Zone& {
+    return zones_[static_cast<std::size_t>(iy * spec_.x_zones + ix)];
+  };
+  for (const Zone& z : zones_) {
+    const auto emit = [&](const Zone& to, double face_points) {
+      const int from_rank = owners_[static_cast<std::size_t>(z.id)];
+      const int to_rank = owners_[static_cast<std::size_t>(to.id)];
+      if (from_rank == to_rank) return;  // local copy, no MPI
+      BoundaryMessage msg;
+      msg.from_zone = z.id;
+      msg.to_zone = to.id;
+      msg.from_rank = from_rank;
+      msg.to_rank = to_rank;
+      msg.bytes = static_cast<Bytes>(face_points * kVars * kBytesPerValue);
+      msg.tag = z.id * spec_.zone_count() + to.id;
+      messages_.push_back(msg);
+    };
+    if (z.ix + 1 < spec_.x_zones) {
+      emit(zone_at(z.ix + 1, z.iy), z.ny * z.nz);
+    }
+    if (z.ix > 0) {
+      emit(zone_at(z.ix - 1, z.iy), z.ny * z.nz);
+    }
+    if (z.iy + 1 < spec_.y_zones) {
+      emit(zone_at(z.ix, z.iy + 1), z.nx * z.nz);
+    }
+    if (z.iy > 0) {
+      emit(zone_at(z.ix, z.iy - 1), z.nx * z.nz);
+    }
+  }
+}
+
+double Decomposition::imbalance() const {
+  const double total =
+      std::accumulate(rank_points_.begin(), rank_points_.end(), 0.0);
+  const double mean = total / static_cast<double>(ranks_);
+  const double max = *std::max_element(rank_points_.begin(),
+                                       rank_points_.end());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+}  // namespace swapp::nas

@@ -1,0 +1,103 @@
+// NAS Multi-Zone problem geometry and zone-to-rank load balancing.
+//
+// The Multi-Zone benchmarks partition an aggregate 3-D grid into a 2-D array
+// of zones (NAS technical report NAS-03-010):
+//   * BT-MZ — zone widths grow geometrically (largest/smallest zone area
+//     ≈ 20×), deliberately stressing load balance; classes C/D use 16×16 /
+//     32×32 zones;
+//   * SP-MZ — uniform zones, same zone counts as BT-MZ;
+//   * LU-MZ — fixed 4×4 = 16 uniform zones (so at most 16 MPI tasks, which
+//     is why the paper's Table 1 and Fig. 6 report LU at a single task
+//     count).
+// Zones are assigned to ranks by a greedy longest-processing-time bin pack,
+// mirroring the benchmark's own load-balancing step.  The residual imbalance
+// of BT-MZ at high rank counts is the source of the WaitTime the paper's
+// communication model must capture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/units.h"
+
+namespace swapp::nas {
+
+enum class Benchmark { kBT, kSP, kLU };
+enum class ProblemClass { kC, kD };
+
+std::string to_string(Benchmark b);
+std::string to_string(ProblemClass c);
+
+/// Aggregate grid and zone-array shape for one benchmark/class.
+struct GridSpec {
+  int gx = 0;       ///< aggregate grid points, x
+  int gy = 0;       ///< aggregate grid points, y
+  int gz = 0;       ///< aggregate grid points, z
+  int x_zones = 0;  ///< zones along x
+  int y_zones = 0;  ///< zones along y
+  int timesteps = 0;
+
+  int zone_count() const { return x_zones * y_zones; }
+  double total_points() const {
+    return static_cast<double>(gx) * gy * gz;
+  }
+};
+
+GridSpec grid_spec(Benchmark b, ProblemClass c);
+
+/// One zone of the aggregate grid.
+struct Zone {
+  int id = 0;
+  int ix = 0;  ///< zone column
+  int iy = 0;  ///< zone row
+  double nx = 0.0;  ///< grid points along x in this zone
+  double ny = 0.0;  ///< grid points along y
+  int nz = 0;
+
+  double points() const { return nx * ny * static_cast<double>(nz); }
+};
+
+/// A complete decomposition: zones, their owners, and the cross-rank
+/// boundary-exchange message list.
+class Decomposition {
+ public:
+  /// Builds the zone array for (b, c) and assigns zones to `ranks` ranks.
+  /// Requires 1 <= ranks <= zone count.
+  Decomposition(Benchmark b, ProblemClass c, int ranks);
+
+  const GridSpec& spec() const noexcept { return spec_; }
+  int ranks() const noexcept { return ranks_; }
+  const std::vector<Zone>& zones() const noexcept { return zones_; }
+  int owner(int zone_id) const { return owners_.at(static_cast<std::size_t>(zone_id)); }
+
+  /// Total grid points owned by a rank.
+  double rank_points(int rank) const {
+    return rank_points_.at(static_cast<std::size_t>(rank));
+  }
+  /// max(rank_points) / mean(rank_points) — the structural load imbalance.
+  double imbalance() const;
+
+  /// One boundary-exchange message (per timestep, per direction).
+  struct BoundaryMessage {
+    int from_zone = 0;
+    int to_zone = 0;
+    int from_rank = 0;
+    int to_rank = 0;
+    Bytes bytes = 0;
+    int tag = 0;
+  };
+  /// Cross-rank messages only (intra-rank copies are local).
+  const std::vector<BoundaryMessage>& messages() const noexcept {
+    return messages_;
+  }
+
+ private:
+  GridSpec spec_;
+  int ranks_ = 0;
+  std::vector<Zone> zones_;
+  std::vector<int> owners_;
+  std::vector<double> rank_points_;
+  std::vector<BoundaryMessage> messages_;
+};
+
+}  // namespace swapp::nas

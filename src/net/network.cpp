@@ -1,0 +1,151 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::net {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFatTree:
+      return "fat-tree (InfiniBand)";
+    case TopologyKind::kTorus3D:
+      return "3-D torus";
+    case TopologyKind::kFederation:
+      return "Federation HPS";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::array<int, 3> derive_torus_dims(int nodes) {
+  // Near-cubic factorisation: greedily peel the largest factor <= cbrt.
+  std::array<int, 3> dims = {1, 1, 1};
+  int remaining = nodes;
+  for (int axis = 0; axis < 2; ++axis) {
+    const int target = static_cast<int>(std::round(
+        std::pow(static_cast<double>(remaining), 1.0 / (3.0 - axis))));
+    int best = 1;
+    for (int d = 1; d <= remaining; ++d) {
+      if (remaining % d == 0 && std::abs(d - target) < std::abs(best - target)) {
+        best = d;
+      }
+    }
+    dims[axis] = best;
+    remaining /= best;
+  }
+  dims[2] = remaining;
+  return dims;
+}
+
+}  // namespace
+
+Network::Network(NetworkConfig config, int nodes)
+    : config_(config), nodes_(nodes) {
+  SWAPP_REQUIRE(nodes_ >= 1, "network needs at least one node");
+  SWAPP_REQUIRE(config_.link_bandwidth_gbs > 0.0,
+                "link bandwidth must be positive");
+  SWAPP_REQUIRE(config_.fat_tree_radix >= 2, "fat-tree radix must be >= 2");
+  if (config_.kind == TopologyKind::kTorus3D) {
+    if (config_.torus_dims == std::array<int, 3>{0, 0, 0}) {
+      dims_ = derive_torus_dims(nodes_);
+    } else {
+      dims_ = config_.torus_dims;
+      SWAPP_REQUIRE(dims_[0] * dims_[1] * dims_[2] >= nodes_,
+                    "torus dimensions too small for node count");
+    }
+  }
+}
+
+std::array<int, 3> Network::torus_coords(int node) const {
+  std::array<int, 3> c{};
+  c[0] = node % dims_[0];
+  c[1] = (node / dims_[0]) % dims_[1];
+  c[2] = node / (dims_[0] * dims_[1]);
+  return c;
+}
+
+int Network::hops(int node_a, int node_b) const {
+  SWAPP_REQUIRE(node_a >= 0 && node_a < nodes_, "node_a out of range");
+  SWAPP_REQUIRE(node_b >= 0 && node_b < nodes_, "node_b out of range");
+  if (node_a == node_b) return 0;
+  switch (config_.kind) {
+    case TopologyKind::kFatTree:
+    case TopologyKind::kFederation: {
+      // Same leaf switch: up + down.  Different leaves: through the spine.
+      const int leaf_a = node_a / config_.fat_tree_radix;
+      const int leaf_b = node_b / config_.fat_tree_radix;
+      return leaf_a == leaf_b ? 2 : 4;
+    }
+    case TopologyKind::kTorus3D: {
+      const auto ca = torus_coords(node_a);
+      const auto cb = torus_coords(node_b);
+      int total = 0;
+      for (int axis = 0; axis < 3; ++axis) {
+        const int d = std::abs(ca[axis] - cb[axis]);
+        total += std::min(d, dims_[axis] - d);  // wraparound links
+      }
+      return total;
+    }
+  }
+  return 1;
+}
+
+Seconds Network::transfer_time(int node_a, int node_b, Bytes bytes) const {
+  return latency(node_a, node_b) +
+         static_cast<double>(bytes) / (bandwidth_gbs(node_a, node_b) * 1e9);
+}
+
+Seconds Network::latency(int node_a, int node_b) const {
+  if (node_a == node_b) return config_.intra_node_latency;
+  return config_.base_latency + hops(node_a, node_b) * config_.per_hop_latency;
+}
+
+double Network::bandwidth_gbs(int node_a, int node_b) const {
+  return node_a == node_b ? config_.intra_node_bandwidth_gbs
+                          : config_.link_bandwidth_gbs;
+}
+
+Seconds Network::congested_transfer_time(int node_a, int node_b,
+                                         Bytes bytes) const {
+  if (node_a == node_b) {
+    return transfer_time(node_a, node_b, bytes);
+  }
+  const int h = hops(node_a, node_b);
+  const Seconds latency = config_.base_latency + h * config_.per_hop_latency;
+  const double effective_bw =
+      config_.link_bandwidth_gbs / std::max(1.0, config_.contention_factor);
+  return latency + static_cast<double>(bytes) / (effective_bw * 1e9);
+}
+
+int Network::collective_tree_depth(int participating_nodes) const {
+  SWAPP_REQUIRE(config_.has_collective_tree,
+                "this network has no collective tree");
+  SWAPP_REQUIRE(participating_nodes >= 1, "need at least one participant");
+  // The BG/P tree is a binary tree over the partition.
+  return static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(participating_nodes) + 1.0)));
+}
+
+Seconds Network::collective_tree_time(int participating_nodes,
+                                      Bytes bytes) const {
+  const int depth = collective_tree_depth(participating_nodes);
+  return depth * config_.tree_per_hop_latency +
+         static_cast<double>(bytes) / (config_.tree_bandwidth_gbs * 1e9);
+}
+
+int Network::diameter() const {
+  switch (config_.kind) {
+    case TopologyKind::kFatTree:
+    case TopologyKind::kFederation:
+      return nodes_ <= config_.fat_tree_radix ? 2 : 4;
+    case TopologyKind::kTorus3D:
+      return dims_[0] / 2 + dims_[1] / 2 + dims_[2] / 2;
+  }
+  return 0;
+}
+
+}  // namespace swapp::net

@@ -1,0 +1,98 @@
+// Interconnect models.
+//
+// The communication projection consumes interconnect behaviour exclusively
+// through per-message transfer times (paper Eq. 1: library overhead plus time
+// in flight), measured by the IMB-style benchmarks on base and target.  The
+// models here supply the "time in flight" part: a LogGP-style cost — one-way
+// latency plus serialisation at the link bandwidth — extended with topology
+// distance (fat-tree levels, 3-D torus hops, Federation's two-level switch)
+// and a contention factor for dense traffic patterns.  BlueGene/P
+// additionally exposes its dedicated collective-tree network, which the MPI
+// layer uses for Bcast/Reduce/Allreduce exactly as the real machine does.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "support/units.h"
+
+namespace swapp::net {
+
+enum class TopologyKind {
+  kFatTree,     ///< InfiniBand-style folded Clos
+  kTorus3D,     ///< BlueGene/P main network
+  kFederation,  ///< IBM HPS two-level switch (POWER5+ base system)
+};
+
+std::string to_string(TopologyKind kind);
+
+struct NetworkConfig {
+  TopologyKind kind = TopologyKind::kFatTree;
+
+  double link_bandwidth_gbs = 1.0;  ///< one-direction link bandwidth
+  Seconds base_latency = 2_us;      ///< fixed wire + adapter latency
+  Seconds per_hop_latency = 100_ns; ///< added per switch/router traversal
+
+  int fat_tree_radix = 16;  ///< nodes per leaf switch (fat tree / Federation)
+
+  /// Torus dimensions; {0,0,0} = derive a near-cubic shape from node count.
+  std::array<int, 3> torus_dims = {0, 0, 0};
+
+  bool has_collective_tree = false;  ///< BG/P dedicated tree network
+  Seconds tree_per_hop_latency = 60_ns;
+  double tree_bandwidth_gbs = 0.7;
+
+  double intra_node_bandwidth_gbs = 4.0;  ///< shared-memory transport
+  Seconds intra_node_latency = 400_ns;
+
+  /// Bandwidth divisor applied when many messages share links (dense
+  /// patterns such as alltoall); 1 = no contention modelled.
+  double contention_factor = 1.5;
+};
+
+/// A concrete interconnect instance for a given node count.
+class Network {
+ public:
+  Network(NetworkConfig config, int nodes);
+
+  const NetworkConfig& config() const noexcept { return config_; }
+  int nodes() const noexcept { return nodes_; }
+
+  /// Switch/router traversals between two nodes (0 for the same node).
+  int hops(int node_a, int node_b) const;
+
+  /// Wire time for one message: latency (incl. per-hop) + serialisation.
+  /// Does not include MPI library overheads — those belong to the machine's
+  /// MPI configuration (Eq. 1 separates the two).
+  Seconds transfer_time(int node_a, int node_b, Bytes bytes) const;
+
+  /// Wire time under a congested pattern (bandwidth divided by the
+  /// contention factor).  Used by dense collectives.
+  Seconds congested_transfer_time(int node_a, int node_b, Bytes bytes) const;
+
+  /// Depth of the BG/P collective tree spanning `participating_nodes`.
+  /// Only valid when config().has_collective_tree.
+  int collective_tree_depth(int participating_nodes) const;
+
+  /// One traversal of the collective tree with `bytes` payload.
+  Seconds collective_tree_time(int participating_nodes, Bytes bytes) const;
+
+  /// Wire latency component only (no serialisation): intra-node latency for
+  /// the same node, base + per-hop latency otherwise.
+  Seconds latency(int node_a, int node_b) const;
+
+  /// Bandwidth of the path in GB/s (intra-node or link bandwidth).
+  double bandwidth_gbs(int node_a, int node_b) const;
+
+  /// Diameter in hops (worst-case node pair) — used by tests and reports.
+  int diameter() const;
+
+ private:
+  std::array<int, 3> torus_coords(int node) const;
+
+  NetworkConfig config_;
+  int nodes_;
+  std::array<int, 3> dims_ = {1, 1, 1};
+};
+
+}  // namespace swapp::net

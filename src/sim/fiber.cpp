@@ -1,0 +1,80 @@
+#include "sim/fiber.h"
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace swapp::sim {
+namespace {
+
+// The single running fiber on this thread (the simulation is single-threaded;
+// thread_local keeps tests that run simulations on worker threads safe).
+thread_local Fiber* g_current_fiber = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  SWAPP_REQUIRE(body_ != nullptr, "fiber body must be callable");
+  SWAPP_REQUIRE(stack_bytes >= 16 * 1024, "fiber stack too small");
+  SWAPP_ASSERT(getcontext(&context_) == 0, "getcontext failed");
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = &return_context_;
+  // makecontext only passes ints; split the pointer into two 32-bit halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                    static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    failure_ = std::current_exception();
+  }
+  finished_ = true;
+  // Returning lets ucontext switch to uc_link (= return_context_).
+}
+
+void Fiber::resume() {
+  SWAPP_ASSERT(g_current_fiber == nullptr,
+               "resume() called from inside a fiber");
+  SWAPP_ASSERT(!finished_, "resume() on a finished fiber");
+  started_ = true;
+  g_current_fiber = this;
+  SWAPP_ASSERT(swapcontext(&return_context_, &context_) == 0,
+               "swapcontext into fiber failed");
+  g_current_fiber = nullptr;
+  rethrow_if_failed();
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  SWAPP_ASSERT(self != nullptr, "yield() called outside a fiber");
+  g_current_fiber = nullptr;
+  SWAPP_ASSERT(swapcontext(&self->context_, &self->return_context_) == 0,
+               "swapcontext out of fiber failed");
+  g_current_fiber = self;
+}
+
+bool Fiber::in_fiber() noexcept { return g_current_fiber != nullptr; }
+
+void Fiber::rethrow_if_failed() {
+  if (failure_) {
+    auto failure = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(failure);
+  }
+}
+
+}  // namespace swapp::sim

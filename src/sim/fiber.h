@@ -1,0 +1,66 @@
+// Stackful cooperative fibers built on POSIX ucontext.
+//
+// Simulated MPI ranks are written as ordinary blocking C++ code (the same way
+// the real NAS-MZ and IMB sources are written); each rank runs on a fiber and
+// the discrete-event engine switches between them.  This is the execution
+// model used by mature network simulators (e.g. SimGrid): one OS thread, many
+// user-level contexts, fully deterministic scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace swapp::sim {
+
+/// A single user-level execution context.
+///
+/// The fiber's body runs when `resume()` is called and control returns to the
+/// caller when the body calls `yield()` or returns.  Fibers are not
+/// thread-safe: the whole simulation is single-threaded by design.
+class Fiber {
+ public:
+  /// Default stack: generous enough for the deepest simulated call chains
+  /// (collective algorithms recursing over log2(ranks) levels).
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  explicit Fiber(std::function<void()> body,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfers control into the fiber until it yields or finishes.
+  /// Must be called from outside any fiber (the scheduler context).
+  void resume();
+
+  /// Transfers control from the currently-running fiber back to the
+  /// scheduler.  Must be called from inside a fiber body.
+  static void yield();
+
+  /// True once the body has returned.  Resuming a finished fiber throws.
+  bool finished() const noexcept { return finished_; }
+
+  /// True while any fiber body is executing on this thread.
+  static bool in_fiber() noexcept;
+
+  /// If the fiber body exited with an exception, rethrows it in the caller
+  /// of resume(); otherwise a no-op.
+  void rethrow_if_failed();
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  std::exception_ptr failure_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace swapp::sim

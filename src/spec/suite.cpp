@@ -1,0 +1,228 @@
+#include "spec/suite.h"
+
+#include "support/error.h"
+#include "workload/compute_model.h"
+
+namespace swapp::spec {
+namespace {
+
+workload::Kernel base_kernel(std::string name) {
+  workload::Kernel k;
+  k.name = std::move(name);
+  return k;
+}
+
+std::vector<Benchmark> build_suite() {
+  std::vector<Benchmark> out;
+
+  {  // bwaves — blast-wave CFD: streaming, bandwidth-hungry, large arrays.
+    workload::Kernel k = base_kernel("bwaves");
+    k.fp_fraction = 0.44; k.load_fraction = 0.33; k.store_fraction = 0.14;
+    k.branch_fraction = 0.03; k.ilp = 3.8; k.vectorizable = 0.7;
+    k.bytes_per_point = 240; k.locality_theta = 0.85;
+    k.streaming_fraction = 0.92; k.mlp = 8; k.tlb_hostility = 0.015;
+    k.instructions_per_point = 900;
+    out.push_back({k, 3.0e6, 8});
+  }
+  {  // gamess — quantum chemistry: cache-resident, FP/ILP dense.
+    workload::Kernel k = base_kernel("gamess");
+    k.fp_fraction = 0.48; k.load_fraction = 0.26; k.store_fraction = 0.08;
+    k.branch_fraction = 0.06; k.ilp = 4.5; k.vectorizable = 0.2;
+    k.bytes_per_point = 48; k.locality_theta = 0.18;
+    k.streaming_fraction = 0.4; k.mlp = 4; k.tlb_hostility = 0.004;
+    k.instructions_per_point = 2400;
+    out.push_back({k, 2.5e5, 30});
+  }
+  {  // milc — lattice QCD: irregular strided access, moderate bandwidth.
+    workload::Kernel k = base_kernel("milc");
+    k.fp_fraction = 0.40; k.load_fraction = 0.34; k.store_fraction = 0.12;
+    k.branch_fraction = 0.04; k.ilp = 3.0; k.vectorizable = 0.35;
+    k.bytes_per_point = 180; k.locality_theta = 0.70;
+    k.streaming_fraction = 0.55; k.mlp = 6; k.tlb_hostility = 0.06;
+    k.remote_access_fraction = 0.25;
+    k.instructions_per_point = 1100;
+    out.push_back({k, 2.0e6, 10});
+  }
+  {  // zeusmp — astrophysics stencil: streaming with moderate reuse.
+    workload::Kernel k = base_kernel("zeusmp");
+    k.fp_fraction = 0.41; k.load_fraction = 0.32; k.store_fraction = 0.13;
+    k.branch_fraction = 0.04; k.ilp = 3.4; k.vectorizable = 0.5;
+    k.bytes_per_point = 150; k.locality_theta = 0.55;
+    k.streaming_fraction = 0.80; k.mlp = 8; k.tlb_hostility = 0.02;
+    k.instructions_per_point = 3000;
+    out.push_back({k, 6.0e5, 16});
+  }
+  {  // gromacs — molecular dynamics: compute-dense, good locality.
+    workload::Kernel k = base_kernel("gromacs");
+    k.fp_fraction = 0.46; k.load_fraction = 0.27; k.store_fraction = 0.09;
+    k.branch_fraction = 0.07; k.ilp = 3.9; k.vectorizable = 0.6;
+    k.bytes_per_point = 64; k.locality_theta = 0.28;
+    k.streaming_fraction = 0.5; k.mlp = 5; k.tlb_hostility = 0.008;
+    k.branch_predictability = 0.93;
+    k.instructions_per_point = 1900;
+    out.push_back({k, 5.0e5, 25});
+  }
+  {  // cactusADM — numerical relativity: big stencil, vectorisable.
+    workload::Kernel k = base_kernel("cactusADM");
+    k.fp_fraction = 0.50; k.load_fraction = 0.30; k.store_fraction = 0.11;
+    k.branch_fraction = 0.02; k.ilp = 4.2; k.vectorizable = 0.8;
+    k.bytes_per_point = 330; k.locality_theta = 0.75;
+    k.streaming_fraction = 0.88; k.mlp = 8; k.tlb_hostility = 0.012;
+    k.instructions_per_point = 1500;
+    out.push_back({k, 1.5e6, 9});
+  }
+  {  // leslie3d — combustion CFD: streaming stencil, memory heavy.
+    workload::Kernel k = base_kernel("leslie3d");
+    k.fp_fraction = 0.43; k.load_fraction = 0.33; k.store_fraction = 0.13;
+    k.branch_fraction = 0.03; k.ilp = 3.5; k.vectorizable = 0.55;
+    k.bytes_per_point = 210; k.locality_theta = 0.65;
+    k.streaming_fraction = 0.85; k.mlp = 8; k.tlb_hostility = 0.02;
+    k.instructions_per_point = 1200;
+    out.push_back({k, 2.2e6, 10});
+  }
+  {  // namd — molecular dynamics: compute-bound with branchy inner loops.
+    workload::Kernel k = base_kernel("namd");
+    k.fp_fraction = 0.45; k.load_fraction = 0.28; k.store_fraction = 0.08;
+    k.branch_fraction = 0.10; k.ilp = 3.6; k.vectorizable = 0.3;
+    k.bytes_per_point = 72; k.locality_theta = 0.30;
+    k.streaming_fraction = 0.45; k.mlp = 4; k.tlb_hostility = 0.01;
+    k.branch_predictability = 0.88;
+    k.instructions_per_point = 2100;
+    out.push_back({k, 4.0e5, 24});
+  }
+  {  // dealII — finite elements: pointer-rich, branchy, irregular.
+    workload::Kernel k = base_kernel("dealII");
+    k.fp_fraction = 0.30; k.load_fraction = 0.36; k.store_fraction = 0.12;
+    k.branch_fraction = 0.12; k.ilp = 2.4; k.vectorizable = 0.1;
+    k.bytes_per_point = 130; k.locality_theta = 0.45;
+    k.streaming_fraction = 0.30; k.pointer_chasing = 0.15; k.mlp = 3;
+    k.tlb_hostility = 0.05; k.branch_predictability = 0.85;
+    k.instructions_per_point = 1400;
+    out.push_back({k, 1.0e6, 10});
+  }
+  {  // soplex — LP solver: sparse, latency-bound pointer chasing.
+    workload::Kernel k = base_kernel("soplex");
+    k.fp_fraction = 0.22; k.load_fraction = 0.40; k.store_fraction = 0.10;
+    k.branch_fraction = 0.14; k.ilp = 2.0; k.vectorizable = 0.05;
+    k.bytes_per_point = 110; k.locality_theta = 0.60;
+    k.streaming_fraction = 0.20; k.pointer_chasing = 0.30; k.mlp = 2;
+    k.tlb_hostility = 0.10; k.branch_predictability = 0.80;
+    k.instructions_per_point = 900;
+    out.push_back({k, 1.4e6, 10});
+  }
+  {  // povray — ray tracing: tiny footprint, branch-dominated.
+    workload::Kernel k = base_kernel("povray");
+    k.fp_fraction = 0.34; k.load_fraction = 0.28; k.store_fraction = 0.07;
+    k.branch_fraction = 0.18; k.ilp = 2.6; k.vectorizable = 0.05;
+    k.bytes_per_point = 24; k.locality_theta = 0.15;
+    k.streaming_fraction = 0.25; k.mlp = 3; k.tlb_hostility = 0.005;
+    k.branch_predictability = 0.78;
+    k.instructions_per_point = 3000;
+    out.push_back({k, 1.2e5, 40});
+  }
+  {  // calculix — structural mechanics: mixed solver/stencil behaviour.
+    workload::Kernel k = base_kernel("calculix");
+    k.fp_fraction = 0.38; k.load_fraction = 0.31; k.store_fraction = 0.11;
+    k.branch_fraction = 0.08; k.ilp = 3.0; k.vectorizable = 0.3;
+    k.bytes_per_point = 140; k.locality_theta = 0.50;
+    k.streaming_fraction = 0.65; k.mlp = 5; k.tlb_hostility = 0.02;
+    k.instructions_per_point = 5000;
+    out.push_back({k, 1.2e5, 25});
+  }
+  {  // GemsFDTD — electromagnetics: streaming with TLB pressure.
+    workload::Kernel k = base_kernel("GemsFDTD");
+    k.fp_fraction = 0.40; k.load_fraction = 0.34; k.store_fraction = 0.14;
+    k.branch_fraction = 0.03; k.ilp = 3.3; k.vectorizable = 0.5;
+    k.bytes_per_point = 280; k.locality_theta = 0.80;
+    k.streaming_fraction = 0.82; k.mlp = 8; k.tlb_hostility = 0.08;
+    k.instructions_per_point = 1000;
+    out.push_back({k, 2.4e6, 8});
+  }
+  {  // tonto — quantum crystallography: cache-friendly FP.
+    workload::Kernel k = base_kernel("tonto");
+    k.fp_fraction = 0.44; k.load_fraction = 0.27; k.store_fraction = 0.09;
+    k.branch_fraction = 0.07; k.ilp = 3.7; k.vectorizable = 0.25;
+    k.bytes_per_point = 56; k.locality_theta = 0.22;
+    k.streaming_fraction = 0.45; k.mlp = 4; k.tlb_hostility = 0.006;
+    k.instructions_per_point = 2000;
+    out.push_back({k, 3.5e5, 28});
+  }
+  {  // lbm — lattice Boltzmann: the bandwidth extreme of the suite.
+    workload::Kernel k = base_kernel("lbm");
+    k.fp_fraction = 0.36; k.load_fraction = 0.35; k.store_fraction = 0.17;
+    k.branch_fraction = 0.01; k.ilp = 4.0; k.vectorizable = 0.75;
+    k.bytes_per_point = 400; k.locality_theta = 0.95;
+    k.streaming_fraction = 0.97; k.mlp = 10; k.tlb_hostility = 0.01;
+    k.instructions_per_point = 700;
+    out.push_back({k, 4.0e6, 8});
+  }
+  {  // wrf — weather: broad mix of stencils and physics kernels.
+    workload::Kernel k = base_kernel("wrf");
+    k.fp_fraction = 0.39; k.load_fraction = 0.31; k.store_fraction = 0.11;
+    k.branch_fraction = 0.08; k.ilp = 3.2; k.vectorizable = 0.4;
+    k.bytes_per_point = 160; k.locality_theta = 0.55;
+    k.streaming_fraction = 0.70; k.mlp = 6; k.tlb_hostility = 0.02;
+    k.instructions_per_point = 4500;
+    out.push_back({k, 2.0e5, 25});
+  }
+  {  // sphinx3 — speech recognition: integer/branch heavy, modest FP.
+    workload::Kernel k = base_kernel("sphinx3");
+    k.fp_fraction = 0.24; k.load_fraction = 0.36; k.store_fraction = 0.08;
+    k.branch_fraction = 0.16; k.ilp = 2.2; k.vectorizable = 0.1;
+    k.bytes_per_point = 90; k.locality_theta = 0.38;
+    k.streaming_fraction = 0.35; k.pointer_chasing = 0.18; k.mlp = 3;
+    k.tlb_hostility = 0.04; k.branch_predictability = 0.82;
+    k.instructions_per_point = 1200;
+    out.push_back({k, 8.0e5, 14});
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& suite() {
+  static const std::vector<Benchmark> kSuite = build_suite();
+  return kSuite;
+}
+
+const Benchmark& benchmark_by_name(const std::string& name) {
+  for (const Benchmark& b : suite()) {
+    if (b.name() == name) return b;
+  }
+  throw NotFound("unknown SPEC-like benchmark: " + name);
+}
+
+BenchmarkRun run_benchmark(const Benchmark& b, const machine::Machine& m,
+                           machine::SmtMode mode, int copies) {
+  if (copies <= 0) copies = m.cores_per_node;
+  SWAPP_REQUIRE(copies <= m.cores_per_node,
+                "more benchmark copies than cores per node");
+  const workload::ComputeContext ctx{.active_cores_per_node = copies,
+                                     .smt = mode};
+  workload::ComputeSample total{};
+  total.counters = machine::PmuCounters{};
+  const workload::ComputeSample sweep =
+      workload::evaluate(b.kernel, b.points, m, ctx);
+  // Sweeps are identical passes over the same data; scale instead of looping.
+  BenchmarkRun run;
+  run.name = b.name();
+  run.runtime = sweep.seconds * b.sweeps;
+  run.counters = sweep.counters;
+  run.counters.instructions *= b.sweeps;
+  run.counters.cycles *= b.sweeps;
+  run.counters.seconds *= b.sweeps;
+  return run;
+}
+
+std::vector<BenchmarkRun> run_suite(const machine::Machine& m,
+                                    machine::SmtMode mode, int copies) {
+  std::vector<BenchmarkRun> out;
+  out.reserve(suite().size());
+  for (const Benchmark& b : suite()) {
+    out.push_back(run_benchmark(b, m, mode, copies));
+  }
+  return out;
+}
+
+}  // namespace swapp::spec

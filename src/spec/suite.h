@@ -1,0 +1,65 @@
+// Synthetic SPEC CPU2006-style compute benchmark suite.
+//
+// The paper's compute projection (§2.1, §2.3) uses SPEC CPU2006 as the pool
+// of surrogate candidates: serial, compute-intensive benchmarks whose
+// hardware-counter signatures span the space of application behaviours, with
+// published runtimes on both the base and every target machine.  SPEC is
+// licensed and cannot be redistributed, so this module defines sixteen
+// synthetic kernels — named after the CFP2006 components they are modelled
+// on — with deliberately diverse microarchitectural characteristics:
+// bandwidth-streaming (lbm, bwaves), cache-resident FP (gamess, tonto),
+// latency/pointer-bound (soplex, dealII), branchy (povray, sphinx3),
+// stencil codes (zeusmp, leslie3d, cactusADM, GemsFDTD), and mixed
+// workloads (wrf, calculix, gromacs, namd, milc).
+//
+// What matters to SWAPP is not that these match the real SPEC codes but that
+// the surrogate search faces the same problem: finding a weighted subset of
+// benchmark signatures that reconstructs an application's signature.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/counters.h"
+#include "machine/machine.h"
+#include "workload/kernel.h"
+
+namespace swapp::spec {
+
+/// One benchmark: a kernel with a fixed reference problem size and a fixed
+/// number of interior iterations (so total work is machine-independent).
+struct Benchmark {
+  workload::Kernel kernel;
+  double points = 1e6;    ///< problem size (working set = points · B/pt)
+  double sweeps = 10.0;   ///< times the kernel passes over the data
+
+  const std::string& name() const { return kernel.name; }
+};
+
+/// The seventeen-benchmark suite, in a fixed, documented order.
+const std::vector<Benchmark>& suite();
+
+/// Lookup by name; throws NotFound.
+const Benchmark& benchmark_by_name(const std::string& name);
+
+/// Result of one benchmark execution on one machine.
+struct BenchmarkRun {
+  std::string name;
+  Seconds runtime = 0.0;
+  machine::PmuCounters counters;
+};
+
+/// Runs one benchmark in SPEC throughput ("rate") mode with `copies` active
+/// copies per node (0 = one per core, a fully loaded node).  SPEC rate
+/// results are published at several copy counts; SWAPP selects the count
+/// matching the application's node occupancy at the projected Ck, so shared
+/// caches and memory bandwidth are divided consistently between benchmark
+/// and application.  Returns the per-copy runtime and counters.
+BenchmarkRun run_benchmark(const Benchmark& b, const machine::Machine& m,
+                           machine::SmtMode mode, int copies = 0);
+
+/// Runs the whole suite at one occupancy.
+std::vector<BenchmarkRun> run_suite(const machine::Machine& m,
+                                    machine::SmtMode mode, int copies = 0);
+
+}  // namespace swapp::spec

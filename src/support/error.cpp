@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace swapp::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "SWAPP_ASSERT failed: (" << expr << ") at " << file << ":" << line
+     << " — " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace swapp::detail

@@ -1,0 +1,61 @@
+// Error handling primitives for the SWAPP library.
+//
+// All SWAPP components throw swapp::Error (or a subclass) on contract
+// violations and unrecoverable conditions.  Hot simulation paths use
+// SWAPP_ASSERT, which is compiled in for all build types: a performance
+// projection produced by a silently-corrupted simulator is worse than no
+// projection at all.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swapp {
+
+/// Base class for all errors thrown by the SWAPP library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when requested data (profile, benchmark table, machine) is absent.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a SWAPP bug, not user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace swapp
+
+/// Always-on assertion.  `msg` may use std::string concatenation.
+#define SWAPP_ASSERT(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::swapp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+/// Precondition check that throws InvalidArgument instead of InternalError.
+#define SWAPP_REQUIRE(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      throw ::swapp::InvalidArgument(std::string("precondition failed: ") + \
+                                     (msg));                                \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,209 @@
+#include "support/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/error.h"
+
+namespace swapp {
+namespace {
+
+double r_squared_of(std::span<const double> y, std::span<const double> yhat) {
+  double my = 0.0;
+  for (double v : y) my += v;
+  my /= static_cast<double>(y.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_tot += (y[i] - my) * (y[i] - my);
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+  }
+  if (ss_tot == 0.0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  SWAPP_REQUIRE(x.size() == y.size(), "fit_linear size mismatch");
+  SWAPP_REQUIRE(x.size() >= 2, "fit_linear needs at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit out;
+  if (denom == 0.0) {
+    out.slope = 0.0;
+    out.intercept = sy / n;
+  } else {
+    out.slope = (n * sxy - sx * sy) / denom;
+    out.intercept = (sy - out.slope * sx) / n;
+  }
+  std::vector<double> yhat(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) yhat[i] = out(x[i]);
+  out.r_squared = r_squared_of(y, yhat);
+  return out;
+}
+
+double PowerFit::operator()(double x) const { return a * std::pow(x, b); }
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  SWAPP_REQUIRE(x.size() == y.size(), "fit_power size mismatch");
+  SWAPP_REQUIRE(x.size() >= 2, "fit_power needs at least two points");
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SWAPP_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "fit_power needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit out;
+  out.a = std::exp(lin.intercept);
+  out.b = lin.slope;
+  std::vector<double> yhat(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) yhat[i] = out(x[i]);
+  out.r_squared = r_squared_of(y, yhat);
+  return out;
+}
+
+double ScalingFit::operator()(double cores) const {
+  return a * std::pow(cores, -b) + c;
+}
+
+double ScalingFit::scale_factor(double from_cores, double to_cores) const {
+  const double from = (*this)(from_cores);
+  SWAPP_ASSERT(from > 0.0, "scaling fit evaluates to non-positive time");
+  return (*this)(to_cores) / from;
+}
+
+namespace {
+
+// For fixed b, solve min ||a·x^-b + c - y||² s.t. a, c ≥ 0 in closed form,
+// falling back to the boundary solutions when the unconstrained optimum is
+// outside the feasible region.
+ScalingFit solve_given_b(std::span<const double> cores,
+                         std::span<const double> time, double b) {
+  const std::size_t n = cores.size();
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = std::pow(cores[i], -b);
+
+  const auto dn = static_cast<double>(n);
+  double su = 0.0;
+  double sy = 0.0;
+  double suu = 0.0;
+  double suy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    su += u[i];
+    sy += time[i];
+    suu += u[i] * u[i];
+    suy += u[i] * time[i];
+  }
+  const double denom = dn * suu - su * su;
+  double a = 0.0;
+  double c = 0.0;
+  if (denom > 0.0) {
+    a = (dn * suy - su * sy) / denom;
+    c = (sy - a * su) / dn;
+  }
+  if (a < 0.0) {  // boundary a = 0: constant model
+    a = 0.0;
+    c = sy / dn;
+  }
+  if (c < 0.0) {  // boundary c = 0: pure power model
+    c = 0.0;
+    a = suu > 0.0 ? suy / suu : 0.0;
+    a = std::max(a, 0.0);
+  }
+  ScalingFit fit;
+  fit.a = a;
+  fit.b = b;
+  fit.c = c;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = fit(cores[i]) - time[i];
+    ss += r * r;
+  }
+  fit.rms_residual = std::sqrt(ss / dn);
+  return fit;
+}
+
+}  // namespace
+
+ScalingFit fit_scaling(std::span<const double> cores,
+                       std::span<const double> time) {
+  SWAPP_REQUIRE(cores.size() == time.size(), "fit_scaling size mismatch");
+  SWAPP_REQUIRE(cores.size() >= 2, "fit_scaling needs at least two points");
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    SWAPP_REQUIRE(cores[i] > 0.0, "fit_scaling needs positive core counts");
+    SWAPP_REQUIRE(time[i] >= 0.0, "fit_scaling needs non-negative times");
+  }
+
+  // Coarse grid on b, then golden-section refinement around the best cell.
+  ScalingFit best = solve_given_b(cores, time, 0.0);
+  for (double b = 0.05; b <= 3.0; b += 0.05) {
+    const ScalingFit candidate = solve_given_b(cores, time, b);
+    if (candidate.rms_residual < best.rms_residual) best = candidate;
+  }
+  double lo = std::max(0.0, best.b - 0.05);
+  double hi = std::min(3.0, best.b + 0.05);
+  constexpr double kPhi = 0.6180339887498949;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double m1 = hi - kPhi * (hi - lo);
+    const double m2 = lo + kPhi * (hi - lo);
+    const ScalingFit f1 = solve_given_b(cores, time, m1);
+    const ScalingFit f2 = solve_given_b(cores, time, m2);
+    if (f1.rms_residual < f2.rms_residual) {
+      hi = m2;
+      if (f1.rms_residual < best.rms_residual) best = f1;
+    } else {
+      lo = m1;
+      if (f2.rms_residual < best.rms_residual) best = f2;
+    }
+  }
+  return best;
+}
+
+double extrapolate_zero_crossing(std::span<const double> cores,
+                                 std::span<const double> metric,
+                                 double threshold) {
+  SWAPP_REQUIRE(cores.size() == metric.size(),
+                "extrapolate_zero_crossing size mismatch");
+  SWAPP_REQUIRE(cores.size() >= 2,
+                "extrapolate_zero_crossing needs at least two points");
+  SWAPP_REQUIRE(threshold > 0.0, "threshold must be positive");
+
+  // A non-decreasing metric never crosses: report +inf.
+  bool decreasing = false;
+  for (std::size_t i = 1; i < metric.size(); ++i) {
+    if (metric[i] < metric[i - 1]) decreasing = true;
+    if (metric[i] > metric[i - 1] * 1.05) return
+        std::numeric_limits<double>::infinity();
+  }
+  if (!decreasing) return std::numeric_limits<double>::infinity();
+
+  // Guard against zeros before the log-log fit (already crossed).
+  std::vector<double> cs;
+  std::vector<double> ms;
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    if (metric[i] <= threshold) return cores[i];
+    cs.push_back(cores[i]);
+    ms.push_back(metric[i]);
+  }
+  const PowerFit fit = fit_power(cs, ms);
+  if (fit.b >= 0.0) return std::numeric_limits<double>::infinity();
+  // Solve a·C^b = threshold  =>  C = (threshold / a)^(1/b).
+  return std::pow(threshold / fit.a, 1.0 / fit.b);
+}
+
+}  // namespace swapp

@@ -1,0 +1,65 @@
+// Curve-fitting utilities for the SWAPP scaling models.
+//
+// CCSM (paper §3.2) fits the application's compute time against core count
+// with a strong-scaling law T(C) = a·C^(−b) + c; ACSM (paper §3.1)
+// extrapolates decreasing per-instruction cache-traffic metrics to find the
+// core count where they reach zero.  Both reduce to the small least-squares
+// problems implemented here.
+#pragma once
+
+#include <span>
+
+namespace swapp {
+
+/// Result of a simple linear regression y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares on (x, y) pairs.  Requires ≥ 2 points.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Power law y ≈ a·x^b, fitted in log-log space.  Requires x, y > 0.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const;
+};
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+/// Strong-scaling law T(C) = a·C^(−b) + c with a ≥ 0, b ∈ [0, 3], c ≥ 0.
+///
+/// `c` captures the serial (non-scaling) fraction, `b` the scaling quality
+/// (b = 1 is ideal strong scaling).  Fitted by golden-section search on `b`
+/// with a constrained linear solve for (a, c) at each candidate.
+struct ScalingFit {
+  double a = 0.0;
+  double b = 1.0;
+  double c = 0.0;
+  double rms_residual = 0.0;
+
+  double operator()(double cores) const;
+  /// Ratio T(to_cores) / T(from_cores): the CCSM scaling factor γ.
+  double scale_factor(double from_cores, double to_cores) const;
+};
+
+ScalingFit fit_scaling(std::span<const double> cores,
+                       std::span<const double> time);
+
+/// Extrapolates a positive, decreasing metric m(C) (e.g. data-from-L3 per
+/// instruction) to the core count where it falls below `threshold`.
+///
+/// Fits m(C) = a·C^(−b) on the provided samples and solves for C.  Returns
+/// +infinity when the metric is not decreasing (no crossing exists).
+double extrapolate_zero_crossing(std::span<const double> cores,
+                                 std::span<const double> metric,
+                                 double threshold);
+
+}  // namespace swapp

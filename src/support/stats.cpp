@@ -1,0 +1,96 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double percentile(std::span<const double> xs, double q) {
+  SWAPP_REQUIRE(!xs.empty(), "percentile of empty sample");
+  SWAPP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percent_error(double projected, double actual) {
+  SWAPP_REQUIRE(actual != 0.0, "percent_error with zero actual value");
+  return std::abs(projected - actual) / std::abs(actual) * 100.0;
+}
+
+double signed_percent_error(double projected, double actual) {
+  SWAPP_REQUIRE(actual != 0.0, "signed_percent_error with zero actual value");
+  return (projected - actual) / std::abs(actual) * 100.0;
+}
+
+double fraction_above(std::span<const double> projected,
+                      std::span<const double> actual) {
+  SWAPP_REQUIRE(projected.size() == actual.size(),
+                "fraction_above requires equal-length samples");
+  SWAPP_REQUIRE(!projected.empty(), "fraction_above of empty samples");
+  std::size_t above = 0;
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    if (projected[i] > actual[i]) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(projected.size());
+}
+
+ErrorSummary summarize_errors(std::span<const double> percent_errors) {
+  ErrorSummary out;
+  RunningStats s;
+  for (double e : percent_errors) s.add(std::abs(e));
+  out.mean_abs_error = s.mean();
+  out.stddev = s.stddev();
+  out.max_abs_error = s.max();
+  out.count = s.count();
+  return out;
+}
+
+}  // namespace swapp

@@ -1,0 +1,61 @@
+// Descriptive statistics used throughout the experiment harness: error
+// magnitudes, standard deviations, and sample summaries reported next to the
+// paper's numbers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swapp {
+
+/// One-pass accumulator for mean / variance (Welford) and extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile; `q` in [0, 1].
+double percentile(std::span<const double> xs, double q);
+
+/// |projected - actual| / actual, in percent.  Requires actual != 0.
+double percent_error(double projected, double actual);
+
+/// Signed (projected - actual) / actual, in percent.
+double signed_percent_error(double projected, double actual);
+
+/// Fraction of pairs where projected > actual (the paper reports 54%).
+double fraction_above(std::span<const double> projected,
+                      std::span<const double> actual);
+
+/// Summary of a sample of percent errors, as reported in the paper's §4.
+struct ErrorSummary {
+  double mean_abs_error = 0.0;  ///< average |error| magnitude, percent
+  double stddev = 0.0;          ///< std-dev of |error| magnitudes
+  double max_abs_error = 0.0;
+  std::size_t count = 0;
+};
+
+ErrorSummary summarize_errors(std::span<const double> percent_errors);
+
+}  // namespace swapp

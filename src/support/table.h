@@ -1,0 +1,40 @@
+// Plain-text table formatting for the benchmark harness.  Every experiment
+// binary prints its rows through TextTable so the output mirrors the paper's
+// tables and figure series in a diff-friendly, column-aligned layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swapp {
+
+/// Column-aligned text table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Writes the table as CSV (header + rows, comma-separated, quoted as
+  /// needed) for downstream plotting.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swapp

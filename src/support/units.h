@@ -1,0 +1,45 @@
+// Unit helpers.  Simulated time is a double in seconds everywhere; byte
+// counts are std::uint64_t.  These constants keep machine configurations and
+// workload definitions readable.
+#pragma once
+
+#include <cstdint>
+
+namespace swapp {
+
+using Bytes = std::uint64_t;
+using Seconds = double;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024u;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024u * 1024u;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024u * 1024u * 1024u;
+}
+
+inline constexpr Seconds operator""_us(long double v) {
+  return static_cast<Seconds>(v) * 1e-6;
+}
+inline constexpr Seconds operator""_us(unsigned long long v) {
+  return static_cast<Seconds>(v) * 1e-6;
+}
+inline constexpr Seconds operator""_ns(long double v) {
+  return static_cast<Seconds>(v) * 1e-9;
+}
+inline constexpr Seconds operator""_ns(unsigned long long v) {
+  return static_cast<Seconds>(v) * 1e-9;
+}
+inline constexpr Seconds operator""_ms(long double v) {
+  return static_cast<Seconds>(v) * 1e-3;
+}
+inline constexpr Seconds operator""_ms(unsigned long long v) {
+  return static_cast<Seconds>(v) * 1e-3;
+}
+
+/// Gigahertz to cycle period in seconds.
+inline constexpr Seconds cycle_seconds(double ghz) { return 1e-9 / ghz; }
+
+}  // namespace swapp

@@ -1,0 +1,250 @@
+#include "workload/compute_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+
+namespace swapp::workload {
+
+using machine::PmuCounters;
+
+namespace {
+
+/// Single-thread evaluation: the CPI-stack core of the model.
+ComputeSample evaluate_single(const Kernel& kernel, double points,
+                              const machine::Machine& m,
+                              const ComputeContext& ctx) {
+  SWAPP_REQUIRE(points > 0.0, "kernel evaluation needs positive points");
+  SWAPP_REQUIRE(ctx.active_cores_per_node >= 1,
+                "active cores per node must be >= 1");
+  SWAPP_REQUIRE(ctx.active_cores_per_node <= m.cores_per_node,
+                "more active cores than the node has");
+  const machine::ProcessorConfig& p = m.processor;
+  const bool smt_on =
+      ctx.smt == machine::SmtMode::kSmt && p.smt_ways > 1;
+
+  const double instructions = kernel.instructions(points);
+  const Bytes working_set = kernel.working_set(points);
+  const double loads = kernel.load_fraction;
+
+  // SMT doubles the threads sharing each core's cache slice and issue width.
+  const int effective_sharers =
+      ctx.active_cores_per_node * (smt_on ? p.smt_ways : 1);
+  const machine::ReloadBreakdown rb = m.caches.reloads(
+      working_set, kernel.locality_theta, effective_sharers,
+      kernel.remote_access_fraction);
+
+  // ---- G1: completion CPI ---------------------------------------------------
+  const double issue_limited =
+      1.0 / std::min<double>(p.issue_width, std::max(1.0, kernel.ilp));
+  const double smt_share = smt_on ? p.smt_issue_efficiency : 1.0;
+  const double cpi_completion = issue_limited / smt_share;
+
+  // ---- G2: FP stalls --------------------------------------------------------
+  const double fp_rate =
+      p.fp_per_cycle * (1.0 + (p.simd_width - 1.0) * kernel.vectorizable);
+  const double fp_issue_cpi =
+      std::max(0.0, kernel.fp_fraction / fp_rate -
+                        kernel.fp_fraction / p.issue_width) /
+      smt_share;
+  const double fp_dependency_cpi = kernel.fp_fraction * p.fp_latency_cycles /
+                                   std::max(1.0, kernel.ilp) *
+                                   (1.0 - p.ooo_window_factor);
+  const double cpi_stall_fp = fp_issue_cpi + fp_dependency_cpi;
+
+  // ---- G2: branch stalls ----------------------------------------------------
+  const double mispredict_rate =
+      kernel.branch_fraction *
+      std::max(0.0, 1.0 - kernel.branch_predictability * p.predictor_strength);
+  const double cpi_stall_branch = mispredict_rate * p.branch_penalty_cycles;
+
+  // ---- G4: translation misses ----------------------------------------------
+  const double ws = static_cast<double>(working_set);
+  const double tlb_reach = p.tlb_entries * static_cast<double>(p.page_bytes);
+  const double tlb_excess = std::max(0.0, 1.0 - tlb_reach / ws);
+  const double tlb_miss_rate = loads * kernel.tlb_hostility * tlb_excess;
+
+  double erat_miss_rate = 0.0;
+  if (p.has_erat) {
+    const double erat_reach =
+        p.erat_entries * static_cast<double>(p.page_bytes);
+    const double erat_excess = std::max(0.0, 1.0 - erat_reach / ws);
+    erat_miss_rate =
+        loads * (kernel.tlb_hostility * 2.0 + 0.002) * erat_excess;
+  }
+  double slb_miss_rate = 0.0;
+  if (p.has_slb) {
+    // Segments are 256 MiB; misses only matter for very large footprints.
+    slb_miss_rate = loads * 5e-5 * std::min(1.0, ws / (256.0 * 1024 * 1024));
+  }
+
+  // ---- G5 + G2: memory reloads and stalls -----------------------------------
+  //
+  // Reloads beyond L1 are counted per *fresh line touch*, not per access:
+  // each sweep over the working set touches bytes_per_point · points distinct
+  // bytes, of which one reload per cache line reaches past L1; dense temporal
+  // reuse within a point's computation stays in L1/registers.  Irregular
+  // kernels additionally pay a per-access miss component (pointer chases and
+  // a fraction of their non-streaming accesses).  The footprint model then
+  // distributes those deep accesses across L2/L3/memory.
+  const auto& levels = m.caches.levels();
+  const double mlp_eff = std::clamp(
+      std::min(kernel.mlp, static_cast<double>(p.max_outstanding_misses)), 1.0,
+      64.0);
+  const double overlap =
+      (1.0 - kernel.pointer_chasing) * (1.0 - p.ooo_window_factor) / mlp_eff +
+      kernel.pointer_chasing;  // chased loads pay the whole latency
+
+  const double line_bytes = static_cast<double>(levels.back().line_bytes);
+  const double fresh_lines_per_instr =
+      kernel.bytes_per_point * kernel.sweep_passes /
+      (kernel.instructions_per_point * line_bytes);
+  const double irregular_per_instr =
+      loads * (kernel.pointer_chasing +
+               0.08 * (1.0 - kernel.streaming_fraction));
+  const double deep_accesses_per_instr =
+      fresh_lines_per_instr + irregular_per_instr;
+
+  // Share of the access stream not absorbed by L1 under the footprint model;
+  // deep accesses are split across L2/L3/memory in those proportions.
+  const double beyond_l1 = std::max(1e-12, 1.0 - rb.cache_fraction[0]);
+
+  double cpi_stall_mem = 0.0;
+  double reload_l2 = 0.0;
+  double reload_l3 = 0.0;
+  double reload_lmem = 0.0;
+  double reload_rmem = 0.0;
+  double mem_traffic_per_instr = 0.0;
+
+  for (std::size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    const double share = rb.cache_fraction[lvl] / beyond_l1;
+    const double reloads_per_instr = deep_accesses_per_instr * share;
+    cpi_stall_mem += reloads_per_instr * levels[lvl].latency_cycles * overlap;
+    if (levels[lvl].name == "L2") reload_l2 += reloads_per_instr;
+    else reload_l3 += reloads_per_instr;  // deeper levels folded into m5,2
+  }
+  {
+    const double prefetch_discount =
+        1.0 - p.prefetch_strength * kernel.streaming_fraction;
+    const auto& mem = m.caches.memory();
+
+    const double lmem_reloads =
+        deep_accesses_per_instr * rb.local_mem_fraction / beyond_l1;
+    const double rmem_reloads =
+        deep_accesses_per_instr * rb.remote_mem_fraction / beyond_l1;
+    cpi_stall_mem += lmem_reloads * mem.latency_cycles * overlap *
+                     prefetch_discount;
+    cpi_stall_mem += rmem_reloads * mem.remote_latency_cycles * overlap *
+                     prefetch_discount;
+    reload_lmem = lmem_reloads;
+    reload_rmem = rmem_reloads;
+
+    // Line fills plus write-allocate/writeback traffic for stores.
+    const double store_traffic_factor = 1.0 + 1.5 * kernel.store_fraction /
+                                                  std::max(loads, 1e-9);
+    mem_traffic_per_instr =
+        (lmem_reloads + rmem_reloads) * line_bytes * store_traffic_factor;
+  }
+
+  // SMT threads cover part of each other's memory stalls.
+  if (smt_on) cpi_stall_mem *= 0.80;
+
+  // ---- translation penalties + fixed structural stalls → "other" ------------
+  const double cpi_stall_other = 0.04 + tlb_miss_rate * p.tlb_penalty_cycles +
+                                 erat_miss_rate * p.erat_penalty_cycles +
+                                 slb_miss_rate * p.slb_penalty_cycles;
+
+  // ---- assemble time with the bandwidth ceiling (G6) ------------------------
+  const double cpi_cpu = cpi_completion + cpi_stall_fp + cpi_stall_branch +
+                         cpi_stall_mem + cpi_stall_other;
+  const Seconds cycle = m.cycle_time();
+  const Seconds t_cpu = instructions * cpi_cpu * cycle;
+
+  const double total_bytes = instructions * mem_traffic_per_instr;
+  const double bw_per_core_gbs =
+      m.caches.memory().node_bandwidth_gbs /
+      static_cast<double>(ctx.active_cores_per_node) * smt_share /
+      (smt_on ? 1.0 : 1.0);
+  const Seconds t_bw = total_bytes / (bw_per_core_gbs * 1e9);
+
+  // Smooth max: compute- and bandwidth-bound regimes blend near the ceiling.
+  constexpr double kP = 4.0;
+  const Seconds t_total =
+      std::pow(std::pow(t_cpu, kP) + std::pow(t_bw, kP), 1.0 / kP);
+
+  ComputeSample out;
+  out.seconds = t_total;
+  PmuCounters& c = out.counters;
+  c.instructions = instructions;
+  c.seconds = t_total;
+  c.cycles = t_total / cycle;
+  c.cpi_completion = cpi_completion;
+  c.cpi_stall_fp = cpi_stall_fp;
+  c.cpi_stall_branch = cpi_stall_branch;
+  // Bandwidth-induced extra cycles show up as memory stalls, exactly as a
+  // real CPI-stack counter decomposition would report them.
+  c.cpi_stall_mem = cpi_stall_mem + (t_total - t_cpu) / (instructions * cycle);
+  c.cpi_stall_other = cpi_stall_other;
+  c.fp_per_instr = kernel.fp_fraction;
+  // Visible on any ISA through the instruction mix (paired/FMA FP patterns),
+  // independent of whether this machine's FP pipes exploit it.
+  c.fp_vector_fraction = kernel.vectorizable;
+  c.erat_miss_rate = erat_miss_rate;
+  c.slb_miss_rate = slb_miss_rate;
+  c.tlb_miss_rate = tlb_miss_rate;
+  c.data_from_l2_per_instr = reload_l2;
+  c.data_from_l3_per_instr = reload_l3;
+  c.data_from_local_mem_per_instr = reload_lmem;
+  c.data_from_remote_mem_per_instr = reload_rmem;
+  c.memory_bandwidth_gbs = t_total > 0.0 ? total_bytes / t_total / 1e9 : 0.0;
+  return out;
+}
+
+}  // namespace
+
+ComputeSample evaluate(const Kernel& kernel, double points,
+                       const machine::Machine& m, const ComputeContext& ctx) {
+  SWAPP_REQUIRE(ctx.omp_threads >= 1, "omp_threads must be >= 1");
+  if (ctx.omp_threads == 1) return evaluate_single(kernel, points, m, ctx);
+
+  // --- Hybrid MPI/OpenMP rank (paper §6 extension) ---------------------------
+  const int threads = ctx.omp_threads;
+  SWAPP_REQUIRE(ctx.active_cores_per_node <= m.cores_per_node,
+                "more active hardware threads than the node has cores");
+  const OmpModel& omp = ctx.omp;
+  SWAPP_REQUIRE(omp.serial_fraction >= 0.0 && omp.serial_fraction <= 1.0,
+                "serial fraction must be in [0,1]");
+
+  // Parallel part: each thread sweeps points/T with a T-times smaller
+  // footprint, sharing the node with every other active hardware thread.
+  ComputeContext thread_ctx = ctx;
+  thread_ctx.omp_threads = 1;
+  const ComputeSample parallel = evaluate_single(
+      kernel, points / threads, m, thread_ctx);
+
+  // Serial part: one thread, whole-rank footprint, same node pressure.
+  const ComputeSample serial = evaluate_single(kernel, points, m, thread_ctx);
+
+  ComputeSample out;
+  out.seconds = omp.serial_fraction * serial.seconds +
+                (1.0 - omp.serial_fraction) * parallel.seconds +
+                omp.regions_per_invocation * omp.fork_join_overhead;
+
+  // Counters describe the whole rank: all threads execute the parallel
+  // instructions, rates follow the parallel part's behaviour (which
+  // dominates execution), wall-clock fields follow the rank time.
+  out.counters = parallel.counters;
+  out.counters.instructions =
+      parallel.counters.instructions * threads * (1.0 - omp.serial_fraction) +
+      serial.counters.instructions * omp.serial_fraction;
+  out.counters.seconds = out.seconds;
+  out.counters.cycles = out.seconds / m.cycle_time();
+  // Rank-level bandwidth: all threads stream concurrently.
+  out.counters.memory_bandwidth_gbs =
+      std::min(parallel.counters.memory_bandwidth_gbs * threads,
+               m.caches.memory().node_bandwidth_gbs);
+  return out;
+}
+
+}  // namespace swapp::workload

@@ -1,0 +1,60 @@
+// The analytic compute model: evaluates a kernel on a machine and returns
+// execution time together with simulated PMU counters.
+//
+// The model is a CPI stack, the same decomposition the paper's metric groups
+// encode: completion CPI (G1) plus stall CPI split into FP, memory, branch
+// and other components (G2), with the memory component derived from the cache
+// hierarchy's reload breakdown (G5), translation misses (G4) and a bandwidth
+// ceiling (G6).  This is a first-principles model, not a lookup table: every
+// counter responds to machine parameters, SMT mode, and the number of active
+// cores sharing the node, which is what gives the ACSM/CCSM models something
+// real to detect.
+#pragma once
+
+#include "machine/counters.h"
+#include "machine/machine.h"
+#include "workload/kernel.h"
+
+namespace swapp::workload {
+
+/// Result of running a kernel once.
+struct ComputeSample {
+  Seconds seconds = 0.0;
+  machine::PmuCounters counters;
+};
+
+/// OpenMP thread-level model (the paper's §6 future-work extension).
+///
+/// A rank's compute phase with T threads follows Amdahl's law plus region
+/// management cost: the serial fraction runs on one thread, the parallel
+/// remainder is divided across T threads (each with a T-times smaller
+/// footprint but sharing the node with rank_count · T active cores), and
+/// every parallel region pays a fork/join overhead.
+struct OmpModel {
+  double serial_fraction = 0.03;
+  Seconds fork_join_overhead = 4_us;
+  /// Parallel regions entered per kernel invocation (one per solver sweep).
+  double regions_per_invocation = 3.0;
+};
+
+/// Execution context for a kernel evaluation.
+struct ComputeContext {
+  /// Hardware threads currently executing on the same node (ranks × OpenMP
+  /// threads; determines shared cache and bandwidth partitioning).
+  int active_cores_per_node = 1;
+  machine::SmtMode smt = machine::SmtMode::kSingleThread;
+  /// OpenMP threads per rank (1 = pure MPI).
+  int omp_threads = 1;
+  OmpModel omp;
+};
+
+/// Evaluates `points` worth of `kernel` on `m`.
+///
+/// `points` is the per-rank problem share; the returned time is the rank's
+/// compute time for one sweep over those points.  With ctx.omp_threads > 1
+/// the thread-level model above applies; counters describe the whole rank
+/// (all threads' instructions, rank-level rates).
+ComputeSample evaluate(const Kernel& kernel, double points,
+                       const machine::Machine& m, const ComputeContext& ctx);
+
+}  // namespace swapp::workload

@@ -1,0 +1,73 @@
+// Compute-kernel characterisation.
+//
+// Applications and benchmarks are modelled as sequences of kernels, each
+// described by an instruction mix and a memory-access signature.  The compute
+// model (compute_model.h) evaluates a kernel on a machine configuration to
+// produce execution time and the full set of simulated PMU counters — the
+// data HPMCOUNT provides in the paper.
+#pragma once
+
+#include <string>
+
+#include "support/units.h"
+
+namespace swapp::workload {
+
+/// Static characteristics of one compute kernel.
+///
+/// All fractions are of dynamic instructions and must satisfy
+/// fp + load + store + branch <= 1 (the remainder is integer/other work).
+struct Kernel {
+  std::string name;
+
+  // --- Instruction mix -----------------------------------------------------
+  double fp_fraction = 0.25;
+  double load_fraction = 0.30;
+  double store_fraction = 0.12;
+  double branch_fraction = 0.08;
+
+  /// Average exploitable instruction-level parallelism (1 = serial chain).
+  double ilp = 3.0;
+  /// Fraction of FP work expressible with SIMD on machines that have it.
+  double vectorizable = 0.0;
+  /// How predictable the branches are, 0 (random) .. 1 (perfectly regular).
+  double branch_predictability = 0.9;
+
+  // --- Memory signature ----------------------------------------------------
+  /// Bytes of distinct data touched per "point" of the problem.
+  double bytes_per_point = 64.0;
+  /// Locality exponent θ of the footprint model (see machine::hit_fraction):
+  /// small = strong reuse concentration, 1 = streaming.
+  double locality_theta = 0.35;
+  /// Fraction of loads that are serialised pointer chases (no MLP).
+  double pointer_chasing = 0.0;
+  /// Achievable memory-level parallelism for the remaining misses.
+  double mlp = 4.0;
+  /// Fraction of memory traffic that crosses sockets on NUMA nodes.
+  double remote_access_fraction = 0.1;
+  /// Page-access dispersion: 0 = dense pages, 1 = every access a new page.
+  double tlb_hostility = 0.02;
+  /// Fraction of miss traffic that is sequential (prefetchable) streaming.
+  double streaming_fraction = 0.7;
+
+  /// Times the working set is re-traversed within one kernel invocation
+  /// (e.g. the x/y/z solver passes of a timestep).  Determines how many
+  /// fresh-line touches per instruction reach beyond L1.
+  double sweep_passes = 3.0;
+
+  // --- Work density ---------------------------------------------------------
+  /// Dynamic instructions executed per point per sweep of the kernel.
+  double instructions_per_point = 100.0;
+
+  /// Total instructions for a given number of points.
+  double instructions(double points) const {
+    return instructions_per_point * points;
+  }
+  /// Per-rank working-set size for a given number of points.
+  Bytes working_set(double points) const {
+    const double bytes = bytes_per_point * points;
+    return bytes < 1.0 ? 1 : static_cast<Bytes>(bytes);
+  }
+};
+
+}  // namespace swapp::workload

@@ -1,0 +1,104 @@
+// Tests for the experiment harness (Lab): caching, figure structure, error
+// accounting, and the information hygiene between projection and truth.
+#include <gtest/gtest.h>
+
+#include "experiments/lab.h"
+#include "support/error.h"
+
+namespace swapp::experiments {
+namespace {
+
+// One Lab for the whole file: construction is cheap, databases are lazy.
+Lab& lab() {
+  static Lab* instance = new Lab({Lab::power6_name()});
+  return *instance;
+}
+
+TEST(Lab, TargetsArePrepared) {
+  EXPECT_EQ(lab().target_names().size(), 1u);
+  EXPECT_EQ(lab().target(Lab::power6_name()).cores_per_node, 32);
+  EXPECT_THROW(lab().target("unknown"), NotFound);
+  EXPECT_EQ(lab().base().name, "TAMU Hydra (POWER5+)");
+}
+
+TEST(Lab, BaseDataCachedAndConsistent) {
+  const core::AppBaseData& a =
+      lab().base_data(nas::Benchmark::kLU, nas::ProblemClass::kC);
+  const core::AppBaseData& b =
+      lab().base_data(nas::Benchmark::kLU, nas::ProblemClass::kC);
+  EXPECT_EQ(&a, &b);  // cached, not re-collected
+  EXPECT_EQ(a.app, "LU-MZ.C");
+  EXPECT_EQ(a.profiled_core_counts(), lu_core_counts());
+  // Counters exist at every LU counter count, both SMT modes.
+  for (const int c : lu_core_counts()) {
+    EXPECT_TRUE(a.counters_st.count(c));
+    EXPECT_TRUE(a.counters_smt.count(c));
+  }
+}
+
+TEST(Lab, ActualRunsCachedPerConfiguration) {
+  const ActualRun& a =
+      lab().actual(nas::Benchmark::kLU, nas::ProblemClass::kC,
+                   Lab::power6_name(), 16);
+  const ActualRun& b =
+      lab().actual(nas::Benchmark::kLU, nas::ProblemClass::kC,
+                   Lab::power6_name(), 16);
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.wall, 0.0);
+  EXPECT_NEAR(a.wall, a.mean_compute + a.mean_comm, a.wall * 1e-6);
+}
+
+TEST(Lab, ErrorRowFieldsAreConsistent) {
+  const ErrorRow row = lab().error_row(
+      nas::Benchmark::kLU, nas::ProblemClass::kC, Lab::power6_name(), 16);
+  EXPECT_GE(row.p2p_nb, 0.0);
+  EXPECT_GE(row.collectives, 0.0);
+  EXPECT_GE(row.combined, 0.0);
+  // Magnitude of the signed error equals the unsigned error.
+  EXPECT_NEAR(std::abs(row.combined_signed), row.combined, 1e-9);
+  // LU has no blocking p2p: the component error defaults to 0.
+  EXPECT_DOUBLE_EQ(row.p2p_b, 0.0);
+}
+
+TEST(Lab, FigureHasLuShape) {
+  const FigureData fig =
+      lab().figure(nas::Benchmark::kLU, Lab::power6_name());
+  // LU runs only at 16 tasks: one row per class.
+  ASSERT_EQ(fig.rows.size(), 2u);
+  EXPECT_EQ(fig.rows[0].cores, 16);
+  EXPECT_EQ(fig.rows[1].cores, 16);
+  EXPECT_EQ(fig.rows[0].cls, nas::ProblemClass::kC);
+  EXPECT_EQ(fig.rows[1].cls, nas::ProblemClass::kD);
+  const TextTable table = fig.to_table();
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Lab, ProjectionIsDeterministicThroughTheHarness) {
+  const core::ProjectionResult a = lab().project(
+      nas::Benchmark::kLU, nas::ProblemClass::kC, Lab::power6_name(), 16);
+  const core::ProjectionResult b = lab().project(
+      nas::Benchmark::kLU, nas::ProblemClass::kC, Lab::power6_name(), 16);
+  EXPECT_DOUBLE_EQ(a.total_target(), b.total_target());
+}
+
+TEST(Lab, CoreCountGridsMatchThePaper) {
+  EXPECT_EQ(bt_sp_core_counts(), (std::vector<int>{16, 32, 64, 128}));
+  EXPECT_EQ(lu_core_counts(), (std::vector<int>{4, 8, 16}));
+  // Counter counts are a strict subset ending below 128, so projecting at
+  // 128 exercises the ACSM extrapolation path.
+  for (const int c : bt_sp_counter_counts()) EXPECT_LT(c, 128);
+}
+
+TEST(Lab, SpecLibraryCoversNeededOccupancies) {
+  const core::SpecLibrary& spec = lab().projector().spec();
+  // Base is a 16-core node: occupancies {4, 8, 16} arise from the grids.
+  EXPECT_TRUE(spec.base_runtime.count(16));
+  EXPECT_TRUE(spec.base_runtime.count(4));
+  // Target (32-core nodes): 16 and 32 arise.
+  const auto& info = spec.targets.at(Lab::power6_name());
+  EXPECT_TRUE(info.runtime.count(16));
+  EXPECT_TRUE(info.runtime.count(32));
+}
+
+}  // namespace
+}  // namespace swapp::experiments

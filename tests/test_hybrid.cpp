@@ -1,0 +1,157 @@
+// Tests for the hybrid MPI/OpenMP extension (paper §6 future work):
+// thread-level compute model, hybrid placement, and hybrid projection.
+#include <gtest/gtest.h>
+
+#include "experiments/lab.h"
+#include "machine/machine.h"
+#include "mpi/world.h"
+#include "nas/nas_app.h"
+#include "support/error.h"
+#include "support/stats.h"
+#include "workload/compute_model.h"
+
+namespace swapp {
+namespace {
+
+workload::Kernel solver_kernel() {
+  workload::Kernel k = nas::kernel_for(nas::Benchmark::kSP);
+  return k;
+}
+
+TEST(HybridCompute, ThreadsSpeedUpTheParallelPart) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const auto time_with = [&](int threads) {
+    workload::ComputeContext ctx;
+    ctx.active_cores_per_node = 16;  // node fully occupied either way
+    ctx.omp_threads = threads;
+    return workload::evaluate(solver_kernel(), 1e6, m, ctx).seconds;
+  };
+  const Seconds t1 = time_with(1);
+  const Seconds t2 = time_with(2);
+  const Seconds t4 = time_with(4);
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+  // Speedup can exceed the thread count (per-thread footprints drop into
+  // cache — the same hyper-scaling ACSM detects) but stays bounded.
+  EXPECT_GT(t4, t1 / 10.0);
+}
+
+TEST(HybridCompute, SerialFractionBoundsTheSpeedup) {
+  const machine::Machine m = machine::make_power5_hydra();
+  workload::ComputeContext ctx;
+  ctx.active_cores_per_node = 16;
+  ctx.omp.serial_fraction = 0.25;
+  ctx.omp_threads = 16;
+  const Seconds t16 = workload::evaluate(solver_kernel(), 1e6, m, ctx).seconds;
+  ctx.omp_threads = 1;
+  const Seconds t1 = workload::evaluate(solver_kernel(), 1e6, m, ctx).seconds;
+  // With a 25% serial fraction the speedup can never reach 4x.
+  EXPECT_GT(t16, t1 / 4.0);
+  EXPECT_LT(t16, t1);
+}
+
+TEST(HybridCompute, ForkJoinOverheadCharged) {
+  const machine::Machine m = machine::make_power5_hydra();
+  workload::ComputeContext cheap;
+  cheap.omp_threads = 4;
+  cheap.omp.fork_join_overhead = 0.0;
+  workload::ComputeContext costly = cheap;
+  costly.omp.fork_join_overhead = 1e-3;
+  const Seconds a = workload::evaluate(solver_kernel(), 1e5, m, cheap).seconds;
+  const Seconds b = workload::evaluate(solver_kernel(), 1e5, m, costly).seconds;
+  EXPECT_NEAR(b - a, costly.omp.regions_per_invocation * 1e-3, 1e-9);
+}
+
+TEST(HybridCompute, CountersCoverAllThreads) {
+  const machine::Machine m = machine::make_power5_hydra();
+  workload::ComputeContext st;
+  st.omp_threads = 1;
+  workload::ComputeContext hy;
+  hy.omp_threads = 4;
+  hy.omp.serial_fraction = 0.0;
+  const auto a = workload::evaluate(solver_kernel(), 1e6, m, st);
+  const auto b = workload::evaluate(solver_kernel(), 1e6, m, hy);
+  // The rank executes the same total instructions regardless of threading.
+  EXPECT_NEAR(b.counters.instructions, a.counters.instructions,
+              a.counters.instructions * 1e-6);
+}
+
+TEST(HybridWorld, PlacementSpreadsRanksAcrossNodes) {
+  const machine::Machine m = machine::make_power5_hydra();  // 16 cores/node
+  mpi::World pure(m, 16);
+  EXPECT_EQ(pure.ranks_per_node(), 16);
+  EXPECT_EQ(pure.node_of(15), 0);
+
+  mpi::World::Options options;
+  options.threads_per_rank = 4;
+  mpi::World hybrid(m, 16, options);
+  EXPECT_EQ(hybrid.ranks_per_node(), 4);  // 4 ranks × 4 threads per node
+  EXPECT_EQ(hybrid.node_of(3), 0);
+  EXPECT_EQ(hybrid.node_of(4), 1);
+  EXPECT_EQ(hybrid.node_of(15), 3);
+}
+
+TEST(HybridWorld, RejectsOversizedThreadCounts) {
+  const machine::Machine bgp = machine::make_bluegene_p();  // 4 cores/node
+  mpi::World::Options options;
+  options.threads_per_rank = 8;
+  EXPECT_THROW(mpi::World(bgp, 4, options), InvalidArgument);
+}
+
+TEST(HybridNas, HybridRunFasterPerRankButUsesMoreNodes) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const nas::NasApp app(nas::Benchmark::kSP, nas::ProblemClass::kC);
+  const auto pure = app.run(m, 16);
+  const auto hybrid = app.run(m, 16, machine::SmtMode::kSingleThread, 4);
+  // Same ranks, 4 threads each: each rank's sweep is parallelised (cache
+  // effects may push the per-rank speedup past the thread count).
+  EXPECT_LT(hybrid->wall_time(), pure->wall_time());
+  EXPECT_GT(hybrid->wall_time(), pure->wall_time() / 10.0);
+}
+
+TEST(HybridNas, DeterministicHybridRuns) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const nas::NasApp app(nas::Benchmark::kLU, nas::ProblemClass::kC);
+  const auto a = app.run(m, 8, machine::SmtMode::kSingleThread, 2);
+  const auto b = app.run(m, 8, machine::SmtMode::kSingleThread, 2);
+  EXPECT_DOUBLE_EQ(a->wall_time(), b->wall_time());
+}
+
+TEST(HybridProjection, EndToEndWithinReason) {
+  // Full hybrid workflow: profile SP-MZ with 2 threads/rank on the base,
+  // project onto POWER6, compare with a hybrid ground-truth run.
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  const nas::NasApp app(nas::Benchmark::kSP, nas::ProblemClass::kC);
+  constexpr int kThreads = 2;
+  constexpr int kTasks = 16;
+
+  core::AppBaseData data;
+  data.app = app.name();
+  data.base_machine = base.name;
+  data.threads_per_rank = kThreads;
+  for (const int c : {8, 16}) {
+    const auto st = app.run(base, c, machine::SmtMode::kSingleThread, kThreads);
+    data.mpi_profiles.emplace(c, st->profile());
+    data.mean_compute.emplace(c, st->profile().mean_compute());
+    data.counters_st.emplace(c, st->counters());
+    const auto smt = app.run(base, c, machine::SmtMode::kSmt, kThreads);
+    data.counters_smt.emplace(c, smt->counters());
+  }
+
+  const core::SpecLibrary spec = experiments::collect_spec_library(
+      base, {target}, {kTasks * kThreads, 8 * kThreads});
+  core::Projector projector(base, spec,
+                            imb::measure_database(base, {8, 16}, {512, 32_KiB}));
+  projector.add_target(target.name,
+                       imb::measure_database(target, {8, 16}, {512, 32_KiB}));
+
+  const core::ProjectionResult r = projector.project(data, target.name, kTasks);
+  const auto truth =
+      app.run(target, kTasks, machine::SmtMode::kSingleThread, kThreads);
+  EXPECT_GT(r.total_target(), 0.0);
+  EXPECT_LT(percent_error(r.total_target(), truth->wall_time()), 40.0);
+}
+
+}  // namespace
+}  // namespace swapp

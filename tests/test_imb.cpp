@@ -1,0 +1,124 @@
+// Tests for the IMB-style MPI benchmark suite and parameter database.
+#include <gtest/gtest.h>
+
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "support/error.h"
+
+namespace swapp::imb {
+namespace {
+
+const machine::Machine& base_machine() {
+  static const machine::Machine m = machine::make_power5_hydra();
+  return m;
+}
+
+TEST(Imb, PingPongPositiveAndSizeMonotone) {
+  Seconds prev = 0.0;
+  for (const Bytes b : {64_KiB / 1024, 4_KiB, 256_KiB}) {
+    const ImbSample s =
+        run_imb(base_machine(), ImbBenchmark::kPingPong, 32, b, 8);
+    EXPECT_GT(s.time, prev);
+    prev = s.time;
+  }
+}
+
+TEST(Imb, CollectivesGrowWithRanks) {
+  const ImbSample small =
+      run_imb(base_machine(), ImbBenchmark::kAllreduce, 16, 4_KiB, 8);
+  const ImbSample large =
+      run_imb(base_machine(), ImbBenchmark::kAllreduce, 128, 4_KiB, 8);
+  EXPECT_GT(large.time, small.time);
+}
+
+TEST(Imb, MultiSendrecvGrowsWithSequences) {
+  const ImbSample x1 = run_imb(base_machine(), ImbBenchmark::kMultiSendrecv,
+                               32, 32_KiB, 8, 1);
+  const ImbSample x4 = run_imb(base_machine(), ImbBenchmark::kMultiSendrecv,
+                               32, 32_KiB, 8, 4);
+  EXPECT_GT(x4.time, x1.time);
+}
+
+TEST(Imb, NearPairsCheaperThanFarPairs) {
+  // Intra-node exchange avoids the shared NIC and the wire.
+  const ImbSample far = run_imb(base_machine(), ImbBenchmark::kMultiSendrecv,
+                                32, 32_KiB, 8, 1, /*near_pairs=*/false);
+  const ImbSample near = run_imb(base_machine(), ImbBenchmark::kMultiSendrecv,
+                                 32, 32_KiB, 8, 1, /*near_pairs=*/true);
+  EXPECT_LT(near.time, far.time);
+}
+
+TEST(Imb, BarrierIndependentOfPayload) {
+  const ImbSample a = run_imb(base_machine(), ImbBenchmark::kBarrier, 32, 8, 8);
+  const ImbSample b =
+      run_imb(base_machine(), ImbBenchmark::kBarrier, 32, 1024, 8);
+  EXPECT_NEAR(a.time, b.time, a.time * 0.01);
+}
+
+TEST(Imb, BgpCollectiveTreeGivesFastBcast) {
+  const machine::Machine bgp = machine::make_bluegene_p();
+  machine::Machine no_tree = bgp;
+  no_tree.mpi.use_collective_tree = false;
+  const ImbSample with_tree =
+      run_imb(bgp, ImbBenchmark::kBcast, 64, 4_KiB, 8);
+  const ImbSample without_tree =
+      run_imb(no_tree, ImbBenchmark::kBcast, 64, 4_KiB, 8);
+  EXPECT_LT(with_tree.time, without_tree.time);
+}
+
+TEST(ImbDatabase, MeasuredTablesInterpolate) {
+  const ImbDatabase db = measure_database(
+      base_machine(), {16, 64}, {512, 32_KiB});
+  // Exact grid points and in-between lookups both work.
+  EXPECT_GT(db.lookup(mpi::Routine::kBcast, 512, 16), 0.0);
+  EXPECT_GT(db.lookup(mpi::Routine::kBcast, 4_KiB, 32), 0.0);
+  // Monotone in message size.
+  EXPECT_LT(db.lookup(mpi::Routine::kAllreduce, 512, 16),
+            db.lookup(mpi::Routine::kAllreduce, 32_KiB, 16));
+}
+
+TEST(ImbDatabase, UnknownRoutineThrows) {
+  const ImbDatabase db = measure_database(base_machine(), {16}, {512});
+  EXPECT_THROW(db.lookup(mpi::Routine::kIsend, 512, 16), NotFound);
+}
+
+TEST(ImbDatabase, Eq1SeparatesOverheadFromFlight) {
+  const ImbDatabase db =
+      measure_database(base_machine(), {32}, {512, 32_KiB});
+  const Seconds t1 = db.multi_sendrecv_time(1.0, 32_KiB, 32);
+  const Seconds t2 = db.multi_sendrecv_time(2.0, 32_KiB, 32);
+  const Seconds t8 = db.multi_sendrecv_time(8.0, 32_KiB, 32);
+  // Linear in the in-flight count beyond the library overhead (Eq. 1).
+  EXPECT_NEAR(t8 - t2, 6.0 * (t2 - t1), 1e-9);
+  EXPECT_GE(t1, t2 - t1);  // overhead is non-negative
+}
+
+TEST(ImbDatabase, IntraFractionBlending) {
+  const ImbDatabase db =
+      measure_database(base_machine(), {32}, {32_KiB});
+  const Seconds inter = db.multi_sendrecv_time(4.0, 32_KiB, 32, 0.0);
+  const Seconds intra = db.multi_sendrecv_time(4.0, 32_KiB, 32, 1.0);
+  const Seconds half = db.multi_sendrecv_time(4.0, 32_KiB, 32, 0.5);
+  EXPECT_LT(intra, inter);
+  EXPECT_NEAR(half, 0.5 * (intra + inter), 1e-12);
+}
+
+TEST(ImbDatabase, IntraNodeFractionFromRankDistance) {
+  ImbDatabase db;
+  db.cores_per_node = 16;
+  EXPECT_NEAR(db.intra_node_fraction(1.0), 15.0 / 16.0, 1e-12);
+  EXPECT_NEAR(db.intra_node_fraction(8.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(db.intra_node_fraction(32.0), 0.0);
+}
+
+TEST(Imb, AllBenchmarksRunOnAllMachines) {
+  for (const machine::Machine& m : machine::all_machines()) {
+    for (const ImbBenchmark b : all_benchmarks()) {
+      const ImbSample s = run_imb(m, b, 16, 1_KiB, 4);
+      EXPECT_GE(s.time, 0.0) << to_string(b) << " on " << m.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swapp::imb

@@ -1,0 +1,180 @@
+// Unit tests for the machine models: cache hierarchy, PMU counters, machine
+// configurations.
+#include <gtest/gtest.h>
+
+#include "machine/cache.h"
+#include "machine/counters.h"
+#include "machine/machine.h"
+#include "support/error.h"
+
+namespace swapp::machine {
+namespace {
+
+TEST(HitFraction, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(hit_fraction(0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hit_fraction(1.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(hit_fraction(2.0, 0.5), 1.0);
+  EXPECT_LT(hit_fraction(0.1, 0.5), hit_fraction(0.2, 0.5));
+  // Smaller θ = stronger reuse concentration = higher hit rate at the same
+  // coverage.
+  EXPECT_GT(hit_fraction(0.1, 0.2), hit_fraction(0.1, 0.8));
+}
+
+CacheHierarchy test_hierarchy() {
+  return CacheHierarchy(
+      {
+          {.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+           .latency_cycles = 4.0, .line_bytes = 64},
+          {.name = "L2", .capacity = 1_MiB, .shared_by_cores = 2,
+           .latency_cycles = 12.0, .line_bytes = 64},
+          {.name = "L3", .capacity = 16_MiB, .shared_by_cores = 4,
+           .latency_cycles = 40.0, .line_bytes = 64},
+      },
+      MemoryConfig{.latency_cycles = 200.0,
+                   .remote_latency_cycles = 300.0,
+                   .node_bandwidth_gbs = 20.0,
+                   .sockets = 2});
+}
+
+TEST(CacheHierarchy, EffectiveCapacityDividesSharedLevels) {
+  const CacheHierarchy h = test_hierarchy();
+  EXPECT_EQ(h.effective_capacity(0, 8), 32_KiB);      // private
+  EXPECT_EQ(h.effective_capacity(1, 1), 1_MiB);       // alone
+  EXPECT_EQ(h.effective_capacity(1, 8), 512_KiB);     // 2-way shared
+  EXPECT_EQ(h.effective_capacity(2, 8), 4_MiB);       // 4-way shared
+}
+
+TEST(CacheHierarchy, ReloadFractionsSumToOne) {
+  const CacheHierarchy h = test_hierarchy();
+  for (const Bytes ws : {64_KiB, 4_MiB, 256_MiB}) {
+    const ReloadBreakdown rb = h.reloads(ws, 0.5, 4, 0.2);
+    double sum = rb.local_mem_fraction + rb.remote_mem_fraction;
+    for (const double f : rb.cache_fraction) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(CacheHierarchy, LargerFootprintGoesDeeper) {
+  const CacheHierarchy h = test_hierarchy();
+  const ReloadBreakdown small = h.reloads(64_KiB, 0.5, 1, 0.0);
+  const ReloadBreakdown big = h.reloads(512_MiB, 0.5, 1, 0.0);
+  EXPECT_GT(big.local_mem_fraction, small.local_mem_fraction);
+  EXPECT_GT(big.average_latency_cycles, small.average_latency_cycles);
+}
+
+TEST(CacheHierarchy, MoreActiveCoresShrinkEffectiveCache) {
+  const CacheHierarchy h = test_hierarchy();
+  const ReloadBreakdown alone = h.reloads(8_MiB, 0.5, 1, 0.0);
+  const ReloadBreakdown crowded = h.reloads(8_MiB, 0.5, 8, 0.0);
+  EXPECT_GE(crowded.local_mem_fraction, alone.local_mem_fraction);
+}
+
+TEST(CacheHierarchy, RemoteTrafficOnlyOnMultiSocketNodes) {
+  CacheHierarchy single(
+      {{.name = "L1", .capacity = 32_KiB, .shared_by_cores = 1,
+        .latency_cycles = 4.0, .line_bytes = 64}},
+      MemoryConfig{.latency_cycles = 100.0,
+                   .remote_latency_cycles = 200.0,
+                   .node_bandwidth_gbs = 10.0,
+                   .sockets = 1});
+  const ReloadBreakdown rb = single.reloads(1_GiB, 0.9, 1, 0.5);
+  EXPECT_DOUBLE_EQ(rb.remote_mem_fraction, 0.0);
+}
+
+TEST(CacheHierarchy, RejectsBadConfigs) {
+  EXPECT_THROW(CacheHierarchy({}, MemoryConfig{}), InvalidArgument);
+  EXPECT_THROW(
+      CacheHierarchy({{.name = "L1", .capacity = 1_MiB, .shared_by_cores = 1,
+                       .latency_cycles = 4.0, .line_bytes = 64},
+                      {.name = "L2", .capacity = 32_KiB,  // smaller than L1
+                       .shared_by_cores = 1, .latency_cycles = 12.0,
+                       .line_bytes = 64}},
+                     MemoryConfig{}),
+      InvalidArgument);
+}
+
+TEST(PmuCounters, AccumulateWeightsByInstructions) {
+  PmuCounters a;
+  a.instructions = 100.0;
+  a.cycles = 100.0;
+  a.seconds = 1.0;
+  a.cpi_completion = 1.0;
+  a.fp_per_instr = 0.2;
+  PmuCounters b;
+  b.instructions = 300.0;
+  b.cycles = 600.0;
+  b.seconds = 3.0;
+  b.cpi_completion = 2.0;
+  b.fp_per_instr = 0.6;
+  a.accumulate(b);
+  EXPECT_DOUBLE_EQ(a.instructions, 400.0);
+  EXPECT_DOUBLE_EQ(a.cycles, 700.0);
+  EXPECT_DOUBLE_EQ(a.cpi_completion, 1.75);  // (100·1 + 300·2)/400
+  EXPECT_DOUBLE_EQ(a.fp_per_instr, 0.5);
+}
+
+TEST(MetricVector, GroupsPartitionAllMetrics) {
+  std::array<int, kMetricGroupCount> counts{};
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    counts[static_cast<std::size_t>(MetricVector::group_of(i))] += 1;
+  }
+  int total = 0;
+  for (const int c : counts) {
+    EXPECT_GT(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<int>(kMetricCount));
+}
+
+TEST(MetricVector, NamesAreUnique) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    names.insert(MetricVector::name_of(i));
+  }
+  EXPECT_EQ(names.size(), kMetricCount);
+}
+
+TEST(Machines, Table2Geometry) {
+  // The paper's Table 2.
+  const Machine hydra = make_power5_hydra();
+  EXPECT_EQ(hydra.cores_per_node, 16);
+  EXPECT_EQ(hydra.total_cores, 832);
+  EXPECT_EQ(hydra.memory_per_core, 2_GiB);
+  EXPECT_EQ(hydra.network.kind, net::TopologyKind::kFederation);
+
+  const Machine p6 = make_power6_575();
+  EXPECT_EQ(p6.cores_per_node, 32);
+  EXPECT_EQ(p6.total_cores, 128);
+  EXPECT_EQ(p6.memory_per_core, 4_GiB);
+  EXPECT_EQ(p6.network.kind, net::TopologyKind::kFatTree);
+
+  const Machine bgp = make_bluegene_p();
+  EXPECT_EQ(bgp.cores_per_node, 4);  // virtual-node mode
+  EXPECT_EQ(bgp.total_cores, 4096);
+  EXPECT_TRUE(bgp.network.has_collective_tree);
+  EXPECT_EQ(bgp.network.kind, net::TopologyKind::kTorus3D);
+
+  const Machine wm = make_westmere_x5670();
+  EXPECT_EQ(wm.cores_per_node, 12);
+  EXPECT_EQ(wm.total_cores, 768);
+  EXPECT_EQ(wm.processor.isa, "x86");
+}
+
+TEST(Machines, LookupByName) {
+  for (const Machine& m : all_machines()) {
+    EXPECT_EQ(machine_by_name(m.name).name, m.name);
+  }
+  EXPECT_THROW(machine_by_name("Cray XT5"), NotFound);
+}
+
+TEST(Machines, NodePlacementHelpers) {
+  const Machine hydra = make_power5_hydra();
+  EXPECT_EQ(hydra.node_of_rank(0), 0);
+  EXPECT_EQ(hydra.node_of_rank(15), 0);
+  EXPECT_EQ(hydra.node_of_rank(16), 1);
+  EXPECT_EQ(hydra.nodes_for_ranks(16), 1);
+  EXPECT_EQ(hydra.nodes_for_ranks(17), 2);
+}
+
+}  // namespace
+}  // namespace swapp::machine

@@ -1,0 +1,157 @@
+// Tests for the NAS Multi-Zone skeletons: zone geometry, load balancing,
+// communication structure, and end-to-end behaviour on the base machine.
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "nas/zones.h"
+#include "support/error.h"
+
+namespace swapp::nas {
+namespace {
+
+TEST(Zones, GridSpecsMatchNasReport) {
+  // NAS-03-010 geometry (timesteps are rescaled, see grid_spec()).
+  const GridSpec bt_c = grid_spec(Benchmark::kBT, ProblemClass::kC);
+  EXPECT_EQ(bt_c.gx, 480);
+  EXPECT_EQ(bt_c.gy, 320);
+  EXPECT_EQ(bt_c.gz, 28);
+  EXPECT_EQ(bt_c.zone_count(), 256);
+
+  const GridSpec bt_d = grid_spec(Benchmark::kBT, ProblemClass::kD);
+  EXPECT_EQ(bt_d.gx, 1632);
+  EXPECT_EQ(bt_d.zone_count(), 1024);
+
+  // LU-MZ is fixed at 4×4 zones in every class.
+  EXPECT_EQ(grid_spec(Benchmark::kLU, ProblemClass::kC).zone_count(), 16);
+  EXPECT_EQ(grid_spec(Benchmark::kLU, ProblemClass::kD).zone_count(), 16);
+}
+
+TEST(Zones, TotalPointsConserved) {
+  for (const Benchmark b : {Benchmark::kBT, Benchmark::kSP, Benchmark::kLU}) {
+    const Decomposition d(b, ProblemClass::kC, 16);
+    double sum = 0.0;
+    for (const Zone& z : d.zones()) sum += z.points();
+    EXPECT_NEAR(sum, d.spec().total_points(), d.spec().total_points() * 1e-9);
+    // Rank totals also conserve points.
+    double rank_sum = 0.0;
+    for (int r = 0; r < 16; ++r) rank_sum += d.rank_points(r);
+    EXPECT_NEAR(rank_sum, sum, sum * 1e-9);
+  }
+}
+
+TEST(Zones, BtZonesSpanTwentyToOne) {
+  const Decomposition d(Benchmark::kBT, ProblemClass::kC, 16);
+  double min_pts = 1e300;
+  double max_pts = 0.0;
+  for (const Zone& z : d.zones()) {
+    min_pts = std::min(min_pts, z.points());
+    max_pts = std::max(max_pts, z.points());
+  }
+  EXPECT_NEAR(max_pts / min_pts, 20.0, 1.0);
+}
+
+TEST(Zones, SpZonesUniform) {
+  const Decomposition d(Benchmark::kSP, ProblemClass::kC, 16);
+  const double first = d.zones().front().points();
+  for (const Zone& z : d.zones()) EXPECT_NEAR(z.points(), first, 1e-6);
+}
+
+TEST(Zones, BtImbalanceGrowsWithRanks) {
+  const Decomposition few(Benchmark::kBT, ProblemClass::kC, 16);
+  const Decomposition many(Benchmark::kBT, ProblemClass::kC, 128);
+  EXPECT_LT(few.imbalance(), 1.1);   // 16 zones/rank balance well
+  EXPECT_GT(many.imbalance(), 1.2);  // 2 zones/rank cannot
+  // SP stays balanced even at 128 ranks.
+  const Decomposition sp(Benchmark::kSP, ProblemClass::kC, 128);
+  EXPECT_LT(sp.imbalance(), 1.01);
+}
+
+TEST(Zones, MessagesAreCrossRankOnly) {
+  const Decomposition d(Benchmark::kBT, ProblemClass::kC, 64);
+  EXPECT_FALSE(d.messages().empty());
+  for (const auto& m : d.messages()) {
+    EXPECT_NE(m.from_rank, m.to_rank);
+    EXPECT_GT(m.bytes, 0u);
+    EXPECT_EQ(d.owner(m.from_zone), m.from_rank);
+    EXPECT_EQ(d.owner(m.to_zone), m.to_rank);
+  }
+}
+
+TEST(Zones, MessagesAreSymmetric) {
+  // Every cross-rank face generates traffic in both directions.
+  const Decomposition d(Benchmark::kSP, ProblemClass::kC, 32);
+  std::map<std::pair<int, int>, int> pair_counts;
+  for (const auto& m : d.messages()) {
+    pair_counts[{std::min(m.from_zone, m.to_zone),
+                 std::max(m.from_zone, m.to_zone)}] += 1;
+  }
+  for (const auto& [zones, count] : pair_counts) EXPECT_EQ(count, 2);
+}
+
+TEST(Zones, RejectsTooManyRanks) {
+  EXPECT_THROW(Decomposition(Benchmark::kLU, ProblemClass::kC, 17),
+               InvalidArgument);
+  EXPECT_THROW(Decomposition(Benchmark::kBT, ProblemClass::kC, 257),
+               InvalidArgument);
+}
+
+TEST(NasApp, NamesAndLimits) {
+  EXPECT_EQ(NasApp(Benchmark::kBT, ProblemClass::kC).name(), "BT-MZ.C");
+  EXPECT_EQ(NasApp(Benchmark::kLU, ProblemClass::kD).max_ranks(), 16);
+  EXPECT_EQ(NasApp(Benchmark::kSP, ProblemClass::kD).max_ranks(), 1024);
+}
+
+TEST(NasApp, RunProducesSaneProfile) {
+  const NasApp app(Benchmark::kSP, ProblemClass::kC);
+  const auto world = app.run(machine::make_power5_hydra(), 16);
+  const mpi::MpiProfile& p = world->profile();
+  EXPECT_EQ(p.ranks, 16);
+  EXPECT_GT(world->wall_time(), 0.0);
+  // The paper's structure: nonblocking exchange + Bcast + Reduce, no
+  // blocking point-to-point.
+  EXPECT_TRUE(p.has_routine(mpi::Routine::kWaitall));
+  EXPECT_TRUE(p.has_routine(mpi::Routine::kBcast));
+  EXPECT_TRUE(p.has_routine(mpi::Routine::kReduce));
+  EXPECT_FALSE(p.has_routine(mpi::Routine::kSend));
+  EXPECT_FALSE(p.has_routine(mpi::Routine::kSendrecv));
+  // Compute dominates at 16 ranks (Table 1: a few percent communication).
+  EXPECT_LT(p.communication_fraction(), 0.10);
+}
+
+TEST(NasApp, BtCommunicationFractionGrowsWithRanks) {
+  // Table 1's headline trend: BT-MZ class C communication grows from a few
+  // percent at 16 tasks to tens of percent at 128 (load imbalance).
+  const NasApp app(Benchmark::kBT, ProblemClass::kC);
+  const machine::Machine base = machine::make_power5_hydra();
+  const double at16 = app.run(base, 16)->profile().communication_fraction();
+  const double at128 = app.run(base, 128)->profile().communication_fraction();
+  EXPECT_LT(at16, 0.05);
+  EXPECT_GT(at128, 0.25);
+}
+
+TEST(NasApp, ClassDCommunicatesLessThanClassC) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const double c = NasApp(Benchmark::kBT, ProblemClass::kC)
+                       .run(base, 128)->profile().communication_fraction();
+  const double d = NasApp(Benchmark::kBT, ProblemClass::kD)
+                       .run(base, 128)->profile().communication_fraction();
+  EXPECT_LT(d, c);
+}
+
+TEST(NasApp, CountersScaleWithProblemClass) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const auto c = NasApp(Benchmark::kSP, ProblemClass::kC).run(base, 16);
+  const auto d = NasApp(Benchmark::kSP, ProblemClass::kD).run(base, 16);
+  EXPECT_GT(d->counters().instructions, 5.0 * c->counters().instructions);
+}
+
+TEST(NasApp, DeterministicWallTime) {
+  const NasApp app(Benchmark::kLU, ProblemClass::kC);
+  const machine::Machine base = machine::make_power5_hydra();
+  EXPECT_DOUBLE_EQ(app.run(base, 16)->wall_time(),
+                   app.run(base, 16)->wall_time());
+}
+
+}  // namespace
+}  // namespace swapp::nas

@@ -1,0 +1,131 @@
+// Unit tests for the interconnect models.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "support/error.h"
+
+namespace swapp::net {
+namespace {
+
+NetworkConfig fat_tree_config() {
+  NetworkConfig c;
+  c.kind = TopologyKind::kFatTree;
+  c.link_bandwidth_gbs = 2.0;
+  c.base_latency = 2_us;
+  c.per_hop_latency = 100_ns;
+  c.fat_tree_radix = 4;
+  return c;
+}
+
+TEST(Network, FatTreeHops) {
+  const Network n(fat_tree_config(), 16);
+  EXPECT_EQ(n.hops(0, 0), 0);
+  EXPECT_EQ(n.hops(0, 3), 2);   // same leaf (radix 4)
+  EXPECT_EQ(n.hops(0, 4), 4);   // across the spine
+  EXPECT_EQ(n.hops(5, 15), 4);
+  EXPECT_EQ(n.diameter(), 4);
+}
+
+TEST(Network, TransferTimeComponents) {
+  const Network n(fat_tree_config(), 16);
+  // Latency part plus serialisation part.
+  const Seconds t = n.transfer_time(0, 4, 2000);
+  const Seconds expected = 2e-6 + 4 * 100e-9 + 2000.0 / (2.0 * 1e9);
+  EXPECT_NEAR(t, expected, 1e-12);
+  // Zero-ish payload ≈ pure latency.
+  EXPECT_NEAR(n.transfer_time(0, 4, 0), 2e-6 + 4 * 100e-9, 1e-12);
+}
+
+TEST(Network, IntraNodeUsesSharedMemoryPath) {
+  NetworkConfig c = fat_tree_config();
+  c.intra_node_latency = 300_ns;
+  c.intra_node_bandwidth_gbs = 8.0;
+  const Network n(c, 16);
+  EXPECT_NEAR(n.transfer_time(3, 3, 8000), 300e-9 + 8000.0 / 8e9, 1e-12);
+  EXPECT_LT(n.transfer_time(3, 3, 8000), n.transfer_time(3, 4, 8000));
+}
+
+TEST(Network, CongestedTransferSlower) {
+  NetworkConfig c = fat_tree_config();
+  c.contention_factor = 2.0;
+  const Network n(c, 16);
+  EXPECT_GT(n.congested_transfer_time(0, 8, 1_MiB),
+            n.transfer_time(0, 8, 1_MiB));
+}
+
+TEST(Network, TorusHopsWithWraparound) {
+  NetworkConfig c;
+  c.kind = TopologyKind::kTorus3D;
+  c.torus_dims = {4, 4, 4};
+  const Network n(c, 64);
+  EXPECT_EQ(n.hops(0, 1), 1);
+  // Node 3 is 3 steps away going right but 1 step via the wraparound link.
+  EXPECT_EQ(n.hops(0, 3), 1);
+  EXPECT_EQ(n.hops(0, 2), 2);
+  // Opposite corner: 2 hops per dimension.
+  const int far = 2 + 2 * 4 + 2 * 16;
+  EXPECT_EQ(n.hops(0, far), 6);
+  EXPECT_EQ(n.diameter(), 6);
+}
+
+TEST(Network, TorusAutoDimensions) {
+  NetworkConfig c;
+  c.kind = TopologyKind::kTorus3D;
+  const Network n(c, 32);  // should factor into something 3-D
+  EXPECT_EQ(n.nodes(), 32);
+  EXPECT_GT(n.diameter(), 0);
+}
+
+TEST(Network, CollectiveTree) {
+  NetworkConfig c;
+  c.kind = TopologyKind::kTorus3D;
+  c.has_collective_tree = true;
+  c.tree_per_hop_latency = 100_ns;
+  c.tree_bandwidth_gbs = 1.0;
+  const Network n(c, 64);
+  EXPECT_GT(n.collective_tree_depth(64), n.collective_tree_depth(8));
+  EXPECT_GT(n.collective_tree_time(64, 1_MiB),
+            n.collective_tree_time(64, 1_KiB));
+}
+
+TEST(Network, NoTreeThrows) {
+  const Network n(fat_tree_config(), 16);
+  EXPECT_THROW(n.collective_tree_depth(16), InvalidArgument);
+}
+
+TEST(Network, FederationBehavesLikeTwoLevelSwitch) {
+  NetworkConfig c = fat_tree_config();
+  c.kind = TopologyKind::kFederation;
+  const Network n(c, 8);
+  EXPECT_EQ(n.hops(0, 1), 2);
+  EXPECT_EQ(n.hops(0, 5), 4);
+}
+
+TEST(Network, RejectsOutOfRangeNodes) {
+  const Network n(fat_tree_config(), 4);
+  EXPECT_THROW(n.hops(0, 4), InvalidArgument);
+  EXPECT_THROW(n.hops(-1, 0), InvalidArgument);
+}
+
+// Property: transfer time is monotone in message size for every topology.
+class NetworkMonotonicity : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(NetworkMonotonicity, TransferMonotoneInBytes) {
+  NetworkConfig c = fat_tree_config();
+  c.kind = GetParam();
+  const Network n(c, 16);
+  Seconds prev = 0.0;
+  for (const Bytes b : {64_KiB / 1024, 1_KiB, 32_KiB, 1_MiB}) {
+    const Seconds t = n.transfer_time(0, n.nodes() - 1, b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, NetworkMonotonicity,
+                         ::testing::Values(TopologyKind::kFatTree,
+                                           TopologyKind::kTorus3D,
+                                           TopologyKind::kFederation));
+
+}  // namespace
+}  // namespace swapp::net

@@ -1,0 +1,80 @@
+// Tests for the classic NPB skeletons (CG, MG, FT) — the beyond-paper
+// workload extension.
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "nas/npb.h"
+#include "support/error.h"
+
+namespace swapp::nas {
+namespace {
+
+const machine::Machine& base() {
+  static const machine::Machine m = machine::make_power5_hydra();
+  return m;
+}
+
+TEST(Npb, NamesAndRankSupport) {
+  const NpbApp cg(NpbBenchmark::kCG, ProblemClass::kC);
+  EXPECT_EQ(cg.name(), "CG.C");
+  EXPECT_TRUE(cg.supports_ranks(16));
+  EXPECT_TRUE(cg.supports_ranks(128));
+  EXPECT_FALSE(cg.supports_ranks(12));  // not a power of two
+  EXPECT_FALSE(cg.supports_ranks(1));
+}
+
+TEST(Npb, CgExercisesAllreduceAndExchange) {
+  const NpbApp app(NpbBenchmark::kCG, ProblemClass::kC);
+  const auto world = app.run(base(), 16);
+  const mpi::MpiProfile& p = world->profile();
+  EXPECT_TRUE(p.has_routine(mpi::Routine::kAllreduce));
+  EXPECT_TRUE(p.has_routine(mpi::Routine::kWaitall));
+  EXPECT_GT(world->wall_time(), 0.0);
+  // Two dot products per iteration.
+  EXPECT_EQ(p.routines.at(mpi::Routine::kAllreduce).total_calls,
+            16u * 38u * 2u);
+}
+
+TEST(Npb, MgSpansManyMessageSizes) {
+  const NpbApp app(NpbBenchmark::kMG, ProblemClass::kC);
+  const auto world = app.run(base(), 16);
+  const auto& waitall =
+      world->profile().routines.at(mpi::Routine::kWaitall);
+  // Faces shrink by ~4x per level: several distinct size buckets appear.
+  EXPECT_GE(waitall.by_size.size(), 4u);
+  Bytes smallest = ~Bytes{0};
+  Bytes largest = 0;
+  for (const auto& [bytes, bucket] : waitall.by_size) {
+    smallest = std::min(smallest, bytes);
+    largest = std::max(largest, bytes);
+  }
+  EXPECT_GT(largest / std::max<Bytes>(smallest, 1), 50u);
+}
+
+TEST(Npb, FtIsAlltoallDominated) {
+  const NpbApp app(NpbBenchmark::kFT, ProblemClass::kC);
+  const auto world = app.run(base(), 32);
+  const mpi::MpiProfile& p = world->profile();
+  ASSERT_TRUE(p.has_routine(mpi::Routine::kAlltoall));
+  const Seconds alltoall = p.mean_routine_elapsed(mpi::Routine::kAlltoall);
+  const Seconds comm = p.mean_communication();
+  EXPECT_GT(alltoall, 0.5 * comm);  // the transpose dominates communication
+}
+
+TEST(Npb, DeterministicAndScaling) {
+  const NpbApp app(NpbBenchmark::kMG, ProblemClass::kC);
+  const auto a = app.run(base(), 16);
+  const auto b = app.run(base(), 16);
+  EXPECT_DOUBLE_EQ(a->wall_time(), b->wall_time());
+  // Strong scaling: more ranks, less time.
+  const auto wide = app.run(base(), 64);
+  EXPECT_LT(wide->wall_time(), a->wall_time());
+}
+
+TEST(Npb, RejectsUnsupportedRankCounts) {
+  const NpbApp app(NpbBenchmark::kCG, ProblemClass::kC);
+  EXPECT_THROW(app.run(base(), 12), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace swapp::nas

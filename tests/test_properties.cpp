@@ -1,0 +1,150 @@
+// Cross-module property sweeps (parameterized gtest): invariants that must
+// hold for every machine, benchmark, rank count, and routine combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "mpi/collectives.h"
+#include "nas/zones.h"
+#include "support/stats.h"
+
+namespace swapp {
+namespace {
+
+// --- NAS decompositions -----------------------------------------------------
+
+class DecompositionProperty
+    : public ::testing::TestWithParam<
+          std::tuple<nas::Benchmark, nas::ProblemClass, int>> {};
+
+TEST_P(DecompositionProperty, InvariantsHold) {
+  const auto [bench, cls, ranks] = GetParam();
+  const nas::Decomposition d(bench, cls, ranks);
+
+  // 1. Point conservation across ranks.
+  double rank_sum = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_GT(d.rank_points(r), 0.0);  // no starved rank
+    rank_sum += d.rank_points(r);
+  }
+  EXPECT_NEAR(rank_sum, d.spec().total_points(),
+              d.spec().total_points() * 1e-9);
+
+  // 2. Imbalance bounded: perfect for SP/LU, bounded for BT's geometric
+  //    zones even at the highest rank counts.
+  const double imbalance = d.imbalance();
+  EXPECT_GE(imbalance, 1.0 - 1e-9);
+  if (bench == nas::Benchmark::kBT) {
+    EXPECT_LT(imbalance, 4.0);
+  } else {
+    EXPECT_LT(imbalance, 1.05);
+  }
+
+  // 3. Message list: symmetric, cross-rank, positive sizes, unique tags per
+  //    direction.
+  std::set<int> tags;
+  for (const auto& m : d.messages()) {
+    EXPECT_NE(m.from_rank, m.to_rank);
+    EXPECT_GT(m.bytes, 0u);
+    EXPECT_TRUE(tags.insert(m.tag).second) << "duplicate tag " << m.tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BtSpGrid, DecompositionProperty,
+    ::testing::Combine(::testing::Values(nas::Benchmark::kBT,
+                                         nas::Benchmark::kSP),
+                       ::testing::Values(nas::ProblemClass::kC,
+                                         nas::ProblemClass::kD),
+                       ::testing::Values(16, 32, 64, 128, 256)));
+
+INSTANTIATE_TEST_SUITE_P(
+    LuGrid, DecompositionProperty,
+    ::testing::Combine(::testing::Values(nas::Benchmark::kLU),
+                       ::testing::Values(nas::ProblemClass::kC,
+                                         nas::ProblemClass::kD),
+                       ::testing::Values(2, 4, 8, 16)));
+
+// --- Collective cost model ---------------------------------------------------
+
+class CollectiveCostProperty
+    : public ::testing::TestWithParam<std::tuple<int, mpi::Routine>> {};
+
+TEST_P(CollectiveCostProperty, MonotoneInRanksAndBytes) {
+  const auto [machine_index, routine] = GetParam();
+  const machine::Machine m =
+      machine::all_machines()[static_cast<std::size_t>(machine_index)];
+  const net::Network network(m.network, 32);
+
+  // Rank monotonicity holds for software collectives; the BG/P hardware
+  // tree legitimately gets *cheaper* per call as more ranks combine in
+  // parallel, so only positivity is required there.
+  const bool tree_offloaded =
+      m.mpi.use_collective_tree && m.network.has_collective_tree &&
+      (routine == mpi::Routine::kBcast || routine == mpi::Routine::kReduce ||
+       routine == mpi::Routine::kAllreduce);
+  Seconds prev = 0.0;
+  for (const int ranks : {2, 8, 32, 128}) {
+    const Seconds t = mpi::collective_cost(m, network, routine, 4096, ranks);
+    EXPECT_GT(t, 0.0);
+    if (!tree_offloaded) {
+      EXPECT_GE(t, prev * 0.999) << "not monotone in ranks at " << ranks;
+    }
+    prev = t;
+  }
+  prev = 0.0;
+  for (const Bytes bytes : {64u, 4096u, 262144u}) {
+    const Seconds t = mpi::collective_cost(m, network, routine, bytes, 64);
+    EXPECT_GE(t, prev) << "not monotone in bytes at " << bytes;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesByRoutine, CollectiveCostProperty,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 2, 3),
+        ::testing::Values(mpi::Routine::kBcast, mpi::Routine::kReduce,
+                          mpi::Routine::kAllreduce, mpi::Routine::kAllgather,
+                          mpi::Routine::kAlltoall)));
+
+// --- IMB databases -----------------------------------------------------------
+
+class ImbDatabaseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImbDatabaseProperty, LookupsSaneEverywhere) {
+  const machine::Machine m =
+      machine::all_machines()[static_cast<std::size_t>(GetParam())];
+  const imb::ImbDatabase db =
+      imb::measure_database(m, {16, 64}, {512, 32_KiB});
+
+  for (const auto routine :
+       {mpi::Routine::kBcast, mpi::Routine::kReduce, mpi::Routine::kAllreduce,
+        mpi::Routine::kSendrecv, mpi::Routine::kSend}) {
+    // Positive, finite, monotone in size at every (including interpolated)
+    // core count.
+    for (const int c : {16, 32, 64}) {
+      const Seconds small = db.lookup(routine, 512, c);
+      const Seconds mid = db.lookup(routine, 4_KiB, c);
+      const Seconds large = db.lookup(routine, 32_KiB, c);
+      EXPECT_GT(small, 0.0);
+      EXPECT_TRUE(std::isfinite(large));
+      EXPECT_LE(small, mid * 1.001);
+      EXPECT_LE(mid, large * 1.001);
+    }
+  }
+  // multi-Sendrecv: linear in x, intra cheaper than inter.
+  const Seconds x1 = db.multi_sendrecv_time(1, 32_KiB, 64);
+  const Seconds x3 = db.multi_sendrecv_time(3, 32_KiB, 64);
+  const Seconds x5 = db.multi_sendrecv_time(5, 32_KiB, 64);
+  EXPECT_NEAR(x5 - x3, x3 - x1, 1e-12);
+  EXPECT_LE(db.multi_sendrecv_time(3, 32_KiB, 64, 1.0), x3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, ImbDatabaseProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace swapp

@@ -1,0 +1,151 @@
+// Unit tests for the discrete-event engine and fibers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/fiber.h"
+#include "support/error.h"
+
+namespace swapp::sim {
+namespace {
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int steps = 0;
+  Fiber f([&] {
+    ++steps;
+    Fiber::yield();
+    ++steps;
+  });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(steps, 1);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(steps, 2);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, PropagatesExceptions) {
+  Fiber f([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, InFiberReflectsContext) {
+  EXPECT_FALSE(Fiber::in_fiber());
+  bool inside = false;
+  Fiber f([&] { inside = Fiber::in_fiber(); });
+  f.resume();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(Fiber::in_fiber());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimestampsFireFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule_at(5.0, [&] {
+    EXPECT_THROW(e.schedule_at(1.0, [] {}), InvalidArgument);
+  });
+  e.run();
+}
+
+TEST(Engine, ProcessAdvancesClock) {
+  Engine e;
+  Seconds observed = -1.0;
+  e.spawn("p", [&](Process& p) {
+    p.advance(1.5);
+    p.advance(0.5);
+    observed = p.engine().now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(observed, 2.0);
+}
+
+TEST(Engine, BlockAndUnblockAt) {
+  Engine e;
+  Seconds resumed_at = -1.0;
+  Process& waiter = e.spawn("waiter", [&](Process& p) {
+    p.block();
+    resumed_at = p.engine().now();
+  });
+  e.spawn("waker", [&](Process& p) {
+    p.advance(1.0);
+    waiter.unblock_at(4.0);
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 4.0);
+}
+
+TEST(Engine, UnblockInPastClampsToNow) {
+  Engine e;
+  Seconds resumed_at = -1.0;
+  Process& waiter = e.spawn("waiter", [&](Process& p) {
+    p.block();
+    resumed_at = p.engine().now();
+  });
+  e.spawn("waker", [&](Process& p) {
+    p.advance(3.0);
+    waiter.unblock_at(1.0);  // already in the past
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 3.0);
+}
+
+TEST(Engine, DeadlockDetection) {
+  Engine e;
+  e.spawn("stuck", [&](Process& p) { p.block(); });
+  EXPECT_THROW(e.run(), InternalError);
+}
+
+TEST(Engine, ManyProcessesDeterministic) {
+  const auto run_once = [] {
+    Engine e;
+    std::vector<std::uint32_t> finish_order;
+    for (int i = 0; i < 64; ++i) {
+      e.spawn("p" + std::to_string(i), [&, i](Process& p) {
+        p.advance(((i * 7) % 13) * 0.1 + 0.05);
+        finish_order.push_back(p.id());
+      });
+    }
+    e.run();
+    return finish_order;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 64u);
+}
+
+TEST(Engine, ProcessExceptionPropagates) {
+  Engine e;
+  e.spawn("bad", [](Process& p) {
+    p.advance(1.0);
+    throw std::runtime_error("rank failed");
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swapp::sim

@@ -1,0 +1,125 @@
+// Tests for the SPEC-style benchmark suite.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machine/machine.h"
+#include "spec/suite.h"
+#include "support/error.h"
+
+namespace swapp::spec {
+namespace {
+
+TEST(SpecSuite, HasSeventeenDistinctBenchmarks) {
+  // One per CFP2006 component.
+  EXPECT_EQ(suite().size(), 17u);
+  std::set<std::string> names;
+  for (const Benchmark& b : suite()) names.insert(b.name());
+  EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(SpecSuite, LookupByName) {
+  EXPECT_EQ(benchmark_by_name("bwaves").name(), "bwaves");
+  EXPECT_THROW(benchmark_by_name("x264"), NotFound);
+}
+
+TEST(SpecSuite, SignaturesAreDiverse) {
+  // The suite must span distinct microarchitectural behaviours or the
+  // surrogate search degenerates.  Check spreads on the key axes.
+  double min_ws = 1e18;
+  double max_ws = 0.0;
+  double min_theta = 1e18;
+  double max_theta = 0.0;
+  double max_pc = 0.0;
+  for (const Benchmark& b : suite()) {
+    const double ws = b.points * b.kernel.bytes_per_point;
+    min_ws = std::min(min_ws, ws);
+    max_ws = std::max(max_ws, ws);
+    min_theta = std::min(min_theta, b.kernel.locality_theta);
+    max_theta = std::max(max_theta, b.kernel.locality_theta);
+    max_pc = std::max(max_pc, b.kernel.pointer_chasing);
+  }
+  EXPECT_GT(max_ws / min_ws, 50.0);     // footprints span cache → memory
+  EXPECT_LT(min_theta, 0.2);            // cache-resident codes present
+  EXPECT_GT(max_theta, 0.9);            // streaming codes present
+  EXPECT_GT(max_pc, 0.2);               // latency-bound codes present
+}
+
+TEST(SpecSuite, RunProducesPositiveResults) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const BenchmarkRun run = run_benchmark(
+      benchmark_by_name("gamess"), m, machine::SmtMode::kSingleThread);
+  EXPECT_GT(run.runtime, 0.0);
+  EXPECT_GT(run.counters.instructions, 0.0);
+  EXPECT_NEAR(run.counters.seconds, run.runtime, 1e-9);
+}
+
+TEST(SpecSuite, OccupancyChangesBandwidthBoundResults) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Benchmark& lbm = benchmark_by_name("lbm");
+  const BenchmarkRun alone =
+      run_benchmark(lbm, m, machine::SmtMode::kSingleThread, 1);
+  const BenchmarkRun full =
+      run_benchmark(lbm, m, machine::SmtMode::kSingleThread, 16);
+  EXPECT_GT(full.runtime, 2.0 * alone.runtime);
+}
+
+TEST(SpecSuite, OccupancyBarelyAffectsCacheResidentCodes) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Benchmark& povray = benchmark_by_name("povray");
+  const BenchmarkRun alone =
+      run_benchmark(povray, m, machine::SmtMode::kSingleThread, 1);
+  const BenchmarkRun full =
+      run_benchmark(povray, m, machine::SmtMode::kSingleThread, 16);
+  EXPECT_LT(full.runtime, 1.5 * alone.runtime);
+}
+
+TEST(SpecSuite, SmtModeChangesBehaviour) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Benchmark& gamess = benchmark_by_name("gamess");
+  const BenchmarkRun st =
+      run_benchmark(gamess, m, machine::SmtMode::kSingleThread, 16);
+  const BenchmarkRun smt =
+      run_benchmark(gamess, m, machine::SmtMode::kSmt, 16);
+  EXPECT_NE(st.runtime, smt.runtime);
+}
+
+TEST(SpecSuite, RunSuiteCoversAll) {
+  const machine::Machine m = machine::make_bluegene_p();
+  const auto runs = run_suite(m, machine::SmtMode::kSingleThread);
+  EXPECT_EQ(runs.size(), suite().size());
+  for (const BenchmarkRun& r : runs) EXPECT_GT(r.runtime, 0.0);
+}
+
+TEST(SpecSuite, RejectsTooManyCopies) {
+  const machine::Machine m = machine::make_bluegene_p();  // 4 cores/node
+  EXPECT_THROW(run_benchmark(benchmark_by_name("lbm"), m,
+                             machine::SmtMode::kSingleThread, 8),
+               InvalidArgument);
+}
+
+// Property: every benchmark runs deterministically on every machine.
+class SpecDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, std::string>> {};
+
+TEST_P(SpecDeterminism, RuntimeIsReproducible) {
+  const auto [machine_index, name] = GetParam();
+  const machine::Machine m = machine::all_machines()[
+      static_cast<std::size_t>(machine_index)];
+  const Benchmark& b = benchmark_by_name(name);
+  const BenchmarkRun r1 =
+      run_benchmark(b, m, machine::SmtMode::kSingleThread);
+  const BenchmarkRun r2 =
+      run_benchmark(b, m, machine::SmtMode::kSingleThread);
+  EXPECT_DOUBLE_EQ(r1.runtime, r2.runtime);
+  EXPECT_GT(r1.runtime, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachineBenchmarkGrid, SpecDeterminism,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values("bwaves", "gamess", "soplex", "lbm",
+                                         "calculix")));
+
+}  // namespace
+}  // namespace swapp::spec

@@ -1,0 +1,159 @@
+// Unit and property tests for the compute model.
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "support/error.h"
+#include "workload/compute_model.h"
+#include "workload/kernel.h"
+
+namespace swapp::workload {
+namespace {
+
+Kernel stencil_kernel() {
+  Kernel k;
+  k.name = "stencil";
+  k.fp_fraction = 0.4;
+  k.load_fraction = 0.3;
+  k.store_fraction = 0.12;
+  k.bytes_per_point = 150;
+  k.locality_theta = 0.5;
+  k.streaming_fraction = 0.8;
+  k.instructions_per_point = 2000;
+  return k;
+}
+
+ComputeContext st_context(int active = 1) {
+  return ComputeContext{.active_cores_per_node = active,
+                        .smt = machine::SmtMode::kSingleThread};
+}
+
+TEST(ComputeModel, TimeScalesWithPoints) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Kernel k = stencil_kernel();
+  const ComputeSample one = evaluate(k, 1e5, m, st_context());
+  const ComputeSample ten = evaluate(k, 1e6, m, st_context());
+  EXPECT_GT(ten.seconds, one.seconds);
+  // At least linear (cache effects make large problems superlinear).
+  EXPECT_GE(ten.seconds, 9.0 * one.seconds);
+}
+
+TEST(ComputeModel, CountersAreConsistent) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const ComputeSample s = evaluate(stencil_kernel(), 1e6, m, st_context());
+  EXPECT_DOUBLE_EQ(s.counters.instructions, 2000.0 * 1e6);
+  EXPECT_NEAR(s.counters.cycles * m.cycle_time(), s.seconds, 1e-9);
+  // Total CPI equals cycles per instruction.
+  EXPECT_NEAR(s.counters.total_cpi(),
+              s.counters.cycles / s.counters.instructions, 1e-9);
+  EXPECT_GT(s.counters.cpi_completion, 0.0);
+}
+
+TEST(ComputeModel, FasterClockIsFasterForCacheResidentWork) {
+  Kernel k = stencil_kernel();
+  k.bytes_per_point = 16;  // tiny footprint: CPU-bound
+  const ComputeSample p5 =
+      evaluate(k, 1e5, machine::make_power5_hydra(), st_context());
+  const ComputeSample p6 =
+      evaluate(k, 1e5, machine::make_power6_575(), st_context());
+  EXPECT_LT(p6.seconds, p5.seconds);  // 4.7 GHz vs 1.9 GHz
+}
+
+TEST(ComputeModel, BandwidthCeilingBindsStreamingKernels) {
+  const machine::Machine m = machine::make_power5_hydra();
+  Kernel k = stencil_kernel();
+  k.bytes_per_point = 400;
+  k.locality_theta = 0.95;
+  k.streaming_fraction = 0.97;
+  k.instructions_per_point = 500;  // very low arithmetic intensity
+  // Alone on the node vs sharing with 15 other copies.
+  const ComputeSample alone = evaluate(k, 4e6, m, st_context(1));
+  const ComputeSample crowded = evaluate(k, 4e6, m, st_context(16));
+  EXPECT_GT(crowded.seconds, 2.0 * alone.seconds);
+  // Per-core bandwidth observed shrinks when the node is crowded.
+  EXPECT_LT(crowded.counters.memory_bandwidth_gbs,
+            alone.counters.memory_bandwidth_gbs);
+}
+
+TEST(ComputeModel, CacheFitReducesReloads) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Kernel k = stencil_kernel();
+  // 1e4 points = 1.5 MB (fits L2/L3); 1e7 points = 1.5 GB (memory).
+  const ComputeSample small = evaluate(k, 1e4, m, st_context());
+  const ComputeSample large = evaluate(k, 1e7, m, st_context());
+  EXPECT_LT(small.counters.data_from_local_mem_per_instr,
+            large.counters.data_from_local_mem_per_instr);
+}
+
+TEST(ComputeModel, SmtSlowsPerThreadExecution) {
+  const machine::Machine m = machine::make_power5_hydra();
+  const Kernel k = stencil_kernel();
+  const ComputeSample st = evaluate(k, 1e6, m, st_context(16));
+  const ComputeSample smt =
+      evaluate(k, 1e6, m,
+               ComputeContext{.active_cores_per_node = 16,
+                              .smt = machine::SmtMode::kSmt});
+  EXPECT_GT(smt.seconds, st.seconds);
+}
+
+TEST(ComputeModel, PointerChasingHurtsMore) {
+  const machine::Machine m = machine::make_power5_hydra();
+  Kernel regular = stencil_kernel();
+  Kernel chasing = stencil_kernel();
+  chasing.pointer_chasing = 0.3;
+  const ComputeSample r = evaluate(regular, 1e6, m, st_context());
+  const ComputeSample c = evaluate(chasing, 1e6, m, st_context());
+  EXPECT_GT(c.seconds, r.seconds);
+  EXPECT_GT(c.counters.cpi_stall_mem, r.counters.cpi_stall_mem);
+}
+
+TEST(ComputeModel, EratOnlyOnPowerMachines) {
+  Kernel k = stencil_kernel();
+  k.tlb_hostility = 0.1;
+  const ComputeSample power =
+      evaluate(k, 1e7, machine::make_power5_hydra(), st_context());
+  const ComputeSample x86 =
+      evaluate(k, 1e7, machine::make_westmere_x5670(), st_context());
+  EXPECT_GT(power.counters.erat_miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(x86.counters.erat_miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(x86.counters.slb_miss_rate, 0.0);
+}
+
+TEST(ComputeModel, RejectsBadArguments) {
+  const machine::Machine m = machine::make_power5_hydra();
+  EXPECT_THROW(evaluate(stencil_kernel(), 0.0, m, st_context()),
+               InvalidArgument);
+  EXPECT_THROW(evaluate(stencil_kernel(), 1e5, m, st_context(64)),
+               InvalidArgument);  // more active cores than the node has
+}
+
+// Property sweep: invariants across machines and occupancies.
+class ComputeModelProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ComputeModelProperty, SaneAcrossMachinesAndOccupancy) {
+  const auto [machine_index, active] = GetParam();
+  const machine::Machine m = machine::all_machines()[
+      static_cast<std::size_t>(machine_index)];
+  if (active > m.cores_per_node) GTEST_SKIP();
+  const ComputeSample s =
+      evaluate(stencil_kernel(), 5e5, m, st_context(active));
+  EXPECT_GT(s.seconds, 0.0);
+  EXPECT_GT(s.counters.total_cpi(), 0.0);
+  EXPECT_LT(s.counters.total_cpi(), 200.0);
+  EXPECT_GE(s.counters.data_from_l2_per_instr, 0.0);
+  EXPECT_GE(s.counters.memory_bandwidth_gbs, 0.0);
+  EXPECT_LE(s.counters.memory_bandwidth_gbs,
+            m.caches.memory().node_bandwidth_gbs + 1e-9);
+  // Determinism: the model is a pure function.
+  const ComputeSample again =
+      evaluate(stencil_kernel(), 5e5, m, st_context(active));
+  EXPECT_DOUBLE_EQ(s.seconds, again.seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, ComputeModelProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 4, 12, 16)));
+
+}  // namespace
+}  // namespace swapp::workload

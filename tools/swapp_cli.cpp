@@ -1,0 +1,264 @@
+// swapp — command-line projection tool.
+//
+// The collect-once / project-many workflow from a shell:
+//
+//   # collect benchmark databases (once per machine)
+//   swapp collect-imb  --machine "IBM POWER6 575" --out p6.imb
+//   swapp collect-spec --targets "IBM POWER6 575,IBM BlueGene/P" --out spec.lib
+//
+//   # profile an application on the base system (once per app)
+//   swapp profile --app BT --class C --counts 16,32,64,128 --out bt_c.app
+//
+//   # project (as often as you like, no simulation involved)
+//   swapp project --app-data bt_c.app --spec spec.lib
+//                 --base-imb hydra.imb --target-imb p6.imb
+//                 --target "IBM POWER6 575" --tasks 128
+//
+//   # everything in one go (collects what is missing)
+//   swapp project --app BT --class C --target "IBM POWER6 575" --tasks 128
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "io/persist.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "support/error.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace swapp;
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      R"(usage: swapp <command> [options]
+
+commands:
+  list-machines                       show the built-in machine models
+  collect-imb   --machine NAME --out FILE
+  collect-spec  --targets A,B,...  --out FILE
+  profile       --app BT|SP|LU --class C|D [--threads N]
+                [--counts 16,32,...] --out FILE
+  project       --target NAME --tasks N
+                (--app NAME --class C|D [--threads N] |
+                 --app-data FILE --spec FILE --base-imb FILE --target-imb FILE)
+
+The base system is always the TAMU Hydra POWER5+ model.
+)";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+    key = key.substr(2);
+    if (i + 1 >= argc) usage("flag --" + key + " needs a value");
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage("missing required flag --" + key);
+  return it->second;
+}
+
+std::vector<int> parse_counts(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) out.push_back(std::stoi(token));
+  if (out.empty()) usage("empty count list");
+  return out;
+}
+
+std::vector<std::string> parse_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) out.push_back(token);
+  return out;
+}
+
+nas::Benchmark benchmark_from(const std::string& name) {
+  if (name == "BT") return nas::Benchmark::kBT;
+  if (name == "SP") return nas::Benchmark::kSP;
+  if (name == "LU") return nas::Benchmark::kLU;
+  usage("unknown app (use BT, SP, or LU): " + name);
+}
+
+nas::ProblemClass class_from(const std::string& name) {
+  if (name == "C") return nas::ProblemClass::kC;
+  if (name == "D") return nas::ProblemClass::kD;
+  usage("unknown class (use C or D): " + name);
+}
+
+core::AppBaseData profile_app(nas::Benchmark bench, nas::ProblemClass cls,
+                              int threads, const std::vector<int>& counts) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const nas::NasApp app(bench, cls);
+  core::AppBaseData data;
+  data.app = app.name();
+  data.base_machine = base.name;
+  data.threads_per_rank = threads;
+  for (const int c : counts) {
+    std::cerr << "profiling " << app.name() << " at " << c << " tasks...\n";
+    const auto st = app.run(base, c, machine::SmtMode::kSingleThread, threads);
+    data.mpi_profiles.emplace(c, st->profile());
+    data.mean_compute.emplace(c, st->profile().mean_compute());
+    data.counters_st.emplace(c, st->counters());
+    const auto smt = app.run(base, c, machine::SmtMode::kSmt, threads);
+    data.counters_smt.emplace(c, smt->counters());
+  }
+  return data;
+}
+
+int cmd_list_machines() {
+  TextTable table({"Machine", "Processor", "Cores/Node", "Total Cores"});
+  for (const machine::Machine& m : machine::all_machines()) {
+    table.add_row({m.name, m.processor.name, std::to_string(m.cores_per_node),
+                   std::to_string(m.total_cores)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_collect_imb(const std::map<std::string, std::string>& flags) {
+  const machine::Machine m = machine::machine_by_name(need(flags, "machine"));
+  std::cerr << "measuring IMB-style tables on " << m.name << "...\n";
+  io::save_imb_database(need(flags, "out"), imb::measure_database(m));
+  std::cout << "wrote " << need(flags, "out") << "\n";
+  return 0;
+}
+
+int cmd_collect_spec(const std::map<std::string, std::string>& flags) {
+  const machine::Machine base = machine::make_power5_hydra();
+  std::vector<machine::Machine> targets;
+  for (const std::string& name : parse_names(need(flags, "targets"))) {
+    targets.push_back(machine::machine_by_name(name));
+  }
+  std::vector<int> counts = {4, 8, 16, 32, 64, 128};
+  if (flags.count("counts")) counts = parse_counts(flags.at("counts"));
+  std::cerr << "collecting SPEC-style library (base + " << targets.size()
+            << " targets)...\n";
+  io::save_spec_library(
+      need(flags, "out"),
+      experiments::collect_spec_library(base, targets, counts));
+  std::cout << "wrote " << need(flags, "out") << "\n";
+  return 0;
+}
+
+int cmd_profile(const std::map<std::string, std::string>& flags) {
+  const nas::Benchmark bench = benchmark_from(need(flags, "app"));
+  const nas::ProblemClass cls = class_from(need(flags, "class"));
+  const int threads =
+      flags.count("threads") ? std::stoi(flags.at("threads")) : 1;
+  std::vector<int> counts =
+      bench == nas::Benchmark::kLU ? std::vector<int>{4, 8, 16}
+                                   : std::vector<int>{16, 32, 64, 128};
+  if (flags.count("counts")) counts = parse_counts(flags.at("counts"));
+  io::save_app_data(need(flags, "out"),
+                    profile_app(bench, cls, threads, counts));
+  std::cout << "wrote " << need(flags, "out") << "\n";
+  return 0;
+}
+
+int cmd_project(const std::map<std::string, std::string>& flags) {
+  const std::string target_name = need(flags, "target");
+  const int tasks = std::stoi(need(flags, "tasks"));
+  const machine::Machine base = machine::make_power5_hydra();
+
+  // Load or collect the three inputs.
+  core::AppBaseData app_data;
+  if (flags.count("app-data")) {
+    app_data = io::load_app_data(flags.at("app-data"));
+  } else {
+    const nas::Benchmark bench = benchmark_from(need(flags, "app"));
+    const nas::ProblemClass cls = class_from(need(flags, "class"));
+    const int threads =
+        flags.count("threads") ? std::stoi(flags.at("threads")) : 1;
+    const std::vector<int> counts =
+        bench == nas::Benchmark::kLU ? std::vector<int>{4, 8, 16}
+                                     : std::vector<int>{16, 32, 64, 128};
+    app_data = profile_app(bench, cls, threads, counts);
+  }
+
+  core::SpecLibrary spec;
+  if (flags.count("spec")) {
+    spec = io::load_spec_library(flags.at("spec"));
+  } else {
+    std::cerr << "collecting SPEC-style library...\n";
+    spec = experiments::collect_spec_library(
+        base, {machine::machine_by_name(target_name)},
+        {4, 8, 16, 32, 64, 128});
+  }
+
+  imb::ImbDatabase base_imb =
+      flags.count("base-imb") ? io::load_imb_database(flags.at("base-imb"))
+                              : imb::measure_database(base);
+  imb::ImbDatabase target_imb =
+      flags.count("target-imb")
+          ? io::load_imb_database(flags.at("target-imb"))
+          : imb::measure_database(machine::machine_by_name(target_name));
+
+  core::Projector projector(base, spec, std::move(base_imb));
+  projector.add_target(target_name, std::move(target_imb));
+  const core::ProjectionResult r =
+      projector.project(app_data, target_name, tasks);
+
+  TextTable table({"Quantity", "Seconds"});
+  table.set_title("Projection of " + app_data.app + " at " +
+                  std::to_string(tasks) + " tasks onto " + target_name);
+  table.add_row({"compute", TextTable::num(r.compute.target_compute, 3)});
+  table.add_row({"communication (transfer)",
+                 TextTable::num(r.comm.target_total() -
+                                    r.comm.of(mpi::RoutineClass::
+                                                  kPointToPointNonblocking)
+                                        .target_wait -
+                                    r.comm.of(mpi::RoutineClass::kCollective)
+                                        .target_wait,
+                                3)});
+  table.add_row({"communication (total)",
+                 TextTable::num(r.comm.target_total(), 3)});
+  table.add_row({"TOTAL", TextTable::num(r.total_target(), 3)});
+  table.print(std::cout);
+
+  std::cout << "surrogate:";
+  for (const core::SurrogateTerm& t : r.compute.surrogate.terms) {
+    std::cout << ' ' << t.benchmark << '*' << TextTable::num(t.weight, 3);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "list-machines") return cmd_list_machines();
+    if (command == "collect-imb") return cmd_collect_imb(flags);
+    if (command == "collect-spec") return cmd_collect_spec(flags);
+    if (command == "profile") return cmd_profile(flags);
+    if (command == "project") return cmd_project(flags);
+    usage("unknown command: " + command);
+  } catch (const swapp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
