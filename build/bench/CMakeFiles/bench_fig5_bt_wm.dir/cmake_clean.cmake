@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bt_wm.dir/bench_fig5_bt_wm.cpp.o"
+  "CMakeFiles/bench_fig5_bt_wm.dir/bench_fig5_bt_wm.cpp.o.d"
+  "bench_fig5_bt_wm"
+  "bench_fig5_bt_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bt_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sp_bgp.dir/bench_fig7_sp_bgp.cpp.o"
+  "CMakeFiles/bench_fig7_sp_bgp.dir/bench_fig7_sp_bgp.cpp.o.d"
+  "bench_fig7_sp_bgp"
+  "bench_fig7_sp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

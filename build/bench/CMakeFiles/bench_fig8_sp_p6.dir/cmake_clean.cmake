@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sp_p6.dir/bench_fig8_sp_p6.cpp.o"
+  "CMakeFiles/bench_fig8_sp_p6.dir/bench_fig8_sp_p6.cpp.o.d"
+  "bench_fig8_sp_p6"
+  "bench_fig8_sp_p6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sp_p6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sp_wm.dir/bench_fig9_sp_wm.cpp.o"
+  "CMakeFiles/bench_fig9_sp_wm.dir/bench_fig9_sp_wm.cpp.o.d"
+  "bench_fig9_sp_wm"
+  "bench_fig9_sp_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sp_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

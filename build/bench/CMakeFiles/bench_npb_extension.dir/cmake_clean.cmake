@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_npb_extension.dir/bench_npb_extension.cpp.o"
+  "CMakeFiles/bench_npb_extension.dir/bench_npb_extension.cpp.o.d"
+  "bench_npb_extension"
+  "bench_npb_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_npb_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_system.dir/future_system.cpp.o"
+  "CMakeFiles/future_system.dir/future_system.cpp.o.d"
+  "future_system"
+  "future_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_study.dir/hybrid_study.cpp.o"
+  "CMakeFiles/hybrid_study.dir/hybrid_study.cpp.o.d"
+  "hybrid_study"
+  "hybrid_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

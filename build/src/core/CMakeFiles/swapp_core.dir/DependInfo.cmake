@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acsm.cpp" "src/core/CMakeFiles/swapp_core.dir/acsm.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/acsm.cpp.o.d"
+  "/root/repo/src/core/ccsm.cpp" "src/core/CMakeFiles/swapp_core.dir/ccsm.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/ccsm.cpp.o.d"
+  "/root/repo/src/core/comm_projection.cpp" "src/core/CMakeFiles/swapp_core.dir/comm_projection.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/comm_projection.cpp.o.d"
+  "/root/repo/src/core/compute_projection.cpp" "src/core/CMakeFiles/swapp_core.dir/compute_projection.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/compute_projection.cpp.o.d"
+  "/root/repo/src/core/ga.cpp" "src/core/CMakeFiles/swapp_core.dir/ga.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/ga.cpp.o.d"
+  "/root/repo/src/core/profiles.cpp" "src/core/CMakeFiles/swapp_core.dir/profiles.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/profiles.cpp.o.d"
+  "/root/repo/src/core/projector.cpp" "src/core/CMakeFiles/swapp_core.dir/projector.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/projector.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/swapp_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/swapp_core.dir/ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/swapp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swapp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/swapp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/imb/CMakeFiles/swapp_imb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swapp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swapp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_core.dir/acsm.cpp.o"
+  "CMakeFiles/swapp_core.dir/acsm.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/ccsm.cpp.o"
+  "CMakeFiles/swapp_core.dir/ccsm.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/comm_projection.cpp.o"
+  "CMakeFiles/swapp_core.dir/comm_projection.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/compute_projection.cpp.o"
+  "CMakeFiles/swapp_core.dir/compute_projection.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/ga.cpp.o"
+  "CMakeFiles/swapp_core.dir/ga.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/profiles.cpp.o"
+  "CMakeFiles/swapp_core.dir/profiles.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/projector.cpp.o"
+  "CMakeFiles/swapp_core.dir/projector.cpp.o.d"
+  "CMakeFiles/swapp_core.dir/ranking.cpp.o"
+  "CMakeFiles/swapp_core.dir/ranking.cpp.o.d"
+  "libswapp_core.a"
+  "libswapp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

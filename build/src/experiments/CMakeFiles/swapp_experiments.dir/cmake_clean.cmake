@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_experiments.dir/lab.cpp.o"
+  "CMakeFiles/swapp_experiments.dir/lab.cpp.o.d"
+  "libswapp_experiments.a"
+  "libswapp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

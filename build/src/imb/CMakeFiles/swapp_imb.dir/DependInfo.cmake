@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imb/suite.cpp" "src/imb/CMakeFiles/swapp_imb.dir/suite.cpp.o" "gcc" "src/imb/CMakeFiles/swapp_imb.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/swapp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swapp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/swapp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swapp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swapp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_imb.dir/suite.cpp.o"
+  "CMakeFiles/swapp_imb.dir/suite.cpp.o.d"
+  "libswapp_imb.a"
+  "libswapp_imb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/persist.cpp" "src/io/CMakeFiles/swapp_io.dir/persist.cpp.o" "gcc" "src/io/CMakeFiles/swapp_io.dir/persist.cpp.o.d"
+  "/root/repo/src/io/record.cpp" "src/io/CMakeFiles/swapp_io.dir/record.cpp.o" "gcc" "src/io/CMakeFiles/swapp_io.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/swapp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swapp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/swapp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/imb/CMakeFiles/swapp_imb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swapp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swapp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swapp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

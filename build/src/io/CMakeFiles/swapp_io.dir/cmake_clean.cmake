@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_io.dir/persist.cpp.o"
+  "CMakeFiles/swapp_io.dir/persist.cpp.o.d"
+  "CMakeFiles/swapp_io.dir/record.cpp.o"
+  "CMakeFiles/swapp_io.dir/record.cpp.o.d"
+  "libswapp_io.a"
+  "libswapp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

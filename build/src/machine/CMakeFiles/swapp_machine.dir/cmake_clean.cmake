@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_machine.dir/cache.cpp.o"
+  "CMakeFiles/swapp_machine.dir/cache.cpp.o.d"
+  "CMakeFiles/swapp_machine.dir/counters.cpp.o"
+  "CMakeFiles/swapp_machine.dir/counters.cpp.o.d"
+  "CMakeFiles/swapp_machine.dir/machines.cpp.o"
+  "CMakeFiles/swapp_machine.dir/machines.cpp.o.d"
+  "libswapp_machine.a"
+  "libswapp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/swapp_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/swapp_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/profile.cpp" "src/mpi/CMakeFiles/swapp_mpi.dir/profile.cpp.o" "gcc" "src/mpi/CMakeFiles/swapp_mpi.dir/profile.cpp.o.d"
+  "/root/repo/src/mpi/types.cpp" "src/mpi/CMakeFiles/swapp_mpi.dir/types.cpp.o" "gcc" "src/mpi/CMakeFiles/swapp_mpi.dir/types.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/swapp_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/swapp_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/swapp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swapp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swapp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swapp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

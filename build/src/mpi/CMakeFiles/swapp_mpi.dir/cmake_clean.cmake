@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/swapp_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/swapp_mpi.dir/profile.cpp.o"
+  "CMakeFiles/swapp_mpi.dir/profile.cpp.o.d"
+  "CMakeFiles/swapp_mpi.dir/types.cpp.o"
+  "CMakeFiles/swapp_mpi.dir/types.cpp.o.d"
+  "CMakeFiles/swapp_mpi.dir/world.cpp.o"
+  "CMakeFiles/swapp_mpi.dir/world.cpp.o.d"
+  "libswapp_mpi.a"
+  "libswapp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/nas_app.cpp" "src/nas/CMakeFiles/swapp_nas.dir/nas_app.cpp.o" "gcc" "src/nas/CMakeFiles/swapp_nas.dir/nas_app.cpp.o.d"
+  "/root/repo/src/nas/npb.cpp" "src/nas/CMakeFiles/swapp_nas.dir/npb.cpp.o" "gcc" "src/nas/CMakeFiles/swapp_nas.dir/npb.cpp.o.d"
+  "/root/repo/src/nas/zones.cpp" "src/nas/CMakeFiles/swapp_nas.dir/zones.cpp.o" "gcc" "src/nas/CMakeFiles/swapp_nas.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/swapp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/swapp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/swapp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/swapp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swapp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_nas.dir/nas_app.cpp.o"
+  "CMakeFiles/swapp_nas.dir/nas_app.cpp.o.d"
+  "CMakeFiles/swapp_nas.dir/npb.cpp.o"
+  "CMakeFiles/swapp_nas.dir/npb.cpp.o.d"
+  "CMakeFiles/swapp_nas.dir/zones.cpp.o"
+  "CMakeFiles/swapp_nas.dir/zones.cpp.o.d"
+  "libswapp_nas.a"
+  "libswapp_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_net.dir/network.cpp.o"
+  "CMakeFiles/swapp_net.dir/network.cpp.o.d"
+  "libswapp_net.a"
+  "libswapp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

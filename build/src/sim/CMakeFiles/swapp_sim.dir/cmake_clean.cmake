@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_sim.dir/engine.cpp.o"
+  "CMakeFiles/swapp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/swapp_sim.dir/fiber.cpp.o"
+  "CMakeFiles/swapp_sim.dir/fiber.cpp.o.d"
+  "libswapp_sim.a"
+  "libswapp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

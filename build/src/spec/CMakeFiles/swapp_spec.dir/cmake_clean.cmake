@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_spec.dir/suite.cpp.o"
+  "CMakeFiles/swapp_spec.dir/suite.cpp.o.d"
+  "libswapp_spec.a"
+  "libswapp_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

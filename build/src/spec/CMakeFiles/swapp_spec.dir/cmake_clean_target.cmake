@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswapp_spec.a"
+)

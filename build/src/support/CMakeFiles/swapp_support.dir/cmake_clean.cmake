@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_support.dir/error.cpp.o"
+  "CMakeFiles/swapp_support.dir/error.cpp.o.d"
+  "CMakeFiles/swapp_support.dir/fit.cpp.o"
+  "CMakeFiles/swapp_support.dir/fit.cpp.o.d"
+  "CMakeFiles/swapp_support.dir/interp.cpp.o"
+  "CMakeFiles/swapp_support.dir/interp.cpp.o.d"
+  "CMakeFiles/swapp_support.dir/rng.cpp.o"
+  "CMakeFiles/swapp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/swapp_support.dir/stats.cpp.o"
+  "CMakeFiles/swapp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/swapp_support.dir/table.cpp.o"
+  "CMakeFiles/swapp_support.dir/table.cpp.o.d"
+  "libswapp_support.a"
+  "libswapp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

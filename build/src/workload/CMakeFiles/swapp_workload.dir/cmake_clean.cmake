@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp_workload.dir/compute_model.cpp.o"
+  "CMakeFiles/swapp_workload.dir/compute_model.cpp.o.d"
+  "libswapp_workload.a"
+  "libswapp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapp.dir/swapp_cli.cpp.o"
+  "CMakeFiles/swapp.dir/swapp_cli.cpp.o.d"
+  "swapp"
+  "swapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
