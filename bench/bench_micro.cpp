@@ -5,6 +5,7 @@
 
 #include "core/ga.h"
 #include "core/ranking.h"
+#include "experiments/lab.h"
 #include "imb/suite.h"
 #include "machine/machine.h"
 #include "mpi/world.h"
@@ -12,11 +13,32 @@
 #include "sim/engine.h"
 #include "spec/suite.h"
 #include "support/interp.h"
+#include "support/parallel.h"
 #include "workload/compute_model.h"
 
 namespace {
 
 using namespace swapp;
+
+/// SPEC-style suite data on the base machine, shared by the GA benchmarks.
+const core::SpecData& ga_spec_data() {
+  static const core::SpecData* data = [] {
+    auto* spec = new core::SpecData;
+    const machine::Machine base = machine::make_power5_hydra();
+    for (const spec::BenchmarkRun& run :
+         spec::run_suite(base, machine::SmtMode::kSingleThread)) {
+      spec->names.push_back(run.name);
+      spec->base_counters_st.emplace(run.name, run.counters);
+      spec->base_runtime.emplace(run.name, run.runtime);
+    }
+    for (const spec::BenchmarkRun& run :
+         spec::run_suite(base, machine::SmtMode::kSmt)) {
+      spec->base_counters_smt.emplace(run.name, run.counters);
+    }
+    return spec;
+  }();
+  return *data;
+}
 
 void BM_EngineEventDispatch(benchmark::State& state) {
   for (auto _ : state) {
@@ -111,17 +133,7 @@ BENCHMARK(BM_LogLogTableLookup);
 
 void BM_GaSurrogateSearch(benchmark::State& state) {
   const machine::Machine base = machine::make_power5_hydra();
-  core::SpecData spec;
-  for (const spec::BenchmarkRun& run :
-       spec::run_suite(base, machine::SmtMode::kSingleThread)) {
-    spec.names.push_back(run.name);
-    spec.base_counters_st.emplace(run.name, run.counters);
-    spec.base_runtime.emplace(run.name, run.runtime);
-  }
-  for (const spec::BenchmarkRun& run :
-       spec::run_suite(base, machine::SmtMode::kSmt)) {
-    spec.base_counters_smt.emplace(run.name, run.counters);
-  }
+  const core::SpecData& spec = ga_spec_data();
   const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
   const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
   const core::GroupWeights weights = core::base_group_weights(app, base);
@@ -135,6 +147,72 @@ void BM_GaSurrogateSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GaSurrogateSearch);
+
+// The Eq. 2 surrogate search at production settings (default GaOptions:
+// 5 restarts × 240 generations), serial vs. pooled.  Arg = thread count
+// (0 = auto: SWAPP_THREADS / hardware concurrency).
+void BM_FindSurrogate(benchmark::State& state) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const core::SpecData& spec = ga_spec_data();
+  const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
+  const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  const core::GaOptions options;
+  set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::find_surrogate(app, app_smt, weights, spec, 100.0, options)
+            .fitness);
+  }
+  set_thread_count(0);
+}
+BENCHMARK(BM_FindSurrogate)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// The GA objective on a suite-sized genome: fused single-pass kernel
+// (Arg = 1) vs. the compiled-in three-pass reference (Arg = 0).  256
+// evaluations per iteration, matching the per-generation re-evaluation load.
+void BM_GaFitnessKernel(benchmark::State& state) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const core::SpecData& spec = ga_spec_data();
+  const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
+  const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  // A max_terms-sized genome spread across the suite, scaled so the base
+  // runtimes sum near the target compute time.
+  std::vector<double> genome(spec.names.size(), 0.0);
+  const std::size_t stride = std::max<std::size_t>(1, genome.size() / 6);
+  int terms = 0;
+  for (std::size_t k = 0; k < genome.size() && terms < 6; k += stride, ++terms) {
+    genome[k] = 100.0 / (6.0 * spec.base_runtime.at(spec.names[k]));
+  }
+  const bool fused = state.range(0) == 1;
+  constexpr int kEvals = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ga_fitness_probe(
+        app, app_smt, weights, spec, 100.0, genome, kEvals, fused));
+  }
+  state.SetItemsProcessed(state.iterations() * kEvals);
+}
+BENCHMARK(BM_GaFitnessKernel)->Arg(0)->Arg(1);
+
+// A full figure through the Lab (LU on POWER6: ground-truth runs +
+// projections per row), serial vs. pooled.  Arg = thread count (0 = auto).
+// The Lab is rebuilt each iteration so every row pays its full cost; the
+// shared databases are built outside the timed section.
+void BM_LabFigure(benchmark::State& state) {
+  set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    experiments::Lab lab({experiments::Lab::power6_name()});
+    lab.projector();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        lab.figure(nas::Benchmark::kLU, experiments::Lab::power6_name())
+            .rows.size());
+  }
+  set_thread_count(0);
+}
+BENCHMARK(BM_LabFigure)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_ImbMeasurement(benchmark::State& state) {
   const machine::Machine m = machine::make_power5_hydra();

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <cmath>
+#include <numeric>
 
 #include "support/error.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace swapp::core {
@@ -56,6 +58,11 @@ struct Problem {
     for (double& w : g) w *= factor;
   }
 
+  // Reference three-pass objective (metric_distance + runtime_error +
+  // fitness).  The GA itself runs fitness_fused below; these stay compiled
+  // in as the ground truth the fused kernel is benchmarked and checked
+  // against (ga_fitness_probe).
+
   double metric_distance(const Genome& g) const {
     // Blend benchmark signatures by their share of the surrogate's runtime
     // (per-instruction rates combine by execution share).
@@ -94,6 +101,50 @@ struct Problem {
     const double r = runtime_error(g);
     return metric_distance(g) + lambda * r * r;
   }
+
+  /// Fused single-pass objective: one sweep over the genome's nonzero terms
+  /// computes the runtime share, the ST/SMT signature blends, and the
+  /// runtime penalty together.  Per-metric accumulation happens in the same
+  /// ascending-k order as the reference path, and skipped zero terms only
+  /// drop exact +0.0 additions, so the result is bit-identical to
+  /// fitness() for every genome the GA produces (weights are >= 0).
+  double fitness_fused(const Genome& g, double* distance_out = nullptr,
+                       double* runtime_error_out = nullptr) const {
+    double share_total = 0.0;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      if (g[k] != 0.0) share_total += g[k] * bench_base_time[k];
+    }
+    const double rerr = std::abs(share_total - app_compute) / app_compute;
+
+    double distance;
+    if (share_total <= 0.0) {
+      distance = 1e18;
+    } else {
+      std::array<double, machine::kMetricCount> blend_st{};
+      std::array<double, machine::kMetricCount> blend_smt{};
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        if (g[k] == 0.0) continue;
+        const double share = g[k] * bench_base_time[k] / share_total;
+        const std::array<double, machine::kMetricCount>& st =
+            bench_st[k].values;
+        const std::array<double, machine::kMetricCount>& smt =
+            bench_smt[k].values;
+        for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+          blend_st[i] += share * st[i];
+          blend_smt[i] += share * smt[i];
+        }
+      }
+      distance = 0.0;
+      for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+        const double d_st = (blend_st[i] - app_st.values[i]) / scale[i];
+        const double d_smt = (blend_smt[i] - app_smt.values[i]) / scale[i];
+        distance += metric_weight[i] * (d_st * d_st + d_smt * d_smt);
+      }
+    }
+    if (distance_out) *distance_out = distance;
+    if (runtime_error_out) *runtime_error_out = rerr;
+    return distance + lambda * rerr * rerr;
+  }
 };
 
 int nonzero_count(const Genome& g) {
@@ -116,15 +167,10 @@ void prune_to(Genome& g, int max_terms) {
   }
 }
 
-}  // namespace
-
-namespace {
-
-Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
-                              const machine::PmuCounters& app_smt,
-                              const GroupWeights& weights,
-                              const SpecData& spec, Seconds app_base_compute,
-                              const GaOptions& options) {
+Problem build_problem(const machine::PmuCounters& app_st,
+                      const machine::PmuCounters& app_smt,
+                      const GroupWeights& weights, const SpecData& spec,
+                      Seconds app_base_compute, const GaOptions& options) {
   SWAPP_REQUIRE(app_base_compute > 0.0,
                 "application base compute time must be positive");
   SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
@@ -153,12 +199,17 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
     prob.metric_weight[i] =
         weights[machine::MetricVector::group_of(i)];
   }
+  return prob;
+}
 
+/// One GA run over a pre-built (shared, read-only) Problem.
+Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
+                              const GaOptions& options) {
   Rng rng(options.seed);
   const std::size_t n = prob.size();
 
-  const auto random_genome = [&] {
-    Genome g(n, 0.0);
+  const auto fill_random_genome = [&](Genome& g) {
+    std::fill(g.begin(), g.end(), 0.0);
     const int terms = static_cast<int>(rng.range(2, 4));
     for (int t = 0; t < terms; ++t) {
       const auto k = static_cast<std::size_t>(rng.below(n));
@@ -167,15 +218,17 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
              rng.uniform(0.5, 1.5);
     }
     prob.normalise_scale(g);
-    return g;
   };
 
-  std::vector<Genome> population;
-  std::vector<double> fitness;
-  population.reserve(static_cast<std::size_t>(options.population));
-  for (int i = 0; i < options.population; ++i) {
-    population.push_back(random_genome());
-    fitness.push_back(prob.fitness(population.back()));
+  // Double-buffered population: genomes are written in place each
+  // generation, so the breeding loop performs no allocations after setup.
+  const auto pop_size = static_cast<std::size_t>(options.population);
+  std::vector<Genome> population(pop_size, Genome(n, 0.0));
+  std::vector<Genome> next(pop_size, Genome(n, 0.0));
+  std::vector<double> fitness(pop_size, 0.0);
+  for (std::size_t i = 0; i < pop_size; ++i) {
+    fill_random_genome(population[i]);
+    fitness[i] = prob.fitness_fused(population[i]);
   }
 
   const auto tournament = [&]() -> const Genome& {
@@ -189,33 +242,43 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
     return population[best];
   };
 
+  // Scratch reused across generations and children.
+  std::vector<std::size_t> order(pop_size);
+  std::vector<std::size_t> nz;
+  nz.reserve(n);
+
+  double best_so_far = 1e300;
+  int stagnant = 0;
   for (int gen = 0; gen < options.generations; ++gen) {
-    // Elitism: keep the two best individuals.
-    std::vector<std::size_t> order(population.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) {
-                return fitness[a] < fitness[b];
-              });
+    // Elitism: keep the two best individuals (index tie-break keeps the
+    // selection deterministic even under exact fitness ties).
+    for (std::size_t i = 0; i < pop_size; ++i) order[i] = i;
+    std::partial_sort(order.begin(), order.begin() + 2, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        if (fitness[a] != fitness[b]) {
+                          return fitness[a] < fitness[b];
+                        }
+                        return a < b;
+                      });
+    next[0] = population[order[0]];
+    next[1] = population[order[1]];
 
-    std::vector<Genome> next;
-    next.reserve(population.size());
-    next.push_back(population[order[0]]);
-    next.push_back(population[order[1]]);
-
-    while (next.size() < population.size()) {
+    for (std::size_t filled = 2; filled < pop_size; ++filled) {
       const Genome& a = tournament();
       const Genome& b = tournament();
-      Genome child(n, 0.0);
+      Genome& child = next[filled];
       for (std::size_t k = 0; k < n; ++k) {
         child[k] = rng.chance(0.5) ? a[k] : b[k];
       }
+      // The nonzero index list is built once per child and kept current
+      // through the mutations below (sorted ascending, exactly what a
+      // rebuild would produce).
+      nz.clear();
+      for (std::size_t k = 0; k < n; ++k) {
+        if (child[k] > 0.0) nz.push_back(k);
+      }
       // Mutations: perturb, add, drop.
       if (rng.chance(0.6)) {
-        std::vector<std::size_t> nz;
-        for (std::size_t k = 0; k < n; ++k) {
-          if (child[k] > 0.0) nz.push_back(k);
-        }
         if (!nz.empty()) {
           const std::size_t k = nz[rng.below(nz.size())];
           child[k] *= std::exp(rng.normal(0.0, 0.35));
@@ -226,22 +289,30 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
         if (child[k] == 0.0) {
           child[k] = prob.app_compute / (4.0 * prob.bench_base_time[k]) *
                      rng.uniform(0.2, 1.0);
+          nz.insert(std::lower_bound(nz.begin(), nz.end(), k), k);
         }
       }
-      if (rng.chance(0.15) && nonzero_count(child) > 1) {
-        std::vector<std::size_t> nz;
-        for (std::size_t k = 0; k < n; ++k) {
-          if (child[k] > 0.0) nz.push_back(k);
-        }
-        child[nz[rng.below(nz.size())]] = 0.0;
+      if (rng.chance(0.15) && nz.size() > 1) {
+        const auto j = static_cast<std::size_t>(rng.below(nz.size()));
+        child[nz[j]] = 0.0;
+        nz.erase(nz.begin() + static_cast<std::ptrdiff_t>(j));
       }
       prune_to(child, options.max_terms);
       prob.normalise_scale(child);
-      next.push_back(std::move(child));
     }
-    population = std::move(next);
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      fitness[i] = prob.fitness(population[i]);
+    std::swap(population, next);
+    double gen_best = 1e300;
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      fitness[i] = prob.fitness_fused(population[i]);
+      gen_best = std::min(gen_best, fitness[i]);
+    }
+    if (options.stagnation_limit > 0) {
+      if (gen_best < best_so_far) {
+        best_so_far = gen_best;
+        stagnant = 0;
+      } else if (++stagnant >= options.stagnation_limit) {
+        break;
+      }
     }
   }
 
@@ -252,18 +323,19 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
   // winner until no single-weight change improves the objective.
   Genome polished = population[best];
   double polished_fit = fitness[best];
+  Genome candidate(n, 0.0);
   bool improved = true;
   while (improved) {
     improved = false;
     for (std::size_t k = 0; k < n; ++k) {
       if (polished[k] == 0.0) continue;
       for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
-        Genome candidate = polished;
+        candidate = polished;
         candidate[k] *= factor;
         prob.normalise_scale(candidate);
-        const double f = prob.fitness(candidate);
+        const double f = prob.fitness_fused(candidate);
         if (f + 1e-12 < polished_fit) {
-          polished = std::move(candidate);
+          std::swap(polished, candidate);
           polished_fit = f;
           improved = true;
         }
@@ -274,8 +346,7 @@ Surrogate find_surrogate_once(const machine::PmuCounters& app_st,
 
   Surrogate out;
   out.fitness = polished_fit;
-  out.metric_distance = prob.metric_distance(g);
-  out.runtime_error = prob.runtime_error(g);
+  prob.fitness_fused(g, &out.metric_distance, &out.runtime_error);
   for (std::size_t k = 0; k < n; ++k) {
     if (g[k] > 0.0) {
       out.terms.push_back(SurrogateTerm{spec.names[k], g[k]});
@@ -292,18 +363,26 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
                          const GroupWeights& weights, const SpecData& spec,
                          Seconds app_base_compute, const GaOptions& options) {
   SWAPP_REQUIRE(options.restarts >= 1, "GA needs at least one restart");
-  std::vector<Surrogate> runs;
-  runs.reserve(static_cast<std::size_t>(options.restarts));
-  double best_fitness = 0.0;
-  for (int r = 0; r < options.restarts; ++r) {
-    GaOptions run = options;
-    run.seed = options.seed +
-               0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r);
-    runs.push_back(find_surrogate_once(app_st, app_smt, weights, spec,
-                                       app_base_compute, run));
-    if (r == 0 || runs.back().fitness < best_fitness) {
-      best_fitness = runs.back().fitness;
-    }
+  const Problem prob = build_problem(app_st, app_smt, weights, spec,
+                                     app_base_compute, options);
+
+  // Restarts are fully independent (each derives its own seed from the
+  // restart index), so they fan out over the thread pool; the bagging merge
+  // below walks results in restart order, which keeps the output
+  // bit-identical for every thread count.
+  std::vector<int> restart_ids(static_cast<std::size_t>(options.restarts));
+  std::iota(restart_ids.begin(), restart_ids.end(), 0);
+  const std::vector<Surrogate> runs =
+      parallel_map(restart_ids, [&](const int r) {
+        GaOptions run = options;
+        run.seed = options.seed +
+                   0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r);
+        return find_surrogate_once(prob, spec, run);
+      });
+
+  double best_fitness = runs.front().fitness;
+  for (const Surrogate& s : runs) {
+    best_fitness = std::min(best_fitness, s.fitness);
   }
   // Bagging: near-tied restarts (within 25% of the best objective) are
   // averaged.  Distinct surrogates can fit the counter signature equally
@@ -339,6 +418,33 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
     }
   }
   return out;
+}
+
+double ga_fitness_probe(const machine::PmuCounters& app_st,
+                        const machine::PmuCounters& app_smt,
+                        const GroupWeights& weights, const SpecData& spec,
+                        Seconds app_base_compute,
+                        const std::vector<double>& genome, int iters,
+                        bool fused) {
+  const GaOptions options;
+  const Problem prob = build_problem(app_st, app_smt, weights, spec,
+                                     app_base_compute, options);
+  SWAPP_REQUIRE(genome.size() == prob.size(),
+                "genome size must match the benchmark suite");
+  Genome g = genome;
+  double acc = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    // Nudge one weight per iteration so the evaluation cannot be hoisted
+    // out of the loop; the perturbation keeps the zero/nonzero structure.
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      if (g[k] != 0.0) {
+        g[k] = genome[k] * (1.0 + 1e-12 * static_cast<double>(it & 7));
+        break;
+      }
+    }
+    acc += fused ? prob.fitness_fused(g) : prob.fitness(g);
+  }
+  return acc;
 }
 
 }  // namespace swapp::core

@@ -48,6 +48,10 @@ struct GaOptions {
   int max_terms = 6;           ///< sparsity cap on the surrogate
   double runtime_penalty = 2.0;  ///< λ on the consistency term
   std::uint64_t seed = 0x5eed0001;
+  /// If > 0, a run stops early after this many consecutive generations
+  /// without improving its best fitness.  Deterministic for a fixed seed;
+  /// 0 (default) disables the exit so results match the full-length search.
+  int stagnation_limit = 0;
 };
 
 /// Runs the search.  `app_st`/`app_smt` are the application's counters on
@@ -59,5 +63,18 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
                          const GroupWeights& weights, const SpecData& spec,
                          Seconds app_base_compute,
                          const GaOptions& options = {});
+
+/// Benchmark hook (bench_micro): evaluates the GA objective on `genome`
+/// (one weight per suite benchmark, in `spec.names` order) `iters` times and
+/// returns the accumulated value.  `fused` selects the production
+/// single-pass kernel; `false` selects the reference three-pass
+/// implementation (metric distance + runtime error + combine) kept compiled
+/// in so the fused path's speedup and bit-identical results stay measurable.
+double ga_fitness_probe(const machine::PmuCounters& app_st,
+                        const machine::PmuCounters& app_smt,
+                        const GroupWeights& weights, const SpecData& spec,
+                        Seconds app_base_compute,
+                        const std::vector<double>& genome, int iters,
+                        bool fused);
 
 }  // namespace swapp::core

@@ -5,6 +5,7 @@
 
 #include "spec/suite.h"
 #include "support/error.h"
+#include "support/parallel.h"
 #include "support/stats.h"
 
 namespace swapp::experiments {
@@ -164,6 +165,7 @@ const core::AppBaseData& Lab::base_data(nas::Benchmark b,
                                         nas::ProblemClass c) {
   const nas::NasApp app(b, c);
   const std::string key = app.name();
+  std::lock_guard<std::mutex> lock(app_data_mutex_);
   const auto it = app_data_.find(key);
   if (it != app_data_.end()) return it->second;
 
@@ -182,11 +184,17 @@ const ActualRun& Lab::actual(nas::Benchmark b, nas::ProblemClass c,
   const nas::NasApp app(b, c);
   const std::string key =
       app.name() + "@" + machine_name + "#" + std::to_string(ranks);
-  const auto it = actuals_.find(key);
-  if (it != actuals_.end()) return it->second;
-  return actuals_
-      .emplace(key, run_actual(app, target(machine_name), ranks))
-      .first->second;
+  {
+    std::lock_guard<std::mutex> lock(actuals_mutex_);
+    const auto it = actuals_.find(key);
+    if (it != actuals_.end()) return it->second;
+  }
+  // The ground-truth simulation runs outside the lock so distinct
+  // configurations (one per figure row) execute concurrently; emplace
+  // resolves the unlikely same-key race by keeping the first insert.
+  ActualRun run = run_actual(app, target(machine_name), ranks);
+  std::lock_guard<std::mutex> lock(actuals_mutex_);
+  return actuals_.emplace(key, std::move(run)).first->second;
 }
 
 namespace {
@@ -247,11 +255,30 @@ FigureData Lab::figure(nas::Benchmark b, const std::string& target_name,
   const bool is_lu = (b == nas::Benchmark::kLU);
   const std::vector<int> counts =
       is_lu ? std::vector<int>{16} : bt_sp_core_counts();
+
+  // Shared inputs are built before the fan-out: the projector and the
+  // per-class base profiles, after which the parallel rows only read them.
+  ensure_databases();
+  for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
+    base_data(b, cls);
+  }
+
+  struct RowSpec {
+    int ranks;
+    nas::ProblemClass cls;
+  };
+  std::vector<RowSpec> specs;
+  specs.reserve(counts.size() * 2);
   for (const int ranks : counts) {
     for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
-      fig.rows.push_back(error_row(b, cls, target_name, ranks, options));
+      specs.push_back(RowSpec{ranks, cls});
     }
   }
+  // Each row is a ground-truth run plus a projection — independent of every
+  // other row, so the pool fans them out; parallel_map preserves row order.
+  fig.rows = parallel_map(specs, [&](const RowSpec& spec) {
+    return error_row(b, spec.cls, target_name, spec.ranks, options);
+  });
   return fig;
 }
 

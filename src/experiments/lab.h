@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,6 +95,9 @@ class Lab {
                      const core::ProjectionOptions& options = {});
 
   /// Full per-figure data: BT/SP style (all core counts × both classes).
+  /// Rows are independent (ground-truth run + projection each), so they fan
+  /// out over the swapp thread pool; row order and values are identical for
+  /// every thread count.
   FigureData figure(nas::Benchmark b, const std::string& target_name,
                     const core::ProjectionOptions& options = {});
 
@@ -109,8 +113,13 @@ class Lab {
   std::optional<core::SpecLibrary> spec_;
   std::map<std::string, imb::ImbDatabase> imb_;
   std::unique_ptr<core::Projector> projector_;
+  // The artifact caches are shared by the parallel figure rows: node-based
+  // maps guarded by a mutex each, so cached references stay stable while
+  // other entries are inserted concurrently.
   std::map<std::string, core::AppBaseData> app_data_;
+  std::mutex app_data_mutex_;
   std::map<std::string, ActualRun> actuals_;
+  std::mutex actuals_mutex_;
 
   void ensure_databases();
 };

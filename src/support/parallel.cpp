@@ -1,0 +1,201 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/error.h"
+
+namespace swapp {
+namespace {
+
+thread_local bool t_in_region = false;
+
+/// Marks the calling thread as inside a parallel region for the guard's
+/// lifetime (exception-safe; a caller participating in its own region must
+/// be flagged so nested regions degrade to serial instead of deadlocking).
+struct RegionGuard {
+  RegionGuard() { t_in_region = true; }
+  ~RegionGuard() { t_in_region = false; }
+};
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("SWAPP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> config(config_mutex_);
+    stop_workers();
+  }
+
+  std::size_t threads() {
+    std::lock_guard<std::mutex> config(config_mutex_);
+    return configured();
+  }
+
+  void set_threads(std::size_t n) {
+    SWAPP_REQUIRE(!t_in_region,
+                  "set_thread_count must not be called from a parallel region");
+    std::lock_guard<std::mutex> config(config_mutex_);
+    if (override_ == n) return;
+    stop_workers();  // next run() restarts at the new size
+    override_ = n;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (t_in_region) {  // nested region: stay on this thread
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::unique_lock<std::mutex> config(config_mutex_);
+    const std::size_t threads = configured();
+    if (threads <= 1 || n == 1) {
+      config.unlock();
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    ensure_workers(threads - 1);  // the caller is the remaining executor
+    {
+      std::lock_guard<std::mutex> job(job_mutex_);
+      job_fn_ = &fn;
+      job_n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      abort_.store(false, std::memory_order_relaxed);
+      error_ = nullptr;
+      active_workers_ = workers_.size();
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    {
+      RegionGuard in_region;
+      work();
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> job(job_mutex_);
+      done_cv_.wait(job, [&] { return active_workers_ == 0; });
+      error = error_;
+      error_ = nullptr;
+      job_fn_ = nullptr;
+    }
+    config.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  std::size_t configured() const {
+    if (override_ > 0) return override_;
+    static const std::size_t kDefault = default_thread_count();
+    return kDefault;
+  }
+
+  void ensure_workers(std::size_t count) {
+    if (workers_.size() == count) return;
+    stop_workers();
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void stop_workers() {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> job(job_mutex_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    stop_ = false;
+  }
+
+  void worker_main() {
+    RegionGuard in_region;
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> job(job_mutex_);
+        job_cv_.wait(job, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+      }
+      work();
+      {
+        std::lock_guard<std::mutex> job(job_mutex_);
+        if (--active_workers_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  /// Claims and executes items until the job is drained or aborted.  Runs on
+  /// workers and on the calling thread alike.
+  void work() {
+    while (!abort_.load(std::memory_order_relaxed)) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_n_) break;
+      try {
+        (*job_fn_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> job(job_mutex_);
+        if (!error_) error_ = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Serialises top-level regions and configuration changes.
+  std::mutex config_mutex_;
+  std::size_t override_ = 0;  ///< 0 = use the env/hardware default
+  std::vector<std::thread> workers_;
+
+  /// Guards the current job's bookkeeping; job_cv_ wakes workers for a new
+  /// generation, done_cv_ wakes the caller when every worker has drained.
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t active_workers_ = 0;
+  std::exception_ptr error_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace
+
+std::size_t thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(std::size_t n) { Pool::instance().set_threads(n); }
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  Pool::instance().run(n, fn);
+}
+
+}  // namespace swapp

@@ -1,0 +1,67 @@
+// Parallel execution substrate: a lazily-started, reusable thread pool.
+//
+// SWAPP's hot loops — GA restarts, figure rows, batched projections — are
+// embarrassingly parallel: every work item is a pure function of its inputs.
+// `parallel_for` / `parallel_map` fan such loops out over a process-wide pool
+// while keeping three guarantees the rest of the system relies on:
+//
+//   * Determinism.  Work items only communicate through their own result
+//     slot, and `parallel_map` returns results in input order, so any
+//     computation whose items are independent produces bit-identical output
+//     for every thread count (including 1).
+//   * Serial degradation.  With one configured thread (or a single item) the
+//     loop runs inline on the calling thread — no pool, no synchronisation —
+//     so `SWAPP_THREADS=1` is exactly the serial program.
+//   * Nesting safety.  A parallel region entered from inside another
+//     parallel region runs serially on the current thread instead of
+//     deadlocking on the shared pool (GA restarts inside a parallel figure
+//     row just run inline).
+//
+// Sizing: `SWAPP_THREADS` (env) overrides std::thread::hardware_concurrency;
+// `set_thread_count()` overrides both at runtime (the hook the determinism
+// tests use).  Workers start on first parallel use and are reused across
+// calls; exceptions thrown by work items are captured and the first one is
+// rethrown on the calling thread after the region completes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace swapp {
+
+/// Threads a parallel region currently fans out over (>= 1).
+std::size_t thread_count();
+
+/// Overrides the pool size; 0 restores the default (SWAPP_THREADS env var,
+/// else hardware concurrency).  Stops and restarts workers as needed.  Must
+/// not be called from inside a parallel region.
+void set_thread_count(std::size_t n);
+
+/// True while the calling thread is executing a parallel work item (worker
+/// or participating caller).  Regions opened here run serially.
+bool in_parallel_region() noexcept;
+
+/// Runs fn(0) … fn(n-1), each exactly once, in parallel over the pool.
+/// Blocks until all items finish.  The first exception thrown by any item is
+/// rethrown here (remaining items may be skipped once an item has thrown).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Maps `fn` over `items`, returning results in input order.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  using R = std::decay_t<decltype(fn(items.front()))>;
+  std::vector<std::optional<R>> slots(items.size());
+  parallel_for(items.size(),
+               [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace swapp

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the test suite under ThreadSanitizer and runs it with a 4-thread
+# SWAPP pool, so every parallel stage (GA restarts, figure rows) is
+# exercised for data races.  Usage: tools/check_tsan.sh [extra ctest args].
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DSWAPP_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)"
+
+SWAPP_THREADS=4 ctest --test-dir "${BUILD}" --output-on-failure "$@"
