@@ -4,11 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ga.h"
+#include "core/projector.h"
 #include "core/ranking.h"
 #include "experiments/lab.h"
 #include "imb/suite.h"
 #include "machine/machine.h"
 #include "mpi/world.h"
+#include "nas/nas_app.h"
 #include "nas/zones.h"
 #include "sim/engine.h"
 #include "spec/suite.h"
@@ -213,6 +215,65 @@ void BM_LabFigure(benchmark::State& state) {
   set_thread_count(0);
 }
 BENCHMARK(BM_LabFigure)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Projector + LU profile on reduced grids, shared by BM_ProjectMany (built
+/// once, outside any timed section).
+const core::Projector& batch_projector() {
+  static const core::Projector* p = [] {
+    const machine::Machine base = machine::make_power5_hydra();
+    const machine::Machine target = machine::make_power6_575();
+    const std::vector<int> counts = {8, 16, 32};
+    const std::vector<Bytes> sizes = {512, 16_KiB, 256_KiB};
+    auto spec = experiments::collect_spec_library(base, {target}, counts);
+    auto* proj = new core::Projector(base, spec,
+                                     imb::measure_database(base, counts, sizes));
+    proj->add_target(target.name,
+                     imb::measure_database(target, counts, sizes));
+    return proj;
+  }();
+  return *p;
+}
+
+const core::AppBaseData& batch_lu_data() {
+  static const core::AppBaseData* d = new core::AppBaseData(
+      experiments::collect_base_data(
+          nas::NasApp(nas::Benchmark::kLU, nas::ProblemClass::kC),
+          machine::make_power5_hydra(), {4, 8, 16}, {4, 8, 16}));
+  return *d;
+}
+
+// One app at three core counts sharing a surrogate search
+// (surrogate_reference_cores = 16): the batched engine (Arg = 1) memoises
+// the search and shares the indexed spec view, vs. the same requests issued
+// as independent `project` calls (Arg = 0) — each paying its own search.
+void BM_ProjectMany(benchmark::State& state) {
+  const core::Projector& projector = batch_projector();
+  const core::AppBaseData& lu = batch_lu_data();
+  const std::string target = machine::make_power6_575().name;
+  core::ProjectionOptions options;
+  options.compute.surrogate_reference_cores = 16;
+  std::vector<core::ProjectionRequest> requests;
+  for (const int ck : {4, 8, 16}) {
+    requests.push_back(core::ProjectionRequest{&lu, target, ck, options});
+  }
+  const bool batched = state.range(0) == 1;
+  for (auto _ : state) {
+    double total = 0.0;
+    if (batched) {
+      for (const core::ProjectionResult& r : projector.project_many(requests)) {
+        total += r.total_target();
+      }
+    } else {
+      for (const core::ProjectionRequest& r : requests) {
+        total += projector.project(*r.app, r.target, r.cores, r.options)
+                     .total_target();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * requests.size());
+}
+BENCHMARK(BM_ProjectMany)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_ImbMeasurement(benchmark::State& state) {
   const machine::Machine m = machine::make_power5_hydra();

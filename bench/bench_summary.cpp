@@ -18,6 +18,10 @@ int main() {
   std::size_t above = 0;
   std::size_t total = 0;
 
+  // One batch over every (target, app, class, count) cell: the service path
+  // plans shared artifacts once and projects the whole grid through
+  // Projector::project_many.
+  std::vector<experiments::Lab::RowQuery> queries;
   for (const std::string& target : lab.target_names()) {
     for (const auto bench :
          {nas::Benchmark::kBT, nas::Benchmark::kSP, nas::Benchmark::kLU}) {
@@ -27,14 +31,16 @@ int main() {
       for (const int ranks : counts) {
         for (const auto cls :
              {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
-          const experiments::ErrorRow row =
-              lab.error_row(bench, cls, target, ranks);
-          combined[target].push_back(row.combined);
-          above += row.combined_signed > 0.0;
-          total += 1;
+          queries.push_back({bench, cls, target, ranks});
         }
       }
     }
+  }
+  const std::vector<experiments::ErrorRow> rows = lab.error_rows(queries);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    combined[queries[i].target].push_back(rows[i].combined);
+    above += rows[i].combined_signed > 0.0;
+    total += 1;
   }
 
   TextTable table({"System", "Avg |error| %", "Std-dev %", "Max %",

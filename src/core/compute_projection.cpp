@@ -25,12 +25,15 @@ const machine::PmuCounters& nearest_counters(
   return *best;
 }
 
-}  // namespace
-
-ComputeProjection project_compute(const AppBaseData& app, const SpecData& spec,
-                                  const machine::Machine& base,
-                                  const std::string& target_machine, int ck,
-                                  const ComputeProjectionOptions& options) {
+/// Shared pipeline; `index` is an optional prebuilt view over the same data
+/// as `spec` (the batched path), used to skip the GA's per-call table setup.
+ComputeProjection project_compute_impl(const AppBaseData& app,
+                                       const SpecData& spec,
+                                       const SpecIndex* index,
+                                       const machine::Machine& base,
+                                       const std::string& target_machine,
+                                       int ck,
+                                       const ComputeProjectionOptions& options) {
   SWAPP_REQUIRE(!app.counters_st.empty(), "no ST counter profiles collected");
   SWAPP_REQUIRE(!app.counters_smt.empty(),
                 "no SMT counter profiles collected");
@@ -70,13 +73,34 @@ ComputeProjection project_compute(const AppBaseData& app, const SpecData& spec,
           : out.base_weights;
 
   // --- GA surrogate + Eq. 2 ---------------------------------------------------
-  out.surrogate = find_surrogate(counters_st, counters_smt,
-                                 out.adjusted_weights, spec, out.base_compute,
-                                 options.ga);
+  out.surrogate =
+      index ? find_surrogate(counters_st, counters_smt, out.adjusted_weights,
+                             *index, out.base_compute, options.ga)
+            : find_surrogate(counters_st, counters_smt, out.adjusted_weights,
+                             spec, out.base_compute, options.ga);
   out.target_compute = out.surrogate.project_runtime(spec, target_machine);
   SWAPP_ASSERT(out.target_compute > 0.0,
                "surrogate projected non-positive compute time");
   return out;
+}
+
+}  // namespace
+
+ComputeProjection project_compute(const AppBaseData& app, const SpecData& spec,
+                                  const machine::Machine& base,
+                                  const std::string& target_machine, int ck,
+                                  const ComputeProjectionOptions& options) {
+  return project_compute_impl(app, spec, nullptr, base, target_machine, ck,
+                              options);
+}
+
+ComputeProjection project_compute(const AppBaseData& app,
+                                  const SpecIndex& index,
+                                  const machine::Machine& base,
+                                  const std::string& target_machine, int ck,
+                                  const ComputeProjectionOptions& options) {
+  return project_compute_impl(app, index.data, &index, base, target_machine,
+                              ck, options);
 }
 
 }  // namespace swapp::core

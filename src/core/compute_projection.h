@@ -17,6 +17,7 @@
 #include "core/ga.h"
 #include "core/profiles.h"
 #include "core/ranking.h"
+#include "core/spec_index.h"
 #include "machine/machine.h"
 
 namespace swapp::core {
@@ -25,6 +26,16 @@ struct ComputeProjectionOptions {
   GaOptions ga;
   bool use_acsm = true;             ///< ablation: counter extrapolation
   bool use_rank_adjustment = true;  ///< ablation: step-4 target adjustment
+  /// If > 0, the GA surrogate search runs once at this reference task count
+  /// and every other count reuses that surrogate with its weights rescaled
+  /// by the CCSM anchor ratio (Eq. 7's γ folded into the Eq. 2 scale) — the
+  /// paper's collect-once / project-many shape applied to the search itself.
+  /// `Projector::project` honours it per call and `Projector::project_many`
+  /// memoises the shared search across requests, so batched and sequential
+  /// results stay byte-identical.  0 (default) searches at every count.
+  /// (`project_compute` itself always searches at the count it is given;
+  /// the reference indirection is the Projector's concern.)
+  int surrogate_reference_cores = 0;
 };
 
 struct ComputeProjection {
@@ -48,6 +59,15 @@ struct ComputeProjection {
 };
 
 ComputeProjection project_compute(const AppBaseData& app, const SpecData& spec,
+                                  const machine::Machine& base,
+                                  const std::string& target_machine, int ck,
+                                  const ComputeProjectionOptions& options);
+
+/// Same projection over a prebuilt `SpecIndex` (shared, read-only): skips
+/// the per-call benchmark-table setup.  Bit-identical to the `SpecData`
+/// overload built from the same library view.
+ComputeProjection project_compute(const AppBaseData& app,
+                                  const SpecIndex& index,
                                   const machine::Machine& base,
                                   const std::string& target_machine, int ck,
                                   const ComputeProjectionOptions& options);

@@ -167,26 +167,18 @@ void prune_to(Genome& g, int max_terms) {
   }
 }
 
-Problem build_problem(const machine::PmuCounters& app_st,
-                      const machine::PmuCounters& app_smt,
-                      const GroupWeights& weights, const SpecData& spec,
-                      Seconds app_base_compute, const GaOptions& options) {
+/// Fills the application-side fields and the per-metric scales; the
+/// benchmark arrays must already be in place.
+void finish_problem(Problem& prob, const machine::PmuCounters& app_st,
+                    const machine::PmuCounters& app_smt,
+                    const GroupWeights& weights, Seconds app_base_compute,
+                    const GaOptions& options) {
   SWAPP_REQUIRE(app_base_compute > 0.0,
                 "application base compute time must be positive");
-  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
-
-  Problem prob;
   prob.app_st = machine::MetricVector::from_counters(app_st);
   prob.app_smt = machine::MetricVector::from_counters(app_smt);
   prob.app_compute = app_base_compute;
   prob.lambda = options.runtime_penalty;
-  for (const std::string& name : spec.names) {
-    prob.bench_st.push_back(
-        machine::MetricVector::from_counters(spec.base_counters_st.at(name)));
-    prob.bench_smt.push_back(
-        machine::MetricVector::from_counters(spec.base_counters_smt.at(name)));
-    prob.bench_base_time.push_back(spec.base_runtime.at(name));
-  }
 
   // Per-metric scale: application magnitude, floored by the suite mean, so
   // near-zero application metrics don't explode the distance.
@@ -199,6 +191,37 @@ Problem build_problem(const machine::PmuCounters& app_st,
     prob.metric_weight[i] =
         weights[machine::MetricVector::group_of(i)];
   }
+}
+
+Problem build_problem(const machine::PmuCounters& app_st,
+                      const machine::PmuCounters& app_smt,
+                      const GroupWeights& weights, const SpecData& spec,
+                      Seconds app_base_compute, const GaOptions& options) {
+  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
+  Problem prob;
+  for (const std::string& name : spec.names) {
+    prob.bench_st.push_back(
+        machine::MetricVector::from_counters(spec.base_counters_st.at(name)));
+    prob.bench_smt.push_back(
+        machine::MetricVector::from_counters(spec.base_counters_smt.at(name)));
+    prob.bench_base_time.push_back(spec.base_runtime.at(name));
+  }
+  finish_problem(prob, app_st, app_smt, weights, app_base_compute, options);
+  return prob;
+}
+
+Problem build_problem(const machine::PmuCounters& app_st,
+                      const machine::PmuCounters& app_smt,
+                      const GroupWeights& weights, const SpecIndex& index,
+                      Seconds app_base_compute, const GaOptions& options) {
+  SWAPP_REQUIRE(index.size() > 0, "empty benchmark suite");
+  Problem prob;
+  // The index's arrays hold exactly what the map walk above would produce
+  // (same suite order, same conversions), so this is a plain copy.
+  prob.bench_st = index.bench_st;
+  prob.bench_smt = index.bench_smt;
+  prob.bench_base_time = index.base_time;
+  finish_problem(prob, app_st, app_smt, weights, app_base_compute, options);
   return prob;
 }
 
@@ -356,15 +379,11 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
   return out;
 }
 
-}  // namespace
-
-Surrogate find_surrogate(const machine::PmuCounters& app_st,
-                         const machine::PmuCounters& app_smt,
-                         const GroupWeights& weights, const SpecData& spec,
-                         Seconds app_base_compute, const GaOptions& options) {
+/// Restart fan-out + bagging merge over a prebuilt problem.
+Surrogate search_and_merge(const Problem& prob, const SpecData& spec,
+                           Seconds app_base_compute,
+                           const GaOptions& options) {
   SWAPP_REQUIRE(options.restarts >= 1, "GA needs at least one restart");
-  const Problem prob = build_problem(app_st, app_smt, weights, spec,
-                                     app_base_compute, options);
 
   // Restarts are fully independent (each derives its own seed from the
   // restart index), so they fan out over the thread pool; the bagging merge
@@ -418,6 +437,26 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Surrogate find_surrogate(const machine::PmuCounters& app_st,
+                         const machine::PmuCounters& app_smt,
+                         const GroupWeights& weights, const SpecData& spec,
+                         Seconds app_base_compute, const GaOptions& options) {
+  const Problem prob = build_problem(app_st, app_smt, weights, spec,
+                                     app_base_compute, options);
+  return search_and_merge(prob, spec, app_base_compute, options);
+}
+
+Surrogate find_surrogate(const machine::PmuCounters& app_st,
+                         const machine::PmuCounters& app_smt,
+                         const GroupWeights& weights, const SpecIndex& index,
+                         Seconds app_base_compute, const GaOptions& options) {
+  const Problem prob = build_problem(app_st, app_smt, weights, index,
+                                     app_base_compute, options);
+  return search_and_merge(prob, index.data, app_base_compute, options);
 }
 
 double ga_fitness_probe(const machine::PmuCounters& app_st,

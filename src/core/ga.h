@@ -17,6 +17,7 @@
 
 #include "core/profiles.h"
 #include "core/ranking.h"
+#include "core/spec_index.h"
 #include "machine/counters.h"
 
 namespace swapp::core {
@@ -61,6 +62,16 @@ struct GaOptions {
 Surrogate find_surrogate(const machine::PmuCounters& app_st,
                          const machine::PmuCounters& app_smt,
                          const GroupWeights& weights, const SpecData& spec,
+                         Seconds app_base_compute,
+                         const GaOptions& options = {});
+
+/// Same search over a prebuilt `SpecIndex`: the benchmark metric vectors and
+/// runtimes are copied from the index's arrays instead of being re-derived
+/// from the string-keyed maps, which is what makes batched projections cheap
+/// to set up.  Bit-identical to the `SpecData` overload for the same inputs.
+Surrogate find_surrogate(const machine::PmuCounters& app_st,
+                         const machine::PmuCounters& app_smt,
+                         const GroupWeights& weights, const SpecIndex& index,
                          Seconds app_base_compute,
                          const GaOptions& options = {});
 

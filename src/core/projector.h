@@ -17,10 +17,12 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/comm_projection.h"
 #include "core/compute_projection.h"
 #include "core/profiles.h"
+#include "core/spec_index.h"
 #include "imb/suite.h"
 #include "machine/machine.h"
 
@@ -54,6 +56,16 @@ struct ProjectionResult {
   }
 };
 
+/// One row of a batched projection (the service's request unit): project
+/// `app` onto `target` at `cores` tasks under `options`.  `app` is borrowed
+/// and must outlive the `project_many` call.
+struct ProjectionRequest {
+  const AppBaseData* app = nullptr;
+  std::string target;
+  int cores = 0;
+  ProjectionOptions options;
+};
+
 class Projector {
  public:
   Projector(machine::Machine base, SpecLibrary spec, imb::ImbDatabase base_imb);
@@ -76,7 +88,41 @@ class Projector {
                            const std::string& target_machine, int ck,
                            const ProjectionOptions& options = {}) const;
 
+  /// Batched projection — the collect-once / project-many engine.  Plans the
+  /// requests into shared intermediate artifacts (one `SpecIndex` per
+  /// (target, occupancy) pair; one GA surrogate search per (app, target,
+  /// reference count, options) group when `surrogate_reference_cores` is
+  /// set), executes independent plan nodes over the thread pool, and merges
+  /// in input order.  `results[i]` is byte-identical to
+  /// `project(*requests[i].app, requests[i].target, requests[i].cores,
+  /// requests[i].options)` at every `SWAPP_THREADS` value — sharing only
+  /// removes redundant recomputation, never changes a result.
+  std::vector<ProjectionResult> project_many(
+      const std::vector<ProjectionRequest>& requests) const;
+
  private:
+  /// Node occupancies a projection at `ck` implies on (base, target).
+  std::pair<int, int> occupancies_for(const std::string& target_machine,
+                                      int ck, int threads_per_rank) const;
+
+  /// Compute component with optional prebuilt artifacts: `index` is the
+  /// spec view at the search count (nullable), `shared_reference` a
+  /// memoised reference-count projection (nullable).  All four combinations
+  /// produce byte-identical results.
+  ComputeProjection compute_component(const AppBaseData& app,
+                                      const std::string& target_machine,
+                                      int ck,
+                                      const ComputeProjectionOptions& options,
+                                      const SpecIndex* index,
+                                      const ComputeProjection* shared_reference)
+      const;
+
+  /// Communication component fed by the projected compute scale.
+  CommProjection comm_component(const AppBaseData& app,
+                                const std::string& target_machine, int ck,
+                                double compute_scale,
+                                const ProjectionOptions& options) const;
+
   machine::Machine base_;
   SpecLibrary spec_;
   imb::ImbDatabase base_imb_;

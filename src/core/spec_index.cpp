@@ -1,0 +1,43 @@
+#include "core/spec_index.h"
+
+#include "support/error.h"
+
+namespace swapp::core {
+
+SpecIndex SpecIndex::build(const SpecLibrary& lib,
+                           const std::string& target_machine,
+                           int base_occupancy, int target_occupancy) {
+  SpecIndex index;
+  index.target_machine = target_machine;
+  index.base_occupancy = base_occupancy;
+  index.target_occupancy = target_occupancy;
+  index.data = lib.view(base_occupancy, target_machine, target_occupancy);
+
+  const std::size_t n = index.data.names.size();
+  index.bench_st.reserve(n);
+  index.bench_smt.reserve(n);
+  index.base_time.reserve(n);
+  index.target_time.reserve(n);
+  const auto& target_runtime = index.data.target_runtime.at(target_machine);
+  for (const std::string& name : index.data.names) {
+    index.bench_st.push_back(machine::MetricVector::from_counters(
+        index.data.base_counters_st.at(name)));
+    index.bench_smt.push_back(machine::MetricVector::from_counters(
+        index.data.base_counters_smt.at(name)));
+    index.base_time.push_back(index.data.base_runtime.at(name));
+    const auto it = target_runtime.find(name);
+    if (it == target_runtime.end()) {
+      throw NotFound("no runtime of " + name + " on " + target_machine);
+    }
+    index.target_time.push_back(it->second);
+  }
+  return index;
+}
+
+std::string SpecIndex::key_of(const std::string& target_machine,
+                              int base_occupancy, int target_occupancy) {
+  return target_machine + "|" + std::to_string(base_occupancy) + "|" +
+         std::to_string(target_occupancy);
+}
+
+}  // namespace swapp::core

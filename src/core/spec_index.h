@@ -1,0 +1,56 @@
+// Indexed benchmark-data view for batched projections.
+//
+// `SpecLibrary::view` flattens the occupancy-keyed library into the
+// string-keyed `SpecData` maps every projection call consumes, and the GA
+// then converts each benchmark's counters into a `MetricVector`.  Done per
+// `Projector::project` call that work is pure overhead: the flattening and
+// the conversions depend only on (target machine, base occupancy, target
+// occupancy), never on the application.  A `SpecIndex` performs both once
+// and keeps the results in suite-ordered arrays — the "arena" the batched
+// engine shares across every request that projects against the same
+// (target, occupancy) pair.  The arrays hold exactly the values the
+// per-call path would recompute, so projections built on an index are
+// bit-identical to projections built on a fresh `SpecData` view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiles.h"
+#include "machine/counters.h"
+
+namespace swapp::core {
+
+struct SpecIndex {
+  std::string target_machine;
+  int base_occupancy = 0;
+  int target_occupancy = 0;
+
+  /// The flattened view, built once (compatibility with every API that
+  /// consumes `SpecData`).
+  SpecData data;
+
+  // Suite-ordered arrays (index k == position of data.names[k]): the GA's
+  // working set, precomputed so `build_problem` is a copy instead of a walk
+  // over three string-keyed maps.
+  std::vector<machine::MetricVector> bench_st;
+  std::vector<machine::MetricVector> bench_smt;
+  std::vector<double> base_time;
+  std::vector<double> target_time;
+
+  std::size_t size() const noexcept { return base_time.size(); }
+
+  /// Flattens `lib` at the given occupancy pair and precomputes the arrays.
+  static SpecIndex build(const SpecLibrary& lib,
+                         const std::string& target_machine, int base_occupancy,
+                         int target_occupancy);
+
+  /// Cache key for one (target, occupancy) pair.
+  static std::string key_of(const std::string& target_machine,
+                            int base_occupancy, int target_occupancy);
+  std::string key() const {
+    return key_of(target_machine, base_occupancy, target_occupancy);
+  }
+};
+
+}  // namespace swapp::core

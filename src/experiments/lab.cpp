@@ -87,24 +87,44 @@ core::SpecLibrary collect_spec_library(
     return occ;
   };
 
+  // One job per (machine, SMT mode, occupancy): full-suite runs are
+  // independent of each other, so they fan out over the thread pool.  The
+  // merge below consumes results keyed by (machine, occupancy), so the
+  // library is identical for every thread count.
+  struct SuiteJob {
+    const machine::Machine* m = nullptr;
+    machine::SmtMode mode = machine::SmtMode::kSingleThread;
+    int occ = 0;
+    bool on_base = false;
+  };
+  std::vector<SuiteJob> jobs;
   for (const int occ : occupancies_for(base)) {
-    for (const spec::BenchmarkRun& run :
-         spec::run_suite(base, machine::SmtMode::kSingleThread, occ)) {
-      lib.base_counters_st[occ].emplace(run.name, run.counters);
-      lib.base_runtime[occ].emplace(run.name, run.runtime);
-    }
-    for (const spec::BenchmarkRun& run :
-         spec::run_suite(base, machine::SmtMode::kSmt, occ)) {
-      lib.base_counters_smt[occ].emplace(run.name, run.counters);
-    }
+    jobs.push_back({&base, machine::SmtMode::kSingleThread, occ, true});
+    jobs.push_back({&base, machine::SmtMode::kSmt, occ, true});
   }
   for (const machine::Machine& target : targets) {
     core::SpecLibrary::TargetInfo& info = lib.targets[target.name];
     info.cores_per_node = target.cores_per_node;
     for (const int occ : occupancies_for(target)) {
-      for (const spec::BenchmarkRun& run :
-           spec::run_suite(target, machine::SmtMode::kSingleThread, occ)) {
-        info.runtime[occ].emplace(run.name, run.runtime);
+      jobs.push_back({&target, machine::SmtMode::kSingleThread, occ, false});
+    }
+  }
+  const std::vector<std::vector<spec::BenchmarkRun>> results =
+      parallel_map(jobs, [](const SuiteJob& job) {
+        return spec::run_suite(*job.m, job.mode, job.occ);
+      });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SuiteJob& job = jobs[i];
+    for (const spec::BenchmarkRun& run : results[i]) {
+      if (!job.on_base) {
+        lib.targets[job.m->name].runtime[job.occ].emplace(run.name,
+                                                          run.runtime);
+      } else if (job.mode == machine::SmtMode::kSingleThread) {
+        lib.base_counters_st[job.occ].emplace(run.name, run.counters);
+        lib.base_runtime[job.occ].emplace(run.name, run.runtime);
+      } else {
+        lib.base_counters_smt[job.occ].emplace(run.name, run.counters);
       }
     }
   }
@@ -121,8 +141,9 @@ std::string Lab::westmere_name() {
   return machine::make_westmere_x5670().name;
 }
 
-Lab::Lab(std::vector<std::string> target_names)
-    : base_(machine::make_power5_hydra()) {
+Lab::Lab(std::vector<std::string> target_names,
+         std::filesystem::path cache_dir)
+    : base_(machine::make_power5_hydra()), cache_(std::move(cache_dir)) {
   if (target_names.empty()) {
     target_names = {power6_name(), bluegene_name(), westmere_name()};
   }
@@ -147,12 +168,23 @@ void Lab::ensure_databases() {
   std::vector<int> task_counts = bt_sp_core_counts();
   task_counts.insert(task_counts.end(), lu_core_counts().begin(),
                      lu_core_counts().end());
-  spec_ = collect_spec_library(base_, target_list, task_counts);
+  // Databases come through the artifact cache: with a cache directory a
+  // warm Lab performs no benchmark simulation at all.  The collectors are
+  // internally parallel (suite jobs / IMB core counts).
+  spec_ = cache_.spec_library(
+      service::describe_spec_inputs(base_, target_list, task_counts),
+      [&] { return collect_spec_library(base_, target_list, task_counts); });
 
-  imb::ImbDatabase base_imb = imb::measure_database(base_);
-  projector_ = std::make_unique<core::Projector>(base_, *spec_, base_imb);
+  const auto imb_for = [&](const machine::Machine& m) {
+    return cache_.imb_database(
+        service::describe_imb_inputs(m, imb::default_core_counts(),
+                                     imb::default_message_sizes()),
+        [&] { return imb::measure_database(m); });
+  };
+  projector_ =
+      std::make_unique<core::Projector>(base_, *spec_, *imb_for(base_));
   for (const auto& [name, m] : targets_) {
-    projector_->add_target(name, imb::measure_database(m));
+    projector_->add_target(name, *imb_for(m));
   }
 }
 
@@ -165,18 +197,24 @@ const core::AppBaseData& Lab::base_data(nas::Benchmark b,
                                         nas::ProblemClass c) {
   const nas::NasApp app(b, c);
   const std::string key = app.name();
-  std::lock_guard<std::mutex> lock(app_data_mutex_);
-  const auto it = app_data_.find(key);
-  if (it != app_data_.end()) return it->second;
-
+  {
+    std::lock_guard<std::mutex> lock(app_data_mutex_);
+    const auto it = app_data_.find(key);
+    if (it != app_data_.end()) return *it->second;
+  }
   const bool is_lu = (b == nas::Benchmark::kLU);
   const std::vector<int>& mpi_counts =
       is_lu ? lu_core_counts() : bt_sp_core_counts();
   const std::vector<int> counter_counts =
       is_lu ? lu_core_counts() : bt_sp_counter_counts();
-  return app_data_
-      .emplace(key, collect_base_data(app, base_, mpi_counts, counter_counts))
-      .first->second;
+  // Collection runs outside the Lab lock (the cache dedups concurrent
+  // requests to one stored value); with a cache directory the profile is
+  // loaded instead of re-simulated.
+  std::shared_ptr<const core::AppBaseData> data = cache_.app_data(
+      service::describe_app_inputs(key, base_, 1, mpi_counts, counter_counts),
+      [&] { return collect_base_data(app, base_, mpi_counts, counter_counts); });
+  std::lock_guard<std::mutex> lock(app_data_mutex_);
+  return *app_data_.emplace(key, std::move(data)).first->second;
 }
 
 const ActualRun& Lab::actual(nas::Benchmark b, nas::ProblemClass c,
@@ -204,15 +242,9 @@ double component_error(Seconds projected, Seconds actual) {
   return percent_error(projected, actual);
 }
 
-}  // namespace
-
-ErrorRow Lab::error_row(nas::Benchmark b, nas::ProblemClass c,
-                        const std::string& target_name, int ranks,
-                        const core::ProjectionOptions& options) {
-  const core::ProjectionResult projection =
-      project(b, c, target_name, ranks, options);
-  const ActualRun& truth = actual(b, c, target_name, ranks);
-
+ErrorRow make_error_row(const core::ProjectionResult& projection,
+                        const ActualRun& truth, int ranks,
+                        nas::ProblemClass c) {
   ErrorRow row;
   row.cores = ranks;
   row.cls = c;
@@ -237,6 +269,44 @@ ErrorRow Lab::error_row(nas::Benchmark b, nas::ProblemClass c,
   return row;
 }
 
+}  // namespace
+
+ErrorRow Lab::error_row(nas::Benchmark b, nas::ProblemClass c,
+                        const std::string& target_name, int ranks,
+                        const core::ProjectionOptions& options) {
+  return error_rows({RowQuery{b, c, target_name, ranks}}, options).front();
+}
+
+std::vector<ErrorRow> Lab::error_rows(const std::vector<RowQuery>& queries,
+                                      const core::ProjectionOptions& options) {
+  ensure_databases();
+  // Shared inputs are built before the fan-outs: after this loop the batch
+  // engine and the ground-truth rows only read.
+  for (const RowQuery& q : queries) base_data(q.bench, q.cls);
+
+  std::vector<core::ProjectionRequest> requests;
+  requests.reserve(queries.size());
+  for (const RowQuery& q : queries) {
+    requests.push_back(core::ProjectionRequest{&base_data(q.bench, q.cls),
+                                               q.target, q.ranks, options});
+  }
+  const std::vector<core::ProjectionResult> projections =
+      projector_->project_many(requests);
+  // Ground truth is independent per row; parallel_map preserves row order.
+  const std::vector<ActualRun> truths =
+      parallel_map(queries, [&](const RowQuery& q) {
+        return actual(q.bench, q.cls, q.target, q.ranks);
+      });
+
+  std::vector<ErrorRow> rows;
+  rows.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    rows.push_back(make_error_row(projections[i], truths[i],
+                                  queries[i].ranks, queries[i].cls));
+  }
+  return rows;
+}
+
 core::ProjectionResult Lab::project(nas::Benchmark b, nas::ProblemClass c,
                                     const std::string& target_name, int ranks,
                                     const core::ProjectionOptions& options) {
@@ -256,29 +326,17 @@ FigureData Lab::figure(nas::Benchmark b, const std::string& target_name,
   const std::vector<int> counts =
       is_lu ? std::vector<int>{16} : bt_sp_core_counts();
 
-  // Shared inputs are built before the fan-out: the projector and the
-  // per-class base profiles, after which the parallel rows only read them.
-  ensure_databases();
-  for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
-    base_data(b, cls);
-  }
-
-  struct RowSpec {
-    int ranks;
-    nas::ProblemClass cls;
-  };
-  std::vector<RowSpec> specs;
-  specs.reserve(counts.size() * 2);
+  // All rows go through the batched comparison path: projections share the
+  // per-(target, occupancy) spec indexes inside project_many, ground-truth
+  // runs fan out over the pool.
+  std::vector<RowQuery> queries;
+  queries.reserve(counts.size() * 2);
   for (const int ranks : counts) {
     for (const auto cls : {nas::ProblemClass::kC, nas::ProblemClass::kD}) {
-      specs.push_back(RowSpec{ranks, cls});
+      queries.push_back(RowQuery{b, cls, target_name, ranks});
     }
   }
-  // Each row is a ground-truth run plus a projection — independent of every
-  // other row, so the pool fans them out; parallel_map preserves row order.
-  fig.rows = parallel_map(specs, [&](const RowSpec& spec) {
-    return error_row(b, spec.cls, target_name, spec.ranks, options);
-  });
+  fig.rows = error_rows(queries, options);
   return fig;
 }
 

@@ -10,10 +10,10 @@
 // ever sees base profiles and benchmark databases.
 #pragma once
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +21,7 @@
 #include "core/projector.h"
 #include "machine/machine.h"
 #include "nas/nas_app.h"
+#include "service/artifact_cache.h"
 #include "support/table.h"
 
 namespace swapp::experiments {
@@ -67,7 +68,10 @@ class Lab {
  public:
   /// `target_names`: which of the three paper targets to prepare; empty =
   /// all three.  The base system is always the POWER5+ Hydra.
-  explicit Lab(std::vector<std::string> target_names = {});
+  /// `cache_dir`: artifact-cache directory shared across processes; empty
+  /// keeps all artifacts in memory (every run re-simulates them).
+  explicit Lab(std::vector<std::string> target_names = {},
+               std::filesystem::path cache_dir = {});
 
   static std::string power6_name();
   static std::string bluegene_name();
@@ -94,6 +98,22 @@ class Lab {
                      const std::string& target_name, int ranks,
                      const core::ProjectionOptions& options = {});
 
+  /// One figure bar group's coordinates, for the batched comparison API.
+  struct RowQuery {
+    nas::Benchmark bench = nas::Benchmark::kBT;
+    nas::ProblemClass cls = nas::ProblemClass::kC;
+    std::string target;
+    int ranks = 0;
+  };
+
+  /// Batched `error_row`: all projections go through the batch engine
+  /// (`Projector::project_many`, sharing indexed spec views and — when the
+  /// options pin a reference count — surrogate searches), and the
+  /// ground-truth runs fan out over the pool.  rows[i] is byte-identical to
+  /// `error_row(queries[i]...)` at every thread count.
+  std::vector<ErrorRow> error_rows(const std::vector<RowQuery>& queries,
+                                   const core::ProjectionOptions& options = {});
+
   /// Full per-figure data: BT/SP style (all core counts × both classes).
   /// Rows are independent (ground-truth run + projection each), so they fan
   /// out over the swapp thread pool; row order and values are identical for
@@ -110,13 +130,15 @@ class Lab {
   machine::Machine base_;
   std::vector<std::string> target_names_;
   std::map<std::string, machine::Machine> targets_;
-  std::optional<core::SpecLibrary> spec_;
-  std::map<std::string, imb::ImbDatabase> imb_;
+  // Expensive inputs (spec library, IMB databases, app profiles) live in the
+  // content-addressed artifact cache: shared_ptr entries stay valid for
+  // holders even if evicted, and a cache directory makes them persistent.
+  service::ArtifactCache cache_;
+  std::shared_ptr<const core::SpecLibrary> spec_;
   std::unique_ptr<core::Projector> projector_;
-  // The artifact caches are shared by the parallel figure rows: node-based
-  // maps guarded by a mutex each, so cached references stay stable while
-  // other entries are inserted concurrently.
-  std::map<std::string, core::AppBaseData> app_data_;
+  // Per-Lab lookups shared by the parallel figure rows, guarded by a mutex
+  // each so entries stay stable while others are inserted concurrently.
+  std::map<std::string, std::shared_ptr<const core::AppBaseData>> app_data_;
   std::mutex app_data_mutex_;
   std::map<std::string, ActualRun> actuals_;
   std::mutex actuals_mutex_;

@@ -5,6 +5,7 @@
 
 #include "mpi/world.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace swapp::imb {
 
@@ -213,9 +214,14 @@ double ImbDatabase::intra_node_fraction(double rank_distance) const {
                   1.0 - rank_distance / static_cast<double>(cores_per_node));
 }
 
-ImbDatabase measure_database(const machine::Machine& m,
-                             const std::vector<int>& core_counts,
-                             const std::vector<Bytes>& sizes) {
+namespace {
+
+/// Sweeps one core count; the per-count fragments are independent, so
+/// `measure_database` fans them out over the thread pool and merges in
+/// input order (samples land on disjoint (cores, bytes) keys, so the merged
+/// tables are identical to a serial sweep for every thread count).
+ImbDatabase measure_core_count(const machine::Machine& m, int c,
+                               const std::vector<Bytes>& sizes) {
   ImbDatabase db;
   db.machine_name = m.name;
   db.cores_per_node = m.cores_per_node;
@@ -226,7 +232,7 @@ ImbDatabase measure_database(const machine::Machine& m,
     db.tables[routine].insert(ranks, static_cast<double>(bytes), s.time);
   };
 
-  for (const int c : core_counts) {
+  {
     SWAPP_REQUIRE(c <= m.total_cores,
                   "core count exceeds installation size of " + m.name);
     for (const Bytes s : sizes) {
@@ -264,6 +270,37 @@ ImbDatabase measure_database(const machine::Machine& m,
     // Barrier is size-independent; record it at a nominal 8 bytes.
     const ImbSample bar = run_imb(m, ImbBenchmark::kBarrier, c, 8);
     db.tables[mpi::Routine::kBarrier].insert(c, 8.0, bar.time);
+  }
+  return db;
+}
+
+void merge_table(CoreSizeTable& into, const CoreSizeTable& from) {
+  for (const CoreSizeTable::Sample& s : from.samples()) {
+    into.insert(s.cores, s.bytes, s.seconds);
+  }
+}
+
+}  // namespace
+
+ImbDatabase measure_database(const machine::Machine& m,
+                             const std::vector<int>& core_counts,
+                             const std::vector<Bytes>& sizes) {
+  const std::vector<ImbDatabase> fragments =
+      parallel_map(core_counts, [&](const int c) {
+        return measure_core_count(m, c, sizes);
+      });
+
+  ImbDatabase db;
+  db.machine_name = m.name;
+  db.cores_per_node = m.cores_per_node;
+  for (const ImbDatabase& fragment : fragments) {
+    for (const auto& [routine, table] : fragment.tables) {
+      merge_table(db.tables[routine], table);
+    }
+    merge_table(db.multi_sendrecv_x1, fragment.multi_sendrecv_x1);
+    merge_table(db.multi_sendrecv_x2, fragment.multi_sendrecv_x2);
+    merge_table(db.multi_sendrecv_near_x1, fragment.multi_sendrecv_near_x1);
+    merge_table(db.multi_sendrecv_near_x2, fragment.multi_sendrecv_near_x2);
   }
   return db;
 }

@@ -2,6 +2,8 @@
 
 #include <fstream>
 #include <functional>
+#include <map>
+#include <utility>
 
 #include "io/record.h"
 #include "support/error.h"
@@ -230,6 +232,14 @@ void write_app_data(std::ostream& os, const core::AppBaseData& data) {
       w.row("task").field(cores).field(task.compute).field(task.communication);
     }
     for (const auto& [routine, rp] : profile.routines) {
+      // Totals are accumulated per event during profiling, not per bucket;
+      // re-summing buckets on load lands on different low-order bits, so the
+      // exact totals are part of the format.
+      w.row("routine")
+          .field(cores)
+          .field(mpi::to_string(routine))
+          .field(static_cast<std::uint64_t>(rp.total_calls))
+          .field(rp.total_elapsed);
       for (const auto& [bytes, bucket] : rp.by_size) {
         w.row("bucket")
             .field(cores)
@@ -247,6 +257,10 @@ void write_app_data(std::ostream& os, const core::AppBaseData& data) {
 core::AppBaseData read_app_data(std::istream& is) {
   RecordReader reader(is, "app-base-data", kAppVersion);
   core::AppBaseData data;
+  // Exact per-routine totals ("routine" rows); files written before those
+  // rows existed fall back to the bucket sums accumulated below.
+  std::map<std::pair<int, mpi::Routine>, std::pair<std::uint64_t, Seconds>>
+      exact_totals;
   Record r;
   while (reader.next(r)) {
     if (r.tag == "app") {
@@ -269,6 +283,10 @@ core::AppBaseData read_app_data(std::istream& is) {
       mpi::MpiProfile& p = data.mpi_profiles[static_cast<int>(r.integer(0))];
       p.per_task.push_back(
           mpi::TaskBreakdown{.compute = r.num(1), .communication = r.num(2)});
+    } else if (r.tag == "routine") {
+      exact_totals[{static_cast<int>(r.integer(0)),
+                    routine_from_name(r.str(1))}] = {
+          static_cast<std::uint64_t>(r.integer(2)), r.num(3)};
     } else if (r.tag == "bucket") {
       mpi::MpiProfile& p = data.mpi_profiles[static_cast<int>(r.integer(0))];
       const mpi::Routine routine = routine_from_name(r.str(1));
@@ -286,6 +304,14 @@ core::AppBaseData read_app_data(std::istream& is) {
     } else {
       throw InvalidArgument("unknown app-base-data record: " + r.tag);
     }
+  }
+  for (const auto& [key, totals] : exact_totals) {
+    const auto profile_it = data.mpi_profiles.find(key.first);
+    if (profile_it == data.mpi_profiles.end()) continue;
+    const auto routine_it = profile_it->second.routines.find(key.second);
+    if (routine_it == profile_it->second.routines.end()) continue;
+    routine_it->second.total_calls = totals.first;
+    routine_it->second.total_elapsed = totals.second;
   }
   SWAPP_REQUIRE(!data.app.empty(), "app-base-data file has no app record");
   return data;

@@ -1,0 +1,271 @@
+#include "service/artifact_cache.h"
+
+#include <exception>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "io/persist.h"
+#include "io/record.h"
+#include "support/error.h"
+
+namespace swapp::service {
+
+std::string to_string(ArtifactSource source) {
+  switch (source) {
+    case ArtifactSource::kComputed: return "computed";
+    case ArtifactSource::kMemory: return "memory cache";
+    case ArtifactSource::kDisk: return "disk cache";
+  }
+  throw InternalError("unknown ArtifactSource");
+}
+
+std::uint64_t fingerprint(const std::string& canonical) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const unsigned char c : canonical) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string fingerprint_hex(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string describe_machine(const machine::Machine& m) {
+  std::ostringstream os;
+  {
+    io::RecordWriter w(os, "swapp-machine-id", 1);
+    w.row("machine")
+        .field(m.name)
+        .field(m.cores_per_node)
+        .field(m.total_cores)
+        .field(m.processor.frequency_ghz)
+        .field(m.processor.smt_ways)
+        .field(m.os_jitter);
+  }
+  return os.str();
+}
+
+std::string describe_imb_inputs(const machine::Machine& m,
+                                const std::vector<int>& core_counts,
+                                const std::vector<Bytes>& sizes) {
+  std::ostringstream os;
+  os << describe_machine(m);
+  {
+    io::RecordWriter w(os, "swapp-imb-inputs", 1);
+    w.row("cores");
+    for (const int c : core_counts) w.field(c);
+    w.row("sizes");
+    for (const Bytes s : sizes) w.field(static_cast<std::uint64_t>(s));
+  }
+  return os.str();
+}
+
+std::string describe_spec_inputs(const machine::Machine& base,
+                                 const std::vector<machine::Machine>& targets,
+                                 const std::vector<int>& task_counts) {
+  std::ostringstream os;
+  os << describe_machine(base);
+  for (const machine::Machine& t : targets) os << describe_machine(t);
+  {
+    io::RecordWriter w(os, "swapp-spec-inputs", 1);
+    w.row("tasks");
+    for (const int c : task_counts) w.field(c);
+  }
+  return os.str();
+}
+
+std::string describe_app_inputs(const std::string& app_name,
+                                const machine::Machine& base, int threads,
+                                const std::vector<int>& mpi_counts,
+                                const std::vector<int>& counter_counts) {
+  std::ostringstream os;
+  os << describe_machine(base);
+  {
+    io::RecordWriter w(os, "swapp-app-inputs", 1);
+    w.row("app").field(app_name).field(threads);
+    w.row("mpi-counts");
+    for (const int c : mpi_counts) w.field(c);
+    w.row("counter-counts");
+    for (const int c : counter_counts) w.field(c);
+  }
+  return os.str();
+}
+
+namespace {
+
+/// One artifact kind: a bounded LRU memory tier plus (for persistent kinds)
+/// a load/save pair from io/persist.
+template <typename T>
+struct Store {
+  using Saver = void (*)(const std::filesystem::path&, const T&);
+  using Loader = T (*)(const std::filesystem::path&);
+
+  std::string kind;
+  Saver save = nullptr;  ///< null for memory-only kinds
+  Loader load = nullptr;
+
+  std::map<std::uint64_t, std::shared_ptr<const T>> entries;
+  std::list<std::uint64_t> recency;  ///< front = most recently used
+};
+
+template <typename T>
+void touch(Store<T>& store, std::uint64_t key) {
+  store.recency.remove(key);
+  store.recency.push_front(key);
+}
+
+}  // namespace
+
+struct ArtifactCache::Impl {
+  std::size_t capacity = 16;
+  mutable std::mutex mutex;
+  CacheStats stats;
+
+  Store<imb::ImbDatabase> imb{"imb", &io::save_imb_database,
+                              &io::load_imb_database};
+  Store<core::SpecLibrary> spec{"spec", &io::save_spec_library,
+                                &io::load_spec_library};
+  Store<core::AppBaseData> app{"app", &io::save_app_data, &io::load_app_data};
+  Store<core::SpecIndex> index{"spec-index"};
+  Store<core::ComputeProjection> surrogate{"surrogate"};
+
+  template <typename T>
+  std::filesystem::path path_of(const Store<T>& store,
+                                const std::filesystem::path& dir,
+                                std::uint64_t key) const {
+    return dir / (store.kind + "-" + fingerprint_hex(key) + ".swapp");
+  }
+
+  template <typename T>
+  std::shared_ptr<const T> get(Store<T>& store,
+                               const std::filesystem::path& dir,
+                               const std::string& canonical,
+                               const std::function<T()>& make,
+                               ArtifactSource* source) {
+    const std::uint64_t key = fingerprint(canonical);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      const auto it = store.entries.find(key);
+      if (it != store.entries.end()) {
+        ++stats.memory_hits;
+        touch(store, key);
+        if (source) *source = ArtifactSource::kMemory;
+        return it->second;
+      }
+    }
+
+    // Miss path runs unlocked: disk loads and make() are slow, and a
+    // duplicated computation under a rare same-key race is still the same
+    // pure function of the key.
+    std::shared_ptr<const T> value;
+    ArtifactSource from = ArtifactSource::kComputed;
+    const bool on_disk = store.load != nullptr && !dir.empty();
+    bool corrupt = false;
+    if (on_disk) {
+      const std::filesystem::path file = path_of(store, dir, key);
+      std::error_code ec;
+      if (std::filesystem::exists(file, ec)) {
+        try {
+          value = std::make_shared<const T>(store.load(file));
+          from = ArtifactSource::kDisk;
+        } catch (const std::exception&) {
+          corrupt = true;  // rejected: recompute and overwrite below
+        }
+      }
+    }
+    if (!value) {
+      value = std::make_shared<const T>(make());
+      if (on_disk) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        // Write-then-rename so a crashed writer never leaves a torn file
+        // under the final name.
+        const std::filesystem::path file = path_of(store, dir, key);
+        const std::filesystem::path tmp = file.string() + ".tmp";
+        try {
+          store.save(tmp, *value);
+          std::filesystem::rename(tmp, file);
+        } catch (const std::exception&) {
+          std::filesystem::remove(tmp, ec);  // cache write is best-effort
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (corrupt) ++stats.corrupt_files;
+    if (from == ArtifactSource::kDisk) {
+      ++stats.disk_hits;
+    } else {
+      ++stats.misses;
+    }
+    const auto [it, inserted] = store.entries.emplace(key, value);
+    touch(store, key);
+    while (store.entries.size() > capacity) {
+      const std::uint64_t victim = store.recency.back();
+      store.recency.pop_back();
+      store.entries.erase(victim);
+      ++stats.evictions;
+    }
+    if (source) *source = from;
+    return it->second;
+  }
+};
+
+ArtifactCache::ArtifactCache(std::filesystem::path cache_dir,
+                             std::size_t capacity_per_kind)
+    : cache_dir_(std::move(cache_dir)), impl_(std::make_unique<Impl>()) {
+  SWAPP_REQUIRE(capacity_per_kind >= 1, "cache capacity must be >= 1");
+  impl_->capacity = capacity_per_kind;
+}
+
+ArtifactCache::~ArtifactCache() = default;
+
+std::shared_ptr<const imb::ImbDatabase> ArtifactCache::imb_database(
+    const std::string& canonical_inputs,
+    const std::function<imb::ImbDatabase()>& make, ArtifactSource* source) {
+  return impl_->get(impl_->imb, cache_dir_, canonical_inputs, make, source);
+}
+
+std::shared_ptr<const core::SpecLibrary> ArtifactCache::spec_library(
+    const std::string& canonical_inputs,
+    const std::function<core::SpecLibrary()>& make, ArtifactSource* source) {
+  return impl_->get(impl_->spec, cache_dir_, canonical_inputs, make, source);
+}
+
+std::shared_ptr<const core::AppBaseData> ArtifactCache::app_data(
+    const std::string& canonical_inputs,
+    const std::function<core::AppBaseData()>& make, ArtifactSource* source) {
+  return impl_->get(impl_->app, cache_dir_, canonical_inputs, make, source);
+}
+
+std::shared_ptr<const core::SpecIndex> ArtifactCache::spec_index(
+    const std::string& canonical_inputs,
+    const std::function<core::SpecIndex()>& make, ArtifactSource* source) {
+  return impl_->get(impl_->index, cache_dir_, canonical_inputs, make, source);
+}
+
+std::shared_ptr<const core::ComputeProjection>
+ArtifactCache::surrogate_projection(
+    const std::string& canonical_inputs,
+    const std::function<core::ComputeProjection()>& make,
+    ArtifactSource* source) {
+  return impl_->get(impl_->surrogate, cache_dir_, canonical_inputs, make,
+                    source);
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace swapp::service

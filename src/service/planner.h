@@ -1,0 +1,68 @@
+// Request planner for batched projections.
+//
+// A batch of projection requests shares most of its expensive inputs: one
+// SPEC library and one IMB database per machine serve every request, one
+// indexed spec view serves every request that lands on the same (target,
+// occupancy) pair, and — when `surrogate_reference_cores` is set — one GA
+// surrogate search serves every core count of the same (app, target) group.
+// `plan_batch` makes that sharing explicit before any work runs: it dedups
+// the artifact set, so the service can report exactly what a batch will
+// build and reuse, and tests can assert the dedup independently of
+// execution.  The engine (`Projector::project_many`) re-derives the same
+// plan internally; this one is the service's reporting and sizing view.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/projector.h"
+#include "machine/machine.h"
+
+namespace swapp::service {
+
+/// One row of a batch, by registered-artifact name (the service resolves
+/// `app` to collected base data before projecting).
+struct ServiceRequest {
+  std::string app;
+  std::string target;
+  int cores = 0;
+  int threads = 1;  ///< OpenMP threads per task; must match the app profile
+  core::ProjectionOptions options;
+};
+
+/// One shared node of the plan and how many requests consume it.
+struct PlannedArtifact {
+  std::string kind;  ///< "spec-index" | "surrogate-search"
+  std::string key;
+  std::size_t uses = 0;
+};
+
+struct BatchPlan {
+  std::size_t requests = 0;
+  std::vector<std::string> apps;     ///< distinct, first-appearance order
+  std::vector<std::string> targets;  ///< distinct, first-appearance order
+  /// Ascending union of the task-count demands (cores × threads, plus the
+  /// surrogate reference demands) — what the SPEC library must cover.
+  std::vector<int> task_counts;
+  std::vector<PlannedArtifact> artifacts;  ///< first-appearance order
+
+  /// GA surrogate searches the batch will run after dedup (shared searches
+  /// count once; requests outside any shared group count individually).
+  std::size_t searches = 0;
+  /// Searches N independent `project` calls would have run.
+  std::size_t naive_searches = 0;
+
+  std::size_t artifact_count(const std::string& kind) const;
+  /// Human-readable plan summary (one line per fact).
+  std::string describe() const;
+};
+
+/// Plans the batch against the machines it will run on (`targets` must hold
+/// every machine named by a request; throws NotFound otherwise).
+BatchPlan plan_batch(const std::vector<ServiceRequest>& requests,
+                     const machine::Machine& base,
+                     const std::map<std::string, machine::Machine>& targets);
+
+}  // namespace swapp::service

@@ -1,0 +1,153 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "io/persist.h"
+#include "support/error.h"
+#include "support/parallel.h"
+
+namespace swapp::service {
+
+bool ProjectionService::BatchReport::warm() const {
+  for (const ArtifactNote& note : artifacts) {
+    if (note.source == ArtifactSource::kComputed) return false;
+  }
+  return true;
+}
+
+ProjectionService::ProjectionService(machine::Machine base,
+                                     std::vector<machine::Machine> targets,
+                                     ServiceConfig config)
+    : base_(std::move(base)),
+      targets_(std::move(targets)),
+      config_(std::move(config)),
+      cache_(config_.cache_dir, config_.cache_capacity),
+      collect_imb_([](const machine::Machine& m) {
+        return imb::measure_database(m);
+      }) {
+  SWAPP_REQUIRE(!targets_.empty(), "service needs at least one target");
+  for (const machine::Machine& t : targets_) {
+    targets_by_name_.emplace(t.name, t);
+  }
+}
+
+void ProjectionService::set_spec_collector(SpecCollector collect) {
+  collect_spec_ = std::move(collect);
+}
+
+void ProjectionService::set_imb_collector(ImbCollector collect) {
+  SWAPP_REQUIRE(collect != nullptr, "IMB collector must be callable");
+  collect_imb_ = std::move(collect);
+}
+
+void ProjectionService::add_app(const std::string& name,
+                                std::string canonical_inputs,
+                                AppCollector collect) {
+  SWAPP_REQUIRE(collect != nullptr, "app collector must be callable");
+  apps_[name] =
+      AppEntry{std::move(canonical_inputs), std::move(collect), nullptr};
+}
+
+void ProjectionService::add_app_file(const std::string& name,
+                                     const std::filesystem::path& path) {
+  apps_[name] = AppEntry{
+      {}, nullptr, std::make_shared<const core::AppBaseData>(
+                       io::load_app_data(path))};
+}
+
+bool ProjectionService::has_app(const std::string& name) const {
+  return apps_.find(name) != apps_.end();
+}
+
+ProjectionService::BatchReport ProjectionService::run(
+    const std::vector<ServiceRequest>& requests) {
+  BatchReport report;
+  report.plan = plan_batch(requests, base_, targets_by_name_);
+  for (const std::string& app : report.plan.apps) {
+    if (!has_app(app)) throw NotFound("app not registered: " + app);
+  }
+
+  // --- Acquire shared inputs through the cache -----------------------------
+  const std::vector<int>& task_counts = config_.spec_task_counts.empty()
+                                            ? report.plan.task_counts
+                                            : config_.spec_task_counts;
+  SWAPP_REQUIRE(collect_spec_ != nullptr,
+                "spec collector not set (see set_spec_collector)");
+  ArtifactSource source = ArtifactSource::kComputed;
+  const std::shared_ptr<const core::SpecLibrary> spec = cache_.spec_library(
+      describe_spec_inputs(base_, targets_, task_counts),
+      [&] { return collect_spec_(base_, targets_, task_counts); }, &source);
+  report.artifacts.push_back(ArtifactNote{"spec library", source});
+
+  // IMB databases, base first then targets in configuration order.  Each
+  // fan-out item is one machine; the measurement inside is itself parallel
+  // when this loop runs serially.
+  std::vector<const machine::Machine*> machines;
+  machines.push_back(&base_);
+  for (const machine::Machine& t : targets_) machines.push_back(&t);
+  struct ImbGet {
+    std::shared_ptr<const imb::ImbDatabase> db;
+    ArtifactSource source = ArtifactSource::kComputed;
+  };
+  const std::vector<ImbGet> imb_dbs =
+      parallel_map(machines, [&](const machine::Machine* m) {
+        ImbGet got;
+        got.db = cache_.imb_database(
+            describe_imb_inputs(*m, imb::default_core_counts(),
+                                imb::default_message_sizes()),
+            [&] { return collect_imb_(*m); }, &got.source);
+        return got;
+      });
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    report.artifacts.push_back(
+        ArtifactNote{"IMB database (" + machines[i]->name + ")",
+                     imb_dbs[i].source});
+  }
+
+  // Application base profiles, in plan (first-appearance) order.
+  struct AppGet {
+    std::shared_ptr<const core::AppBaseData> data;
+    ArtifactSource source = ArtifactSource::kComputed;
+  };
+  const std::vector<AppGet> app_gets =
+      parallel_map(report.plan.apps, [&](const std::string& name) {
+        const AppEntry& entry = apps_.at(name);
+        AppGet got;
+        if (entry.fixed) {
+          got.data = entry.fixed;
+          got.source = ArtifactSource::kMemory;
+          return got;
+        }
+        got.data = cache_.app_data(entry.canonical, entry.collect,
+                                   &got.source);
+        return got;
+      });
+  std::map<std::string, std::shared_ptr<const core::AppBaseData>> app_data;
+  for (std::size_t i = 0; i < report.plan.apps.size(); ++i) {
+    report.artifacts.push_back(ArtifactNote{
+        "app profile (" + report.plan.apps[i] + ")", app_gets[i].source});
+    app_data.emplace(report.plan.apps[i], app_gets[i].data);
+  }
+
+  // --- Project the batch ---------------------------------------------------
+  core::Projector projector(base_, *spec, *imb_dbs.front().db);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    projector.add_target(targets_[i].name, *imb_dbs[i + 1].db);
+  }
+
+  std::vector<core::ProjectionRequest> engine_requests;
+  engine_requests.reserve(requests.size());
+  for (const ServiceRequest& r : requests) {
+    const core::AppBaseData& data = *app_data.at(r.app);
+    SWAPP_REQUIRE(data.threads_per_rank == r.threads,
+                  "request thread count does not match the profile of " +
+                      r.app);
+    engine_requests.push_back(
+        core::ProjectionRequest{&data, r.target, r.cores, r.options});
+  }
+  report.results = projector.project_many(engine_requests);
+  report.cache = cache_.stats();
+  return report;
+}
+
+}  // namespace swapp::service

@@ -1,0 +1,358 @@
+// Tests for the batch projection service: project_many vs sequential
+// byte-identity (at several thread counts, with and without a shared
+// surrogate search), the content-addressed artifact cache (round-trip,
+// corruption fallback, eviction), and the request planner's dedup.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/projector.h"
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "service/artifact_cache.h"
+#include "service/planner.h"
+#include "service/service.h"
+#include "support/error.h"
+#include "support/parallel.h"
+
+namespace swapp {
+namespace {
+
+using experiments::collect_base_data;
+using experiments::collect_spec_library;
+
+const std::vector<int> kCounts = {8, 16, 32};
+const std::vector<Bytes> kSizes = {512, 16_KiB, 256_KiB};
+
+/// Restores the default pool size when a test changes it.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+/// Shared fixture: small grids, one target, an LU profile.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new machine::Machine(machine::make_power5_hydra());
+    target_ = new machine::Machine(machine::make_power6_575());
+    auto spec = collect_spec_library(*base_, {*target_}, kCounts);
+    projector_ = new core::Projector(
+        *base_, spec, imb::measure_database(*base_, kCounts, kSizes));
+    projector_->add_target(target_->name,
+                           imb::measure_database(*target_, kCounts, kSizes));
+    const nas::NasApp lu(nas::Benchmark::kLU, nas::ProblemClass::kC);
+    lu_data_ = new core::AppBaseData(
+        collect_base_data(lu, *base_, {4, 8, 16}, {4, 8, 16}));
+  }
+  static void TearDownTestSuite() {
+    delete projector_;
+    delete lu_data_;
+    delete base_;
+    delete target_;
+  }
+
+  static std::vector<core::ProjectionRequest> lu_requests(
+      const core::ProjectionOptions& options) {
+    std::vector<core::ProjectionRequest> requests;
+    for (const int ck : {4, 8, 16}) {
+      requests.push_back(
+          core::ProjectionRequest{lu_data_, target_->name, ck, options});
+    }
+    return requests;
+  }
+
+  static machine::Machine* base_;
+  static machine::Machine* target_;
+  static core::Projector* projector_;
+  static core::AppBaseData* lu_data_;
+};
+
+machine::Machine* ServiceTest::base_ = nullptr;
+machine::Machine* ServiceTest::target_ = nullptr;
+core::Projector* ServiceTest::projector_ = nullptr;
+core::AppBaseData* ServiceTest::lu_data_ = nullptr;
+
+/// Bitwise equality of two projection results (operator== on doubles: the
+/// batch engine promises byte-identity, not just closeness).
+void expect_identical(const core::ProjectionResult& a,
+                      const core::ProjectionResult& b) {
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.cores, b.cores);
+  EXPECT_EQ(a.compute.target_compute, b.compute.target_compute);
+  EXPECT_EQ(a.compute.base_compute, b.compute.base_compute);
+  EXPECT_EQ(a.compute.gamma, b.compute.gamma);
+  EXPECT_EQ(a.compute.hyper_scaling_cores, b.compute.hyper_scaling_cores);
+  ASSERT_EQ(a.compute.surrogate.terms.size(),
+            b.compute.surrogate.terms.size());
+  for (std::size_t i = 0; i < a.compute.surrogate.terms.size(); ++i) {
+    EXPECT_EQ(a.compute.surrogate.terms[i].benchmark,
+              b.compute.surrogate.terms[i].benchmark);
+    EXPECT_EQ(a.compute.surrogate.terms[i].weight,
+              b.compute.surrogate.terms[i].weight);
+  }
+  EXPECT_EQ(a.comm.base_total(), b.comm.base_total());
+  EXPECT_EQ(a.comm.target_total(), b.comm.target_total());
+  EXPECT_EQ(a.total_target(), b.total_target());
+}
+
+TEST_F(ServiceTest, BatchMatchesSequentialAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  const std::vector<core::ProjectionRequest> requests = lu_requests({});
+
+  std::vector<core::ProjectionResult> reference;
+  for (const core::ProjectionRequest& r : requests) {
+    reference.push_back(projector_->project(*r.app, r.target, r.cores));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const std::vector<core::ProjectionResult> batch =
+        projector_->project_many(requests);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_identical(batch[i], reference[i]);
+    }
+  }
+}
+
+TEST_F(ServiceTest, SharedSurrogateBatchMatchesSequential) {
+  ThreadCountGuard guard;
+  core::ProjectionOptions options;
+  options.compute.surrogate_reference_cores = 16;
+  const std::vector<core::ProjectionRequest> requests = lu_requests(options);
+
+  std::vector<core::ProjectionResult> reference;
+  for (const core::ProjectionRequest& r : requests) {
+    reference.push_back(
+        projector_->project(*r.app, r.target, r.cores, options));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    const std::vector<core::ProjectionResult> batch =
+        projector_->project_many(requests);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_identical(batch[i], reference[i]);
+    }
+  }
+  // The shared search pins the surrogate composition: every count selects
+  // the same benchmarks, rescaled by the CCSM anchor ratio.
+  ASSERT_EQ(reference[0].compute.surrogate.terms.size(),
+            reference[2].compute.surrogate.terms.size());
+  for (std::size_t t = 0; t < reference[0].compute.surrogate.terms.size();
+       ++t) {
+    EXPECT_EQ(reference[0].compute.surrogate.terms[t].benchmark,
+              reference[2].compute.surrogate.terms[t].benchmark);
+  }
+}
+
+TEST_F(ServiceTest, SharedSurrogateReferenceCountIsUnscaled) {
+  // At the reference count itself the shared search must reproduce the
+  // unshared projection exactly (no rescale is applied).
+  core::ProjectionOptions options;
+  options.compute.surrogate_reference_cores = 16;
+  const core::ProjectionResult with_ref =
+      projector_->project(*lu_data_, target_->name, 16, options);
+  const core::ProjectionResult without =
+      projector_->project(*lu_data_, target_->name, 16);
+  expect_identical(with_ref, without);
+}
+
+TEST(PlannerTest, DedupsSharedArtifacts) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  std::map<std::string, machine::Machine> targets = {{target.name, target}};
+
+  core::ProjectionOptions shared;
+  shared.compute.surrogate_reference_cores = 16;
+  std::vector<service::ServiceRequest> requests;
+  for (const int ck : {4, 8, 16}) {
+    requests.push_back(
+        service::ServiceRequest{"LU/C", target.name, ck, 1, shared});
+    requests.push_back(
+        service::ServiceRequest{"BT/C", target.name, ck, 1, shared});
+  }
+  requests.push_back(service::ServiceRequest{"LU/C", target.name, 8, 1, {}});
+
+  const service::BatchPlan plan = service::plan_batch(requests, base, targets);
+  EXPECT_EQ(plan.requests, 7u);
+  EXPECT_EQ(plan.apps, (std::vector<std::string>{"LU/C", "BT/C"}));
+  EXPECT_EQ(plan.targets, (std::vector<std::string>{target.name}));
+  EXPECT_EQ(plan.task_counts, (std::vector<int>{4, 8, 16}));
+  // All six shared-search requests probe at 16 tasks: one occupancy pair,
+  // hence one spec index for them; the unshared request at 8 tasks adds a
+  // second.  Two apps -> two shared searches; plus the one unshared search.
+  EXPECT_EQ(plan.artifact_count("spec-index"), 2u);
+  EXPECT_EQ(plan.artifact_count("surrogate-search"), 2u);
+  EXPECT_EQ(plan.searches, 3u);
+  EXPECT_EQ(plan.naive_searches, 7u);
+  EXPECT_NE(plan.describe().find("7 request(s)"), std::string::npos);
+}
+
+TEST(PlannerTest, UnknownTargetThrows) {
+  const machine::Machine base = machine::make_power5_hydra();
+  EXPECT_THROW(
+      service::plan_batch({service::ServiceRequest{"LU/C", "Cray XT5", 8}},
+                          base, {}),
+      NotFound);
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("swapp-cache-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static imb::ImbDatabase small_db() {
+    return imb::measure_database(machine::make_power5_hydra(), {8, 16},
+                                 {512, 16_KiB});
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CacheTest, RoundTripAcrossCacheInstances) {
+  const std::string key = "imb-inputs-v1";
+  imb::ImbDatabase computed;
+  {
+    service::ArtifactCache cold(dir_);
+    service::ArtifactSource source = service::ArtifactSource::kMemory;
+    const auto db = cold.imb_database(key, &small_db, &source);
+    EXPECT_EQ(source, service::ArtifactSource::kComputed);
+    computed = *db;
+
+    // Second lookup in the same cache: memory tier, no recompute.
+    const auto again = cold.imb_database(
+        key, [] { ADD_FAILURE() << "recomputed"; return small_db(); },
+        &source);
+    EXPECT_EQ(source, service::ArtifactSource::kMemory);
+    EXPECT_EQ(cold.stats().memory_hits, 1u);
+    EXPECT_EQ(cold.stats().misses, 1u);
+  }
+
+  // A fresh cache over the same directory loads from disk — zero simulation
+  // — and the loaded artifact is value-identical to the computed one.
+  service::ArtifactCache warm(dir_);
+  service::ArtifactSource source = service::ArtifactSource::kComputed;
+  const auto db = warm.imb_database(
+      key, [] { ADD_FAILURE() << "recomputed"; return small_db(); }, &source);
+  EXPECT_EQ(source, service::ArtifactSource::kDisk);
+  EXPECT_EQ(warm.stats().disk_hits, 1u);
+  EXPECT_EQ(db->machine_name, computed.machine_name);
+  const auto computed_samples = computed.multi_sendrecv_x1.samples();
+  const auto loaded_samples = db->multi_sendrecv_x1.samples();
+  ASSERT_EQ(computed_samples.size(), loaded_samples.size());
+  for (std::size_t i = 0; i < computed_samples.size(); ++i) {
+    EXPECT_EQ(computed_samples[i].seconds, loaded_samples[i].seconds);
+  }
+}
+
+TEST_F(CacheTest, CorruptedFileIsRejectedAndRecomputed) {
+  const std::string key = "imb-inputs-v1";
+  {
+    service::ArtifactCache cache(dir_);
+    cache.imb_database(key, &small_db);
+  }
+  // Truncate the stored artifact to garbage.
+  bool corrupted = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "#swapp \"imb-database\" 1\ngarbage record here\n";
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+
+  service::ArtifactCache cache(dir_);
+  service::ArtifactSource source = service::ArtifactSource::kDisk;
+  const auto db = cache.imb_database(key, &small_db, &source);
+  EXPECT_EQ(source, service::ArtifactSource::kComputed);
+  EXPECT_EQ(cache.stats().corrupt_files, 1u);
+  EXPECT_EQ(db->machine_name, machine::make_power5_hydra().name);
+
+  // The rewritten file is healthy again.
+  service::ArtifactCache after(dir_);
+  service::ArtifactSource source2 = service::ArtifactSource::kComputed;
+  after.imb_database(key, &small_db, &source2);
+  EXPECT_EQ(source2, service::ArtifactSource::kDisk);
+}
+
+TEST_F(CacheTest, EvictionKeepsLiveReferencesValid) {
+  service::ArtifactCache cache({}, /*capacity_per_kind=*/2);
+  const auto make = [](int occ) {
+    return [occ] {
+      core::SpecIndex index;
+      index.target_machine = "t";
+      index.base_occupancy = occ;
+      index.target_occupancy = occ;
+      return index;
+    };
+  };
+  const auto first = cache.spec_index("a", make(1));
+  cache.spec_index("b", make(2));
+  cache.spec_index("c", make(3));  // evicts the LRU entry ("a")
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(first->base_occupancy, 1);  // held reference survives eviction
+
+  // "a" is gone from the memory tier: a fresh request recomputes.
+  service::ArtifactSource source = service::ArtifactSource::kMemory;
+  cache.spec_index("a", make(1), &source);
+  EXPECT_EQ(source, service::ArtifactSource::kComputed);
+}
+
+TEST_F(CacheTest, ServiceWarmRunPerformsNoSimulation) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  const auto configure = [&](service::ProjectionService& svc) {
+    svc.set_spec_collector(
+        [](const machine::Machine& b,
+           const std::vector<machine::Machine>& t,
+           const std::vector<int>& counts) {
+          return collect_spec_library(b, t, counts);
+        });
+    svc.set_imb_collector([](const machine::Machine& m) {
+      return imb::measure_database(m, kCounts, kSizes);
+    });
+    svc.add_app("LU/C",
+                service::describe_app_inputs("LU-MZ.C", base, 1, {4, 8, 16},
+                                             {4, 8, 16}),
+                [base] {
+                  return collect_base_data(
+                      nas::NasApp(nas::Benchmark::kLU, nas::ProblemClass::kC),
+                      base, {4, 8, 16}, {4, 8, 16});
+                });
+  };
+  service::ServiceConfig config;
+  config.cache_dir = dir_;
+  const std::vector<service::ServiceRequest> requests = {
+      {"LU/C", target.name, 8, 1, {}},
+      {"LU/C", target.name, 16, 1, {}},
+  };
+
+  service::ProjectionService cold(base, {target}, config);
+  configure(cold);
+  const auto cold_report = cold.run(requests);
+  EXPECT_FALSE(cold_report.warm());
+  ASSERT_EQ(cold_report.results.size(), 2u);
+
+  service::ProjectionService warm(base, {target}, config);
+  configure(warm);
+  const auto warm_report = warm.run(requests);
+  EXPECT_TRUE(warm_report.warm());
+  EXPECT_GE(warm_report.cache.disk_hits, 4u);  // spec + 2 IMB + app
+  for (std::size_t i = 0; i < warm_report.results.size(); ++i) {
+    expect_identical(warm_report.results[i], cold_report.results[i]);
+  }
+}
+
+}  // namespace
+}  // namespace swapp

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer and runs it with a 4-thread
+# SWAPP pool, so the batched projection paths (shared SpecIndex arenas,
+# cache-owned artifacts, parallel merges) are exercised for lifetime and
+# bounds errors.  Usage: tools/check_asan.sh [extra ctest args].
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-asan"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DSWAPP_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)"
+
+SWAPP_THREADS=4 ctest --test-dir "${BUILD}" --output-on-failure "$@"

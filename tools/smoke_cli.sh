@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke test: collect artifacts, run a cold batch into a
+# cache directory, rerun it warm, and require (a) byte-identical projection
+# tables and (b) a warm run that performs no simulation.  Finishes with the
+# one-shot `project` command reusing the same cache.
+# Usage: tools/smoke_cli.sh  (set BUILD to point at a non-default build dir).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD:-${ROOT}/build}"
+SWAPP="${BUILD}/tools/swapp"
+if [[ ! -x "${SWAPP}" ]]; then
+  echo "swapp binary not found; build first: cmake --build ${BUILD} -j" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+CACHE="${WORK}/cache"
+
+echo "== standalone collection (file-based flow) =="
+"${SWAPP}" collect-imb --machine "IBM POWER6 575" --out "${WORK}/p6.imb" \
+  2> /dev/null
+"${SWAPP}" profile --app LU --class C --counts 4,8,16 \
+  --out "${WORK}/lu_c.app" 2> /dev/null
+test -s "${WORK}/p6.imb" && test -s "${WORK}/lu_c.app"
+
+echo "== batch: cold run populates ${CACHE} =="
+cat > "${WORK}/batch.req" <<'EOF'
+#swapp "swapp-batch" v1
+request "LU/C" "IBM POWER6 575" 8 1 16
+request "LU/C" "IBM POWER6 575" 16 1 16
+EOF
+"${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
+  > "${WORK}/cold.out" 2> "${WORK}/cold.err"
+
+echo "== batch: warm rerun must match byte-for-byte =="
+"${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
+  > "${WORK}/warm.out" 2> "${WORK}/warm.err"
+diff -u "${WORK}/cold.out" "${WORK}/warm.out"
+grep -q "warm batch: no simulation performed" "${WORK}/warm.err"
+
+echo "== one-shot project reuses the batch's cache =="
+"${SWAPP}" project --app LU --class C --tasks 16 \
+  --target "IBM POWER6 575" --cache-dir "${CACHE}" \
+  > "${WORK}/project1.out" 2> "${WORK}/project1.err"
+"${SWAPP}" project --app LU --class C --tasks 16 \
+  --target "IBM POWER6 575" --cache-dir "${CACHE}" \
+  > "${WORK}/project2.out" 2> "${WORK}/project2.err"
+diff -u "${WORK}/project1.out" "${WORK}/project2.out"
+grep -q "disk cache" "${WORK}/project2.err"
+
+echo "smoke ok"

@@ -14,8 +14,14 @@
 //                 --base-imb hydra.imb --target-imb p6.imb
 //                 --target "IBM POWER6 575" --tasks 128
 //
-//   # everything in one go (collects what is missing)
+//   # everything in one go (collects what is missing); a cache directory
+//   # makes the second run skip all simulation
 //   swapp project --app BT --class C --target "IBM POWER6 575" --tasks 128
+//                 --cache-dir .swapp-cache
+//
+//   # batch: many projections, planned together (shared artifacts built once)
+//   swapp batch --requests batch.req --cache-dir .swapp-cache
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -27,8 +33,10 @@
 #include "experiments/lab.h"
 #include "imb/suite.h"
 #include "io/persist.h"
+#include "io/record.h"
 #include "machine/machine.h"
 #include "nas/nas_app.h"
+#include "service/service.h"
 #include "support/error.h"
 #include "support/table.h"
 
@@ -47,11 +55,24 @@ commands:
   collect-spec  --targets A,B,...  --out FILE
   profile       --app BT|SP|LU --class C|D [--threads N]
                 [--counts 16,32,...] --out FILE
-  project       --target NAME --tasks N
+  project       --target NAME --tasks N [--cache-dir DIR]
                 (--app NAME --class C|D [--threads N] |
                  --app-data FILE --spec FILE --base-imb FILE --target-imb FILE)
+  batch         --requests FILE [--cache-dir DIR]
 
 The base system is always the TAMU Hydra POWER5+ model.
+
+The batch request file is an io/record document of kind "swapp-batch" v1;
+each row is
+  request "<BT|SP|LU>/<C|D>" "<target machine>" <tasks> [<threads> [<ref>]]
+or, with a pre-collected profile,
+  request "file:<path>" "<target machine>" <tasks> [<threads> [<ref>]]
+where <ref> > 0 runs the GA surrogate search once at that reference task
+count and rescales it to every other count of the same app/target group.
+
+--cache-dir enables the content-addressed artifact cache: collected spec
+libraries, IMB databases, and app profiles are stored there and reused by
+later runs (a warm run performs no simulation).
 )";
   std::exit(2);
 }
@@ -176,12 +197,24 @@ int cmd_profile(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Reports where a (possibly cached) artifact came from.
+void note_source(const std::string& what, service::ArtifactSource source) {
+  std::cerr << what << ": " << service::to_string(source) << "\n";
+}
+
 int cmd_project(const std::map<std::string, std::string>& flags) {
   const std::string target_name = need(flags, "target");
   const int tasks = std::stoi(need(flags, "tasks"));
   const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::machine_by_name(target_name);
 
-  // Load or collect the three inputs.
+  // Everything that has to be collected (rather than loaded from an
+  // explicit file) goes through the artifact cache, so a warm --cache-dir
+  // run performs no simulation at all.
+  service::ArtifactCache cache(
+      flags.count("cache-dir") ? flags.at("cache-dir") : "");
+  service::ArtifactSource source = service::ArtifactSource::kComputed;
+
   core::AppBaseData app_data;
   if (flags.count("app-data")) {
     app_data = io::load_app_data(flags.at("app-data"));
@@ -193,26 +226,44 @@ int cmd_project(const std::map<std::string, std::string>& flags) {
     const std::vector<int> counts =
         bench == nas::Benchmark::kLU ? std::vector<int>{4, 8, 16}
                                      : std::vector<int>{16, 32, 64, 128};
-    app_data = profile_app(bench, cls, threads, counts);
+    const std::string app_name = nas::NasApp(bench, cls).name();
+    app_data = *cache.app_data(
+        service::describe_app_inputs(app_name, base, threads, counts, counts),
+        [&] { return profile_app(bench, cls, threads, counts); }, &source);
+    note_source("app profile (" + app_name + ")", source);
   }
 
+  const std::vector<int> spec_counts = {4, 8, 16, 32, 64, 128};
   core::SpecLibrary spec;
   if (flags.count("spec")) {
     spec = io::load_spec_library(flags.at("spec"));
   } else {
-    std::cerr << "collecting SPEC-style library...\n";
-    spec = experiments::collect_spec_library(
-        base, {machine::machine_by_name(target_name)},
-        {4, 8, 16, 32, 64, 128});
+    spec = *cache.spec_library(
+        service::describe_spec_inputs(base, {target}, spec_counts),
+        [&] {
+          std::cerr << "collecting SPEC-style library...\n";
+          return experiments::collect_spec_library(base, {target},
+                                                   spec_counts);
+        },
+        &source);
+    note_source("spec library", source);
   }
 
-  imb::ImbDatabase base_imb =
-      flags.count("base-imb") ? io::load_imb_database(flags.at("base-imb"))
-                              : imb::measure_database(base);
+  const auto imb_for = [&](const machine::Machine& m) {
+    const auto db = cache.imb_database(
+        service::describe_imb_inputs(m, imb::default_core_counts(),
+                                     imb::default_message_sizes()),
+        [&] { return imb::measure_database(m); }, &source);
+    note_source("IMB database (" + m.name + ")", source);
+    return *db;
+  };
+  imb::ImbDatabase base_imb = flags.count("base-imb")
+                                  ? io::load_imb_database(flags.at("base-imb"))
+                                  : imb_for(base);
   imb::ImbDatabase target_imb =
       flags.count("target-imb")
           ? io::load_imb_database(flags.at("target-imb"))
-          : imb::measure_database(machine::machine_by_name(target_name));
+          : imb_for(target);
 
   core::Projector projector(base, spec, std::move(base_imb));
   projector.add_target(target_name, std::move(target_imb));
@@ -244,6 +295,123 @@ int cmd_project(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_batch(const std::map<std::string, std::string>& flags) {
+  const machine::Machine base = machine::make_power5_hydra();
+
+  // --- parse the request file ---------------------------------------------
+  struct Row {
+    std::string app;
+    std::string target;
+    int tasks = 0;
+    int threads = 1;
+    int reference = 0;
+  };
+  const std::string requests_path = need(flags, "requests");
+  std::ifstream in(requests_path);
+  if (!in) usage("cannot open requests file: " + requests_path);
+  io::RecordReader reader(in, "swapp-batch", 1);
+  io::Record rec;
+  std::vector<Row> rows;
+  while (reader.next(rec)) {
+    if (rec.tag != "request") {
+      usage("unknown record in batch file: " + rec.tag);
+    }
+    if (rec.fields.size() < 3) {
+      usage("request row needs: app, target, tasks");
+    }
+    Row row;
+    row.app = rec.str(0);
+    row.target = rec.str(1);
+    row.tasks = static_cast<int>(rec.integer(2));
+    if (rec.fields.size() > 3) row.threads = static_cast<int>(rec.integer(3));
+    if (rec.fields.size() > 4) {
+      row.reference = static_cast<int>(rec.integer(4));
+    }
+    rows.push_back(row);
+  }
+  if (rows.empty()) usage("batch file has no requests");
+
+  // --- configure the service ----------------------------------------------
+  std::vector<machine::Machine> targets;
+  for (const Row& row : rows) {
+    bool known = false;
+    for (const machine::Machine& t : targets) known |= t.name == row.target;
+    if (!known) targets.push_back(machine::machine_by_name(row.target));
+  }
+  service::ServiceConfig config;
+  if (flags.count("cache-dir")) config.cache_dir = flags.at("cache-dir");
+  service::ProjectionService svc(base, targets, config);
+  svc.set_spec_collector(
+      [](const machine::Machine& b, const std::vector<machine::Machine>& t,
+         const std::vector<int>& counts) {
+        return experiments::collect_spec_library(b, t, counts);
+      });
+
+  for (const Row& row : rows) {
+    if (svc.has_app(row.app)) continue;
+    if (row.app.rfind("file:", 0) == 0) {
+      svc.add_app_file(row.app, row.app.substr(5));
+      continue;
+    }
+    const auto slash = row.app.find('/');
+    if (slash == std::string::npos) {
+      usage("app must be 'BT|SP|LU/C|D' or 'file:PATH': " + row.app);
+    }
+    const nas::Benchmark bench = benchmark_from(row.app.substr(0, slash));
+    const nas::ProblemClass cls = class_from(row.app.substr(slash + 1));
+    const std::vector<int> counts =
+        bench == nas::Benchmark::kLU ? std::vector<int>{4, 8, 16}
+                                     : std::vector<int>{16, 32, 64, 128};
+    const int threads = row.threads;
+    svc.add_app(row.app,
+                service::describe_app_inputs(nas::NasApp(bench, cls).name(),
+                                             base, threads, counts, counts),
+                [=] { return profile_app(bench, cls, threads, counts); });
+  }
+
+  std::vector<service::ServiceRequest> requests;
+  requests.reserve(rows.size());
+  for (const Row& row : rows) {
+    service::ServiceRequest q;
+    q.app = row.app;
+    q.target = row.target;
+    q.cores = row.tasks;
+    q.threads = row.threads;
+    if (row.reference > 0) {
+      q.options.compute.surrogate_reference_cores = row.reference;
+    }
+    requests.push_back(q);
+  }
+
+  // --- run -----------------------------------------------------------------
+  // Progress and reuse information go to stderr; stdout carries only the
+  // result table, so cold and warm runs can be diffed byte-for-byte.
+  const service::ProjectionService::BatchReport report = svc.run(requests);
+  std::cerr << report.plan.describe();
+  for (const service::ProjectionService::ArtifactNote& note :
+       report.artifacts) {
+    note_source(note.name, note.source);
+  }
+  const service::CacheStats& s = report.cache;
+  std::cerr << "cache: " << s.memory_hits << " memory hit(s), " << s.disk_hits
+            << " disk hit(s), " << s.misses << " miss(es), " << s.evictions
+            << " eviction(s), " << s.corrupt_files << " corrupt file(s)\n";
+  if (report.warm()) std::cerr << "warm batch: no simulation performed\n";
+
+  TextTable table({"App", "Target", "Tasks", "Compute s", "Comm s",
+                   "Total s"});
+  table.set_title("Batch projections (" +
+                  std::to_string(report.results.size()) + " requests)");
+  for (const core::ProjectionResult& r : report.results) {
+    table.add_row({r.app, r.target, std::to_string(r.cores),
+                   TextTable::num(r.compute.target_compute, 3),
+                   TextTable::num(r.comm.target_total(), 3),
+                   TextTable::num(r.total_target(), 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +424,7 @@ int main(int argc, char** argv) {
     if (command == "collect-spec") return cmd_collect_spec(flags);
     if (command == "profile") return cmd_profile(flags);
     if (command == "project") return cmd_project(flags);
+    if (command == "batch") return cmd_batch(flags);
     usage("unknown command: " + command);
   } catch (const swapp::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
