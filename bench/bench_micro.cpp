@@ -12,6 +12,8 @@
 #include "mpi/world.h"
 #include "nas/nas_app.h"
 #include "nas/zones.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "spec/suite.h"
 #include "support/interp.h"
@@ -274,6 +276,77 @@ void BM_ProjectMany(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * requests.size());
 }
 BENCHMARK(BM_ProjectMany)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- Observability overhead -------------------------------------------------
+// The instrumentation contract is "zero overhead when disabled": every macro
+// must cost one relaxed atomic load while the switches are off.  Arg = 1
+// turns the relevant switch on and measures the recording cost instead.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::set_metrics_enabled(state.range(0) == 1);
+  for (auto _ : state) {
+    SWAPP_COUNT("bench.obs_counter", 1);
+  }
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+}
+BENCHMARK(BM_ObsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::set_metrics_enabled(state.range(0) == 1);
+  double v = 1.0;
+  for (auto _ : state) {
+    SWAPP_OBSERVE("bench.obs_hist", v);
+    v = v < 1e6 ? v * 1.7 : 1.0;
+  }
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+}
+BENCHMARK(BM_ObsHistogramObserve)->Arg(0)->Arg(1);
+
+// 1000 spans per iteration; the enabled run drains each batch so the buffer
+// cost that a real trace pays (record + eventual drain) is in the number.
+void BM_ObsSpan(benchmark::State& state) {
+  obs::set_tracing_enabled(state.range(0) == 1);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      SWAPP_SPAN("bench.obs_span");
+    }
+    if (state.range(0) == 1) {
+      benchmark::DoNotOptimize(obs::drain_trace().size());
+    }
+  }
+  obs::set_tracing_enabled(false);
+  obs::drain_trace();
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ObsSpan)->Arg(0)->Arg(1);
+
+// The GA search with every switch live: spans, per-generation convergence
+// counters, and metrics all recording.  Compare against BM_GaSurrogateSearch
+// (same work, switches off) for the worst-case enabled overhead.
+void BM_GaSurrogateSearchObsEnabled(benchmark::State& state) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const core::SpecData& spec = ga_spec_data();
+  const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
+  const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  core::GaOptions options;
+  options.restarts = 1;
+  options.generations = 80;
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::find_surrogate(app, app_smt, weights, spec, 100.0, options)
+            .fitness);
+    benchmark::DoNotOptimize(obs::drain_trace().size());
+  }
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+}
+BENCHMARK(BM_GaSurrogateSearchObsEnabled);
 
 void BM_ImbMeasurement(benchmark::State& state) {
   const machine::Machine m = machine::make_power5_hydra();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace swapp::core {
@@ -39,46 +40,62 @@ ComputeProjection project_compute_impl(const AppBaseData& app,
                 "no SMT counter profiles collected");
   SWAPP_REQUIRE(!app.mean_compute.empty(), "no compute-time profiles");
 
+  SWAPP_SPAN("compute.project");
   ComputeProjection out;
 
   // --- ACSM: counter profile for Ck ----------------------------------------
   machine::PmuCounters counters_st;
   machine::PmuCounters counters_smt;
-  if (options.use_acsm && app.counters_st.size() >= 2) {
-    const AcsmModel acsm_st(app.counters_st, base);
-    const AcsmModel acsm_smt(app.counters_smt, base);
-    out.hyper_scaling_cores = acsm_st.hyper_scaling_cores();
-    out.extrapolated_counters = acsm_st.needs_extrapolation(ck);
-    counters_st = acsm_st.counters_at(ck);
-    counters_smt = acsm_smt.counters_at(ck);
-  } else {
-    counters_st = nearest_counters(app.counters_st, ck);
-    counters_smt = nearest_counters(app.counters_smt, ck);
-    out.hyper_scaling_cores = std::numeric_limits<double>::infinity();
+  {
+    SWAPP_SPAN("compute.acsm");
+    if (options.use_acsm && app.counters_st.size() >= 2) {
+      const AcsmModel acsm_st(app.counters_st, base);
+      const AcsmModel acsm_smt(app.counters_smt, base);
+      out.hyper_scaling_cores = acsm_st.hyper_scaling_cores();
+      out.extrapolated_counters = acsm_st.needs_extrapolation(ck);
+      counters_st = acsm_st.counters_at(ck);
+      counters_smt = acsm_smt.counters_at(ck);
+    } else {
+      counters_st = nearest_counters(app.counters_st, ck);
+      counters_smt = nearest_counters(app.counters_smt, ck);
+      out.hyper_scaling_cores = std::numeric_limits<double>::infinity();
+    }
   }
 
   // --- CCSM: base compute anchor at Ck --------------------------------------
-  const CcsmModel ccsm(app.mean_compute);
-  const auto exact = app.mean_compute.find(ck);
-  out.base_compute =
-      exact != app.mean_compute.end() ? exact->second : ccsm.predict(ck);
-  SWAPP_REQUIRE(out.base_compute > 0.0, "non-positive base compute anchor");
-  out.gamma = ccsm.gamma(app.mean_compute.begin()->first, ck);
+  {
+    SWAPP_SPAN("compute.ccsm");
+    const CcsmModel ccsm(app.mean_compute);
+    const auto exact = app.mean_compute.find(ck);
+    out.base_compute =
+        exact != app.mean_compute.end() ? exact->second : ccsm.predict(ck);
+    SWAPP_REQUIRE(out.base_compute > 0.0, "non-positive base compute anchor");
+    out.gamma = ccsm.gamma(app.mean_compute.begin()->first, ck);
+  }
 
   // --- Ranking: steps 2–4 -----------------------------------------------------
-  out.base_weights = base_group_weights(counters_st, base);
-  out.adjusted_weights =
-      options.use_rank_adjustment
-          ? adjust_weights_to_target(out.base_weights, spec, target_machine)
-          : out.base_weights;
+  {
+    SWAPP_SPAN("compute.ranking");
+    out.base_weights = base_group_weights(counters_st, base);
+    out.adjusted_weights =
+        options.use_rank_adjustment
+            ? adjust_weights_to_target(out.base_weights, spec, target_machine)
+            : out.base_weights;
+  }
 
   // --- GA surrogate + Eq. 2 ---------------------------------------------------
-  out.surrogate =
-      index ? find_surrogate(counters_st, counters_smt, out.adjusted_weights,
-                             *index, out.base_compute, options.ga)
-            : find_surrogate(counters_st, counters_smt, out.adjusted_weights,
-                             spec, out.base_compute, options.ga);
-  out.target_compute = out.surrogate.project_runtime(spec, target_machine);
+  {
+    SWAPP_SPAN("compute.surrogate_search");
+    out.surrogate =
+        index ? find_surrogate(counters_st, counters_smt, out.adjusted_weights,
+                               *index, out.base_compute, options.ga)
+              : find_surrogate(counters_st, counters_smt, out.adjusted_weights,
+                               spec, out.base_compute, options.ga);
+  }
+  {
+    SWAPP_SPAN("compute.combine");
+    out.target_compute = out.surrogate.project_runtime(spec, target_machine);
+  }
   SWAPP_ASSERT(out.target_compute > 0.0,
                "surrogate projected non-positive compute time");
   return out;

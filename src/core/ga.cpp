@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -228,6 +230,8 @@ Problem build_problem(const machine::PmuCounters& app_st,
 /// One GA run over a pre-built (shared, read-only) Problem.
 Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
                               const GaOptions& options) {
+  SWAPP_SPAN("ga.restart");
+  std::uint64_t evals = 0;  // fused-kernel evaluations, flushed on exit
   Rng rng(options.seed);
   const std::size_t n = prob.size();
 
@@ -253,6 +257,7 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
     fill_random_genome(population[i]);
     fitness[i] = prob.fitness_fused(population[i]);
   }
+  evals += pop_size;
 
   const auto tournament = [&]() -> const Genome& {
     std::size_t best = static_cast<std::size_t>(
@@ -329,11 +334,17 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
       fitness[i] = prob.fitness_fused(population[i]);
       gen_best = std::min(gen_best, fitness[i]);
     }
+    evals += pop_size;
+    SWAPP_COUNT("ga.generations", 1);
+    // Convergence series: one sample per generation, attributed to this
+    // restart's span/thread, so a trace shows every restart's descent.
+    SWAPP_TRACE_COUNTER("ga.best_fitness", gen_best);
     if (options.stagnation_limit > 0) {
       if (gen_best < best_so_far) {
         best_so_far = gen_best;
         stagnant = 0;
       } else if (++stagnant >= options.stagnation_limit) {
+        SWAPP_COUNT("ga.stagnation_exits", 1);
         break;
       }
     }
@@ -357,6 +368,7 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
         candidate[k] *= factor;
         prob.normalise_scale(candidate);
         const double f = prob.fitness_fused(candidate);
+        ++evals;
         if (f + 1e-12 < polished_fit) {
           std::swap(polished, candidate);
           polished_fit = f;
@@ -366,6 +378,8 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
     }
   }
   const Genome& g = polished;
+  SWAPP_COUNT("ga.evals", evals);
+  SWAPP_COUNT("ga.restarts", 1);
 
   Surrogate out;
   out.fitness = polished_fit;
@@ -383,6 +397,8 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
 Surrogate search_and_merge(const Problem& prob, const SpecData& spec,
                            Seconds app_base_compute,
                            const GaOptions& options) {
+  SWAPP_SPAN("ga.search");
+  SWAPP_COUNT("ga.searches", 1);
   SWAPP_REQUIRE(options.restarts >= 1, "GA needs at least one restart");
 
   // Restarts are fully independent (each derives its own seed from the

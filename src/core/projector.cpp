@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/parallel.h"
 
@@ -116,6 +118,7 @@ CommProjection Projector::comm_component(const AppBaseData& app,
                                          int ck, double compute_scale,
                                          const ProjectionOptions& options)
     const {
+  SWAPP_SPAN("comm.project");
   const auto imb_it = target_imb_.find(target_machine);
   if (imb_it == target_imb_.end()) {
     throw NotFound("target not registered: " + target_machine);
@@ -144,6 +147,8 @@ CommProjection Projector::comm_component(const AppBaseData& app,
 ProjectionResult Projector::project(const AppBaseData& app,
                                     const std::string& target_machine, int ck,
                                     const ProjectionOptions& options) const {
+  SWAPP_SPAN("projector.project");
+  SWAPP_COUNT("projector.projections", 1);
   if (target_imb_.find(target_machine) == target_imb_.end()) {
     throw NotFound("target not registered: " + target_machine);
   }
@@ -165,6 +170,8 @@ ProjectionResult Projector::project(const AppBaseData& app,
 
 std::vector<ProjectionResult> Projector::project_many(
     const std::vector<ProjectionRequest>& requests) const {
+  SWAPP_SPAN("projector.project_many");
+  SWAPP_COUNT("projector.batch_requests", requests.size());
   // --- Plan (serial): shared intermediate artifacts ------------------------
   // Node kinds: spec indexes keyed by (target, occupancy pair) and shared
   // surrogate searches keyed by (app, target, reference count, options).
@@ -232,19 +239,27 @@ std::vector<ProjectionResult> Projector::project_many(
 
   // --- Execute: fan each artifact tier out over the pool -------------------
   // Tier 1: spec indexes (independent flattenings).
-  const std::vector<SpecIndex> indexes =
-      parallel_map(index_jobs, [&](const IndexJob& job) {
-        return SpecIndex::build(spec_, job.target, job.base_occ,
-                                job.target_occ);
-      });
+  std::vector<SpecIndex> indexes;
+  {
+    SWAPP_SPAN("projector.build_spec_indexes");
+    indexes = parallel_map(index_jobs, [&](const IndexJob& job) {
+      SWAPP_SPAN("spec_index.build");
+      return SpecIndex::build(spec_, job.target, job.base_occ,
+                              job.target_occ);
+    });
+  }
   // Tier 2: shared surrogate searches (independent; the GA's own restart
   // fan-out degrades to serial inside this region).
-  const std::vector<ComputeProjection> shared =
-      parallel_map(shared_jobs, [&](const SharedJob& job) {
-        return project_compute(*job.app, indexes[job.index_slot], base_,
-                               job.target, job.reference, job.options);
-      });
+  std::vector<ComputeProjection> shared;
+  {
+    SWAPP_SPAN("projector.shared_searches");
+    shared = parallel_map(shared_jobs, [&](const SharedJob& job) {
+      return project_compute(*job.app, indexes[job.index_slot], base_,
+                             job.target, job.reference, job.options);
+    });
+  }
   // Tier 3: the requests themselves, merged in input order.
+  SWAPP_SPAN("projector.project_requests");
   std::vector<std::size_t> ids(requests.size());
   std::iota(ids.begin(), ids.end(), 0);
   return parallel_map(ids, [&](std::size_t i) {

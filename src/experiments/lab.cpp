@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.h"
 #include "spec/suite.h"
 #include "support/error.h"
 #include "support/parallel.h"
@@ -31,6 +32,7 @@ core::AppBaseData collect_base_data(const nas::NasApp& app,
                                     const machine::Machine& base,
                                     const std::vector<int>& mpi_counts,
                                     const std::vector<int>& counter_counts) {
+  SWAPP_SPAN("lab.collect_app_profile");
   core::AppBaseData data;
   data.app = app.name();
   data.base_machine = base.name;
@@ -57,6 +59,7 @@ core::AppBaseData collect_base_data(const nas::NasApp& app,
 
 ActualRun run_actual(const nas::NasApp& app, const machine::Machine& m,
                      int ranks) {
+  SWAPP_SPAN("lab.actual_run");
   const auto world = app.run(m, ranks, machine::SmtMode::kSingleThread);
   const mpi::MpiProfile& profile = world->profile();
   ActualRun out;
@@ -74,6 +77,7 @@ ActualRun run_actual(const nas::NasApp& app, const machine::Machine& m,
 core::SpecLibrary collect_spec_library(
     const machine::Machine& base, const std::vector<machine::Machine>& targets,
     const std::vector<int>& task_counts) {
+  SWAPP_SPAN("lab.collect_spec_library");
   core::SpecLibrary lib;
   lib.base_machine = base.name;
   lib.base_cores_per_node = base.cores_per_node;
@@ -279,6 +283,7 @@ ErrorRow Lab::error_row(nas::Benchmark b, nas::ProblemClass c,
 
 std::vector<ErrorRow> Lab::error_rows(const std::vector<RowQuery>& queries,
                                       const core::ProjectionOptions& options) {
+  SWAPP_SPAN("lab.error_rows");
   ensure_databases();
   // Shared inputs are built before the fan-outs: after this loop the batch
   // engine and the ground-truth rows only read.

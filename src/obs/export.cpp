@@ -1,0 +1,261 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace swapp::obs {
+namespace {
+
+/// Timestamps/durations print at fixed nanosecond resolution; generic
+/// values (fitness samples, metric sums) at round-trip precision.
+std::string fixed3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string round_trip(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void write_event_object(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"swapp\",";
+  if (e.kind == TraceEvent::Kind::kSpan) {
+    os << "\"ph\":\"X\",\"ts\":" << fixed3(e.start_us)
+       << ",\"dur\":" << fixed3(e.dur_us);
+  } else {
+    os << "\"ph\":\"C\",\"ts\":" << fixed3(e.start_us);
+  }
+  os << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{";
+  if (e.kind == TraceEvent::Kind::kSpan) {
+    os << "\"id\":" << e.id << ",\"parent\":" << e.parent;
+  } else {
+    os << "\"value\":" << round_trip(e.value) << ",\"parent\":" << e.parent;
+  }
+  os << "}}";
+}
+
+// --- minimal field extraction for the reader --------------------------------
+// The readers only accept what the writers above emit: flat objects with
+// known keys.  Extraction scans for `"key":` and parses the value in place.
+
+std::size_t find_key(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  SWAPP_REQUIRE(at != std::string::npos,
+                "trace/metrics line is missing key '" + key + "': " + line);
+  return at + needle.size();
+}
+
+std::string string_field(const std::string& line, const std::string& key) {
+  std::size_t at = find_key(line, key);
+  SWAPP_REQUIRE(at < line.size() && line[at] == '"',
+                "expected string value for '" + key + "': " + line);
+  ++at;
+  std::string out;
+  while (at < line.size() && line[at] != '"') {
+    char c = line[at];
+    if (c == '\\' && at + 1 < line.size()) {
+      ++at;
+      c = line[at];
+      if (c == 'n') c = '\n';
+      if (c == 't') c = '\t';
+    }
+    out.push_back(c);
+    ++at;
+  }
+  SWAPP_REQUIRE(at < line.size(), "unterminated string in line: " + line);
+  return out;
+}
+
+double number_field(const std::string& line, const std::string& key) {
+  const std::size_t at = find_key(line, key);
+  std::size_t parsed = 0;
+  const double value = std::stod(line.substr(at), &parsed);
+  SWAPP_REQUIRE(parsed > 0, "expected number for '" + key + "': " + line);
+  return value;
+}
+
+std::vector<std::uint64_t> array_field(const std::string& line,
+                                       const std::string& key) {
+  std::size_t at = find_key(line, key);
+  SWAPP_REQUIRE(at < line.size() && line[at] == '[',
+                "expected array for '" + key + "': " + line);
+  ++at;
+  std::vector<std::uint64_t> out;
+  while (at < line.size() && line[at] != ']') {
+    std::size_t parsed = 0;
+    out.push_back(std::stoull(line.substr(at), &parsed));
+    at += parsed;
+    if (at < line.size() && line[at] == ',') ++at;
+  }
+  SWAPP_REQUIRE(at < line.size(), "unterminated array in line: " + line);
+  return out;
+}
+
+TraceEvent parse_trace_line(const std::string& line) {
+  TraceEvent e;
+  const std::string ph = string_field(line, "ph");
+  SWAPP_REQUIRE(ph == "X" || ph == "C", "unknown trace phase: " + ph);
+  e.kind = ph == "X" ? TraceEvent::Kind::kSpan : TraceEvent::Kind::kCounter;
+  e.name = string_field(line, "name");
+  e.tid = static_cast<std::uint32_t>(number_field(line, "tid"));
+  e.start_us = number_field(line, "ts");
+  e.parent = static_cast<std::uint64_t>(number_field(line, "parent"));
+  if (e.kind == TraceEvent::Kind::kSpan) {
+    e.id = static_cast<std::uint64_t>(number_field(line, "id"));
+    e.dur_us = number_field(line, "dur");
+  } else {
+    e.value = number_field(line, "value");
+  }
+  return e;
+}
+
+template <typename Fn>
+void for_each_line(std::istream& is, Fn&& fn) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    fn(line);
+  }
+}
+
+std::ofstream open_for_write(const std::filesystem::path& path) {
+  std::ofstream os(path);
+  SWAPP_REQUIRE(os.good(), "cannot open for writing: " + path.string());
+  return os;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_trace_chrome(std::ostream& os,
+                        const std::vector<TraceEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_event_object(os, events[i]);
+  }
+  os << "\n]}\n";
+}
+
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    write_event_object(os, e);
+    os << "\n";
+  }
+}
+
+void write_trace_file(const std::filesystem::path& path,
+                      const std::vector<TraceEvent>& events) {
+  std::ofstream os = open_for_write(path);
+  if (path.extension() == ".jsonl") {
+    write_trace_jsonl(os, events);
+  } else {
+    write_trace_chrome(os, events);
+  }
+}
+
+std::vector<TraceEvent> read_trace_jsonl(std::istream& is) {
+  std::vector<TraceEvent> out;
+  for_each_line(is, [&](const std::string& line) {
+    out.push_back(parse_trace_line(line));
+  });
+  return out;
+}
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const CounterValue& c : snapshot.counters) {
+    os << "{\"type\":\"counter\",\"name\":\"" << json_escape(c.name)
+       << "\",\"value\":" << c.value << "}\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(g.name)
+       << "\",\"value\":" << round_trip(g.value) << "}\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    os << "{\"type\":\"histogram\",\"name\":\"" << json_escape(h.name)
+       << "\",\"count\":" << h.count << ",\"sum\":" << round_trip(h.sum)
+       << ",\"min\":" << round_trip(h.min) << ",\"max\":" << round_trip(h.max)
+       << ",\"buckets\":[";
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (b > 0) os << ",";
+      os << h.buckets[b];
+    }
+    os << "]}\n";
+  }
+}
+
+void write_metrics_file(const std::filesystem::path& path,
+                        const MetricsSnapshot& snapshot) {
+  std::ofstream os = open_for_write(path);
+  write_metrics_jsonl(os, snapshot);
+}
+
+MetricsSnapshot read_metrics_jsonl(std::istream& is) {
+  MetricsSnapshot out;
+  for_each_line(is, [&](const std::string& line) {
+    const std::string type = string_field(line, "type");
+    const std::string name = string_field(line, "name");
+    if (type == "counter") {
+      out.counters.push_back(CounterValue{
+          name, static_cast<std::uint64_t>(number_field(line, "value"))});
+    } else if (type == "gauge") {
+      out.gauges.push_back(GaugeValue{name, number_field(line, "value")});
+    } else if (type == "histogram") {
+      HistogramValue h;
+      h.name = name;
+      h.count = static_cast<std::uint64_t>(number_field(line, "count"));
+      h.sum = number_field(line, "sum");
+      h.min = number_field(line, "min");
+      h.max = number_field(line, "max");
+      const std::vector<std::uint64_t> buckets = array_field(line, "buckets");
+      SWAPP_REQUIRE(buckets.size() == kHistogramBuckets,
+                    "histogram bucket count mismatch in: " + line);
+      std::copy(buckets.begin(), buckets.end(), h.buckets.begin());
+      out.histograms.push_back(std::move(h));
+    } else {
+      throw InvalidArgument("unknown metric line type: " + type);
+    }
+  });
+  return out;
+}
+
+MetricsSnapshot load_metrics_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  SWAPP_REQUIRE(is.good(), "cannot open metrics file: " + path.string());
+  return read_metrics_jsonl(is);
+}
+
+}  // namespace swapp::obs

@@ -1,0 +1,50 @@
+// Export/import of traces and metric snapshots.
+//
+// Two trace formats from the same records:
+//   * Chrome trace-event JSON — an object with a `traceEvents` array of
+//     `ph:"X"` complete events (spans) and `ph:"C"` counter samples, loadable
+//     in chrome://tracing and Perfetto.  Nesting renders per thread by time
+//     inclusion; the explicit span/parent ids ride along in `args` so tools
+//     can re-stitch cross-thread edges.
+//   * JSONL — one JSON object per line, the streaming/grep-friendly form.
+//
+// Metric snapshots serialise as JSONL (one metric per line) and read back
+// with `read_metrics_jsonl`, which parses exactly what the writer emits —
+// the `swapp stats` subcommand and the smoke tests consume this.
+//
+// `write_trace_file` picks the format from the extension: `.jsonl` writes
+// JSONL, anything else the Chrome format.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace swapp::obs {
+
+void write_trace_chrome(std::ostream& os,
+                        const std::vector<TraceEvent>& events);
+void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events);
+void write_trace_file(const std::filesystem::path& path,
+                      const std::vector<TraceEvent>& events);
+
+/// Parses JSONL trace lines as emitted by `write_trace_jsonl`.  Throws
+/// swapp::InvalidArgument on malformed input.
+std::vector<TraceEvent> read_trace_jsonl(std::istream& is);
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+void write_metrics_file(const std::filesystem::path& path,
+                        const MetricsSnapshot& snapshot);
+
+/// Parses JSONL metric lines as emitted by `write_metrics_jsonl`.  Throws
+/// swapp::InvalidArgument on malformed input.
+MetricsSnapshot read_metrics_jsonl(std::istream& is);
+MetricsSnapshot load_metrics_file(const std::filesystem::path& path);
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace swapp::obs

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace swapp::obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Completed records of one thread.  The owner appends; drain swaps the
+/// vector out.  Both take the buffer's own mutex (uncontended in steady
+/// state: drains are rare).
+struct Buffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+class BufferRegistry {
+ public:
+  /// Leaky singleton — worker threads may record during static destruction.
+  static BufferRegistry& instance() {
+    static BufferRegistry* r = new BufferRegistry;
+    return *r;
+  }
+
+  std::shared_ptr<Buffer> register_thread(std::uint32_t* tid_out) {
+    auto buffer = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    *tid_out = next_tid_++;
+    buffers_.push_back(buffer);
+    return buffer;
+  }
+
+  std::vector<TraceEvent> drain() {
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers = buffers_;
+    }
+    std::vector<TraceEvent> out;
+    for (const std::shared_ptr<Buffer>& buffer : buffers) {
+      std::vector<TraceEvent> taken;
+      {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        taken.swap(buffer->events);
+      }
+      out.insert(out.end(), std::make_move_iterator(taken.begin()),
+                 std::make_move_iterator(taken.end()));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.id < b.id;
+              });
+    return out;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::uint32_t next_tid_ = 0;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// Per-thread trace state: the open-span stack, the fallback parent a
+/// fan-out installed, and this thread's buffer.
+struct ThreadState {
+  std::uint32_t tid = 0;
+  std::uint64_t logical_parent = 0;
+  std::vector<std::uint64_t> stack;
+  std::shared_ptr<Buffer> buffer;
+
+  ThreadState() { buffer = BufferRegistry::instance().register_thread(&tid); }
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void record(TraceEvent event) {
+  ThreadState& state = thread_state();
+  event.tid = state.tid;
+  std::lock_guard<std::mutex> lock(state.buffer->mutex);
+  state.buffer->events.push_back(std::move(event));
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+double trace_now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+Span::Span(const char* name) noexcept : name_(name) {
+  if (!tracing_enabled()) [[likely]] {
+    return;
+  }
+  ThreadState& state = thread_state();
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = state.stack.empty() ? state.logical_parent : state.stack.back();
+  state.stack.push_back(id_);
+  start_us_ = trace_now_us();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;  // tracing was off at construction
+  ThreadState& state = thread_state();
+  // RAII scoping guarantees LIFO order on each thread's stack.
+  if (!state.stack.empty() && state.stack.back() == id_) {
+    state.stack.pop_back();
+  }
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.name = name_;
+  event.id = id_;
+  event.parent = parent_;
+  event.start_us = start_us_;
+  event.dur_us = trace_now_us() - start_us_;
+  record(std::move(event));
+}
+
+std::uint64_t current_span_id() noexcept {
+  if (!tracing_enabled()) return 0;
+  const ThreadState& state = thread_state();
+  return state.stack.empty() ? state.logical_parent : state.stack.back();
+}
+
+LogicalParentScope::LogicalParentScope(std::uint64_t parent_id) noexcept
+    : saved_(thread_state().logical_parent) {
+  thread_state().logical_parent = parent_id;
+}
+
+LogicalParentScope::~LogicalParentScope() {
+  thread_state().logical_parent = saved_;
+}
+
+void trace_counter(const char* name, double value) noexcept {
+  if (!tracing_enabled()) return;
+  ThreadState& state = thread_state();
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.name = name;
+  event.parent =
+      state.stack.empty() ? state.logical_parent : state.stack.back();
+  event.start_us = trace_now_us();
+  event.value = value;
+  record(std::move(event));
+}
+
+std::vector<TraceEvent> drain_trace() {
+  return BufferRegistry::instance().drain();
+}
+
+std::size_t open_span_count() noexcept { return thread_state().stack.size(); }
+
+}  // namespace swapp::obs

@@ -8,6 +8,8 @@
 
 #include "io/persist.h"
 #include "io/record.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace swapp::service {
@@ -146,12 +148,25 @@ struct ArtifactCache::Impl {
     return dir / (store.kind + "-" + fingerprint_hex(key) + ".swapp");
   }
 
+  /// Records how long one cache lookup took, bucketed per artifact kind
+  /// ("cache.lookup_us.imb", …).  The handle re-resolves its name on every
+  /// construction, which is one locked map probe — negligible next to the
+  /// disk/compute work this path fronts, and only paid while metrics are on.
+  template <typename T>
+  void observe_lookup(const Store<T>& store, double started_us) const {
+    if (!obs::metrics_enabled()) return;
+    obs::Histogram("cache.lookup_us." + store.kind)
+        .observe(obs::trace_now_us() - started_us);
+  }
+
   template <typename T>
   std::shared_ptr<const T> get(Store<T>& store,
                                const std::filesystem::path& dir,
                                const std::string& canonical,
                                const std::function<T()>& make,
                                ArtifactSource* source) {
+    const double started_us =
+        obs::metrics_enabled() ? obs::trace_now_us() : 0.0;
     const std::uint64_t key = fingerprint(canonical);
     {
       std::lock_guard<std::mutex> lock(mutex);
@@ -160,6 +175,8 @@ struct ArtifactCache::Impl {
         ++stats.memory_hits;
         touch(store, key);
         if (source) *source = ArtifactSource::kMemory;
+        SWAPP_COUNT("cache.memory_hits", 1);
+        observe_lookup(store, started_us);
         return it->second;
       }
     }
@@ -202,11 +219,16 @@ struct ArtifactCache::Impl {
     }
 
     std::lock_guard<std::mutex> lock(mutex);
-    if (corrupt) ++stats.corrupt_files;
+    if (corrupt) {
+      ++stats.corrupt_files;
+      SWAPP_COUNT("cache.corrupt_files", 1);
+    }
     if (from == ArtifactSource::kDisk) {
       ++stats.disk_hits;
+      SWAPP_COUNT("cache.disk_hits", 1);
     } else {
       ++stats.misses;
+      SWAPP_COUNT("cache.misses", 1);
     }
     const auto [it, inserted] = store.entries.emplace(key, value);
     touch(store, key);
@@ -215,8 +237,10 @@ struct ArtifactCache::Impl {
       store.recency.pop_back();
       store.entries.erase(victim);
       ++stats.evictions;
+      SWAPP_COUNT("cache.evictions", 1);
     }
     if (source) *source = from;
+    observe_lookup(store, started_us);
     return it->second;
   }
 };

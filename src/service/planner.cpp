@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace swapp::service {
@@ -31,6 +33,7 @@ std::string BatchPlan::describe() const {
 BatchPlan plan_batch(const std::vector<ServiceRequest>& requests,
                      const machine::Machine& base,
                      const std::map<std::string, machine::Machine>& targets) {
+  SWAPP_SPAN("planner.plan_batch");
   BatchPlan plan;
   plan.requests = requests.size();
 
@@ -92,6 +95,9 @@ BatchPlan plan_batch(const std::vector<ServiceRequest>& requests,
   }
 
   plan.task_counts.assign(demands.begin(), demands.end());
+  SWAPP_COUNT("planner.requests", plan.requests);
+  SWAPP_COUNT("planner.searches", plan.searches);
+  SWAPP_COUNT("planner.naive_searches", plan.naive_searches);
   return plan;
 }
 

@@ -1,8 +1,11 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "io/persist.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/parallel.h"
 
@@ -61,11 +64,23 @@ bool ProjectionService::has_app(const std::string& name) const {
 
 ProjectionService::BatchReport ProjectionService::run(
     const std::vector<ServiceRequest>& requests) {
+  SWAPP_SPAN("service.run");
+  SWAPP_COUNT("service.batches", 1);
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point phase_start = Clock::now();
   BatchReport report;
+  const auto end_phase = [&](const char* phase) {
+    const Clock::time_point now = Clock::now();
+    report.phases.push_back(PhaseTime{
+        phase, std::chrono::duration<double>(now - phase_start).count()});
+    phase_start = now;
+  };
+
   report.plan = plan_batch(requests, base_, targets_by_name_);
   for (const std::string& app : report.plan.apps) {
     if (!has_app(app)) throw NotFound("app not registered: " + app);
   }
+  end_phase("plan");
 
   // --- Acquire shared inputs through the cache -----------------------------
   const std::vector<int>& task_counts = config_.spec_task_counts.empty()
@@ -73,11 +88,16 @@ ProjectionService::BatchReport ProjectionService::run(
                                             : config_.spec_task_counts;
   SWAPP_REQUIRE(collect_spec_ != nullptr,
                 "spec collector not set (see set_spec_collector)");
-  ArtifactSource source = ArtifactSource::kComputed;
-  const std::shared_ptr<const core::SpecLibrary> spec = cache_.spec_library(
-      describe_spec_inputs(base_, targets_, task_counts),
-      [&] { return collect_spec_(base_, targets_, task_counts); }, &source);
-  report.artifacts.push_back(ArtifactNote{"spec library", source});
+  std::shared_ptr<const core::SpecLibrary> spec;
+  {
+    SWAPP_SPAN("service.spec_library");
+    ArtifactSource source = ArtifactSource::kComputed;
+    spec = cache_.spec_library(
+        describe_spec_inputs(base_, targets_, task_counts),
+        [&] { return collect_spec_(base_, targets_, task_counts); }, &source);
+    report.artifacts.push_back(ArtifactNote{"spec library", source});
+  }
+  end_phase("spec-library");
 
   // IMB databases, base first then targets in configuration order.  Each
   // fan-out item is one machine; the measurement inside is itself parallel
@@ -89,45 +109,53 @@ ProjectionService::BatchReport ProjectionService::run(
     std::shared_ptr<const imb::ImbDatabase> db;
     ArtifactSource source = ArtifactSource::kComputed;
   };
-  const std::vector<ImbGet> imb_dbs =
-      parallel_map(machines, [&](const machine::Machine* m) {
-        ImbGet got;
-        got.db = cache_.imb_database(
-            describe_imb_inputs(*m, imb::default_core_counts(),
-                                imb::default_message_sizes()),
-            [&] { return collect_imb_(*m); }, &got.source);
-        return got;
-      });
+  std::vector<ImbGet> imb_dbs;
+  {
+    SWAPP_SPAN("service.imb_databases");
+    imb_dbs = parallel_map(machines, [&](const machine::Machine* m) {
+      ImbGet got;
+      got.db = cache_.imb_database(
+          describe_imb_inputs(*m, imb::default_core_counts(),
+                              imb::default_message_sizes()),
+          [&] { return collect_imb_(*m); }, &got.source);
+      return got;
+    });
+  }
   for (std::size_t i = 0; i < machines.size(); ++i) {
     report.artifacts.push_back(
         ArtifactNote{"IMB database (" + machines[i]->name + ")",
                      imb_dbs[i].source});
   }
+  end_phase("imb-databases");
 
   // Application base profiles, in plan (first-appearance) order.
   struct AppGet {
     std::shared_ptr<const core::AppBaseData> data;
     ArtifactSource source = ArtifactSource::kComputed;
   };
-  const std::vector<AppGet> app_gets =
-      parallel_map(report.plan.apps, [&](const std::string& name) {
-        const AppEntry& entry = apps_.at(name);
-        AppGet got;
-        if (entry.fixed) {
-          got.data = entry.fixed;
-          got.source = ArtifactSource::kMemory;
-          return got;
-        }
-        got.data = cache_.app_data(entry.canonical, entry.collect,
-                                   &got.source);
+  std::vector<AppGet> app_gets;
+  {
+    SWAPP_SPAN("service.app_profiles");
+    app_gets = parallel_map(report.plan.apps, [&](const std::string& name) {
+      const AppEntry& entry = apps_.at(name);
+      AppGet got;
+      if (entry.fixed) {
+        got.data = entry.fixed;
+        got.source = ArtifactSource::kMemory;
         return got;
-      });
+      }
+      got.data = cache_.app_data(entry.canonical, entry.collect,
+                                 &got.source);
+      return got;
+    });
+  }
   std::map<std::string, std::shared_ptr<const core::AppBaseData>> app_data;
   for (std::size_t i = 0; i < report.plan.apps.size(); ++i) {
     report.artifacts.push_back(ArtifactNote{
         "app profile (" + report.plan.apps[i] + ")", app_gets[i].source});
     app_data.emplace(report.plan.apps[i], app_gets[i].data);
   }
+  end_phase("app-profiles");
 
   // --- Project the batch ---------------------------------------------------
   core::Projector projector(base_, *spec, *imb_dbs.front().db);
@@ -146,6 +174,7 @@ ProjectionService::BatchReport ProjectionService::run(
         core::ProjectionRequest{&data, r.target, r.cores, r.options});
   }
   report.results = projector.project_many(engine_requests);
+  end_phase("projection");
   report.cache = cache_.stats();
   return report;
 }

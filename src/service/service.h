@@ -79,12 +79,22 @@ class ProjectionService {
     ArtifactSource source = ArtifactSource::kComputed;
   };
 
+  /// Wall-clock time one phase of `run` took.  Always measured (one clock
+  /// read per phase), independent of the obs runtime switches.
+  struct PhaseTime {
+    std::string phase;
+    double seconds = 0.0;
+  };
+
   struct BatchReport {
     /// results[i] corresponds to requests[i] (input order).
     std::vector<core::ProjectionResult> results;
     BatchPlan plan;
     std::vector<ArtifactNote> artifacts;  ///< acquisition order
     CacheStats cache;                     ///< cumulative cache counters
+    /// Phase breakdown of this run in execution order: plan, spec-library,
+    /// imb-databases, app-profiles, projection.
+    std::vector<PhaseTime> phases;
     /// True iff no artifact in this batch had to be computed (every input
     /// came from the memory or disk tier — a fully warm run).
     bool warm() const;

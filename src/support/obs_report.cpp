@@ -1,0 +1,45 @@
+#include "support/obs_report.h"
+
+#include <ostream>
+
+#include "support/table.h"
+
+namespace swapp {
+namespace {
+
+bool keep(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+void print_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot,
+                   const std::string& filter_prefix) {
+  TextTable counters({"Counter", "Value"});
+  for (const obs::CounterValue& c : snapshot.counters) {
+    if (!keep(c.name, filter_prefix)) continue;
+    counters.add_row({c.name, std::to_string(c.value)});
+  }
+  if (counters.row_count() > 0) counters.print(os);
+
+  TextTable gauges({"Gauge", "Value"});
+  for (const obs::GaugeValue& g : snapshot.gauges) {
+    if (!keep(g.name, filter_prefix)) continue;
+    gauges.add_row({g.name, TextTable::num(g.value, 3)});
+  }
+  if (gauges.row_count() > 0) gauges.print(os);
+
+  TextTable histograms(
+      {"Histogram", "Count", "Mean", "p50", "p95", "Max"});
+  for (const obs::HistogramValue& h : snapshot.histograms) {
+    if (!keep(h.name, filter_prefix)) continue;
+    histograms.add_row({h.name, std::to_string(h.count),
+                        TextTable::num(h.mean(), 2),
+                        TextTable::num(h.quantile(0.50), 2),
+                        TextTable::num(h.quantile(0.95), 2),
+                        TextTable::num(h.max, 2)});
+  }
+  if (histograms.row_count() > 0) histograms.print(os);
+}
+
+}  // namespace swapp

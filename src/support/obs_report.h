@@ -1,0 +1,19 @@
+// Human-readable rendering of a metrics snapshot through support/table —
+// the printer behind `swapp stats` and the batch CLI's stderr summary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace swapp {
+
+/// Pretty-prints the snapshot as up to three tables (counters, gauges,
+/// histograms), skipping kinds with no entries.  Histogram rows report
+/// count, mean, p50/p95 (bucket-resolution), and max.  `filter_prefix`
+/// non-empty keeps only metrics whose name starts with it.
+void print_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot,
+                   const std::string& filter_prefix = {});
+
+}  // namespace swapp

@@ -1,13 +1,18 @@
 #include "support/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace swapp {
@@ -25,11 +30,7 @@ struct RegionGuard {
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("SWAPP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
+    return parse_thread_count(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -75,10 +76,17 @@ class Pool {
       return;
     }
     ensure_workers(threads - 1);  // the caller is the remaining executor
+    SWAPP_GAUGE_SET("pool.threads", static_cast<double>(threads));
+    SWAPP_COUNT("pool.jobs", 1);
     {
       std::lock_guard<std::mutex> job(job_mutex_);
       job_fn_ = &fn;
       job_n_ = n;
+      // Workers adopt the caller's innermost span as their logical parent,
+      // so spans opened inside work items stitch into the caller's trace
+      // tree; the post timestamp feeds the queue-wait histogram.
+      job_parent_span_ = obs::current_span_id();
+      job_post_us_ = obs::metrics_enabled() ? obs::trace_now_us() : 0.0;
       next_.store(0, std::memory_order_relaxed);
       abort_.store(false, std::memory_order_relaxed);
       error_ = nullptr;
@@ -141,6 +149,10 @@ class Pool {
         });
         if (stop_) return;
         seen_generation = generation_;
+        if (obs::metrics_enabled() && job_post_us_ > 0.0) {
+          SWAPP_OBSERVE("pool.queue_wait_us",
+                        obs::trace_now_us() - job_post_us_);
+        }
       }
       work();
       {
@@ -153,15 +165,26 @@ class Pool {
   /// Claims and executes items until the job is drained or aborted.  Runs on
   /// workers and on the calling thread alike.
   void work() {
+    // Worker-side spans attach to the span that dispatched this job (no-op
+    // on the caller, whose own span stack already carries it).
+    obs::LogicalParentScope trace_parent(job_parent_span_);
     while (!abort_.load(std::memory_order_relaxed)) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= job_n_) break;
+      const bool measure = obs::metrics_enabled();
+      const double started_us = measure ? obs::trace_now_us() : 0.0;
       try {
         (*job_fn_)(i);
       } catch (...) {
         std::lock_guard<std::mutex> job(job_mutex_);
         if (!error_) error_ = std::current_exception();
         abort_.store(true, std::memory_order_relaxed);
+      }
+      if (measure) {
+        const double task_us = obs::trace_now_us() - started_us;
+        SWAPP_COUNT("pool.tasks", 1);
+        SWAPP_COUNT("pool.busy_us", static_cast<std::uint64_t>(task_us));
+        SWAPP_OBSERVE("pool.task_us", task_us);
       }
     }
   }
@@ -180,6 +203,8 @@ class Pool {
   std::uint64_t generation_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
+  std::uint64_t job_parent_span_ = 0;  ///< dispatcher's span (trace stitch)
+  double job_post_us_ = 0.0;           ///< job post time (queue-wait metric)
   std::size_t active_workers_ = 0;
   std::exception_ptr error_;
   std::atomic<std::size_t> next_{0};
@@ -187,6 +212,27 @@ class Pool {
 };
 
 }  // namespace
+
+std::size_t parse_thread_count(const std::string& value) {
+  // stol alone is too lenient (leading whitespace, signs, trailing text), so
+  // the digits-only check comes first; stol then only guards overflow.
+  const bool all_digits =
+      !value.empty() &&
+      std::all_of(value.begin(), value.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; });
+  long v = -1;
+  if (all_digits) {
+    try {
+      v = std::stol(value);
+    } catch (const std::exception&) {
+      v = -1;  // out of range
+    }
+  }
+  SWAPP_REQUIRE(v >= 1,
+                "SWAPP_THREADS must be a positive integer, got '" + value +
+                    "'");
+  return static_cast<std::size_t>(v);
+}
 
 std::size_t thread_count() { return Pool::instance().threads(); }
 

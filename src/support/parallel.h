@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -35,6 +36,12 @@ namespace swapp {
 
 /// Threads a parallel region currently fans out over (>= 1).
 std::size_t thread_count();
+
+/// Parses a SWAPP_THREADS-style value: a positive decimal integer with no
+/// trailing characters.  Throws InvalidArgument (with the offending text)
+/// for anything else — zero, negatives, non-numeric strings — instead of
+/// silently falling back to a default.
+std::size_t parse_thread_count(const std::string& value);
 
 /// Overrides the pool size; 0 restores the default (SWAPP_THREADS env var,
 /// else hardware concurrency).  Stops and restarts workers as needed.  Must

@@ -1,0 +1,338 @@
+// Tests for the observability layer (src/obs): metrics registry shard
+// merging, span tracer well-formedness across thread-pool fan-out, and the
+// JSONL/Chrome exporters' round trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/obs_report.h"
+#include "support/parallel.h"
+
+namespace swapp {
+namespace {
+
+/// Leaves the global obs switches off and the registries empty on both sides
+/// of a test (the registry and trace buffers are process-wide).
+struct ObsGuard {
+  ObsGuard() { reset(); }
+  ~ObsGuard() {
+    reset();
+    set_thread_count(0);
+  }
+  static void reset() {
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::reset_metrics();
+    obs::drain_trace();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, DisabledMacrosRecordNothing) {
+  ObsGuard guard;
+  SWAPP_COUNT("obs_test.off_counter", 5);
+  SWAPP_OBSERVE("obs_test.off_hist", 1.0);
+  SWAPP_GAUGE_SET("obs_test.off_gauge", 3.0);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  EXPECT_EQ(snap.counter("obs_test.off_counter"), nullptr);
+  EXPECT_EQ(snap.histogram("obs_test.off_hist"), nullptr);
+  EXPECT_EQ(snap.gauge("obs_test.off_gauge"), nullptr);
+}
+
+TEST(Metrics, MacrosRecordWhenEnabled) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.on_counter", 2);
+  SWAPP_COUNT("obs_test.on_counter", 3);
+  SWAPP_GAUGE_SET("obs_test.on_gauge", 2.0);
+  SWAPP_GAUGE_SET("obs_test.on_gauge", 7.0);  // last write wins
+  SWAPP_OBSERVE("obs_test.on_hist", 10.0);
+  SWAPP_OBSERVE("obs_test.on_hist", 30.0);
+
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.on_counter"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.on_counter")->value, 5u);
+  ASSERT_NE(snap.gauge("obs_test.on_gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.gauge("obs_test.on_gauge")->value, 7.0);
+  const obs::HistogramValue* h = snap.histogram("obs_test.on_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 40.0);
+  EXPECT_DOUBLE_EQ(h->min, 10.0);
+  EXPECT_DOUBLE_EQ(h->max, 30.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 20.0);
+  EXPECT_LE(h->quantile(0.5), h->quantile(1.0));
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 30.0);  // capped at the observed max
+}
+
+TEST(Metrics, ShardsMergeAcrossThreadsIncludingExitedOnes) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  const obs::Counter counter("obs_test.merge");
+  const obs::Histogram hist("obs_test.merge_us");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.increment();
+        hist.observe(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The recording threads are gone; their shards must still be in the merge.
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.merge"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.merge")->value,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  ASSERT_NE(snap.histogram("obs_test.merge_us"), nullptr);
+  EXPECT_EQ(snap.histogram("obs_test.merge_us")->count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.reset_me", 9);
+  obs::reset_metrics();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.reset_me"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.reset_me")->value, 0u);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.zz", 1);
+  SWAPP_COUNT("obs_test.aa", 1);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span tracer across parallel_for fan-out
+// ---------------------------------------------------------------------------
+
+/// Runs a traced two-level fan-out at `threads` pool threads and checks the
+/// drained trace is well formed: every span closed, every parent resolvable,
+/// every item span stitched to the dispatching root.
+void expect_well_formed_fanout(std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  set_thread_count(threads);
+  obs::set_tracing_enabled(true);
+  constexpr std::size_t kItems = 64;
+  {
+    SWAPP_SPAN("obs_test.root");
+    parallel_for(kItems, [&](std::size_t i) {
+      SWAPP_SPAN("obs_test.item");
+      SWAPP_TRACE_COUNTER("obs_test.progress", static_cast<double>(i));
+    });
+  }
+  obs::set_tracing_enabled(false);
+  EXPECT_EQ(obs::open_span_count(), 0u);
+
+  const std::vector<obs::TraceEvent> events = obs::drain_trace();
+  std::set<std::uint64_t> span_ids;
+  std::uint64_t root_id = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::TraceEvent::Kind::kSpan) continue;
+    EXPECT_TRUE(span_ids.insert(e.id).second) << "duplicate span id " << e.id;
+    if (e.name == "obs_test.root") root_id = e.id;
+  }
+  ASSERT_NE(root_id, 0u);
+
+  std::size_t items = 0;
+  std::size_t counters = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::TraceEvent::Kind::kCounter) {
+      EXPECT_EQ(e.name, "obs_test.progress");
+      ++counters;
+      continue;
+    }
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_TRUE(e.parent == 0 || span_ids.count(e.parent) != 0)
+        << e.name << " has unresolved parent " << e.parent;
+    if (e.name == "obs_test.item") {
+      // Worker- and caller-side items alike hang off the dispatching span.
+      EXPECT_EQ(e.parent, root_id);
+      ++items;
+    }
+  }
+  EXPECT_EQ(items, kItems);
+  EXPECT_EQ(counters, kItems);
+}
+
+TEST(Trace, FanOutWellFormedAtOneThread) {
+  ObsGuard guard;
+  expect_well_formed_fanout(1);
+}
+
+TEST(Trace, FanOutWellFormedAtFourThreads) {
+  ObsGuard guard;
+  expect_well_formed_fanout(4);
+}
+
+TEST(Trace, FanOutWellFormedAtSixteenThreads) {
+  ObsGuard guard;
+  expect_well_formed_fanout(16);
+}
+
+TEST(Trace, NestingFollowsScopeOnOneThread) {
+  ObsGuard guard;
+  obs::set_tracing_enabled(true);
+  {
+    SWAPP_SPAN("obs_test.outer");
+    const std::uint64_t outer = obs::current_span_id();
+    EXPECT_NE(outer, 0u);
+    {
+      SWAPP_SPAN("obs_test.inner");
+      EXPECT_NE(obs::current_span_id(), outer);
+    }
+    EXPECT_EQ(obs::current_span_id(), outer);
+  }
+  obs::set_tracing_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::drain_trace();
+  ASSERT_EQ(events.size(), 2u);
+  // Drain sorts by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "obs_test.outer");
+  EXPECT_EQ(events[1].name, "obs_test.inner");
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_EQ(events[1].parent, events[0].id);
+  // The inner span nests inside the outer one in time as well.
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_LE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  ObsGuard guard;
+  {
+    SWAPP_SPAN("obs_test.invisible");
+    SWAPP_TRACE_COUNTER("obs_test.invisible_counter", 1.0);
+  }
+  EXPECT_EQ(obs::open_span_count(), 0u);
+  EXPECT_TRUE(obs::drain_trace().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+std::vector<obs::TraceEvent> sample_trace() {
+  ObsGuard::reset();
+  obs::set_tracing_enabled(true);
+  {
+    SWAPP_SPAN("obs_test.export_root");
+    SWAPP_TRACE_COUNTER("obs_test.export_counter", 42.5);
+    { SWAPP_SPAN("obs_test.export_child"); }
+  }
+  obs::set_tracing_enabled(false);
+  return obs::drain_trace();
+}
+
+TEST(TraceExport, JsonlRoundTripPreservesEveryField) {
+  ObsGuard guard;
+  const std::vector<obs::TraceEvent> events = sample_trace();
+  ASSERT_EQ(events.size(), 3u);
+
+  std::ostringstream os;
+  obs::write_trace_jsonl(os, events);
+  std::istringstream is(os.str());
+  const std::vector<obs::TraceEvent> back = obs::read_trace_jsonl(is);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].kind, events[i].kind);
+    EXPECT_EQ(back[i].name, events[i].name);
+    EXPECT_EQ(back[i].id, events[i].id);
+    EXPECT_EQ(back[i].parent, events[i].parent);
+    EXPECT_EQ(back[i].tid, events[i].tid);
+    EXPECT_NEAR(back[i].start_us, events[i].start_us, 1e-3);
+    EXPECT_NEAR(back[i].dur_us, events[i].dur_us, 1e-3);
+    EXPECT_NEAR(back[i].value, events[i].value, 1e-9);
+  }
+}
+
+TEST(TraceExport, ChromeFormatCarriesSpansAndCounters) {
+  ObsGuard guard;
+  const std::vector<obs::TraceEvent> events = sample_trace();
+  std::ostringstream os;
+  obs::write_trace_chrome(os, events);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("obs_test.export_root"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.export_child"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(TraceExport, ReaderRejectsMalformedLines) {
+  std::istringstream is("{\"not\":\"a trace event\"}\n");
+  EXPECT_THROW(obs::read_trace_jsonl(is), InvalidArgument);
+}
+
+TEST(MetricsExport, JsonlRoundTrip) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.export_count", 11);
+  SWAPP_GAUGE_SET("obs_test.export_gauge", 2.25);
+  SWAPP_OBSERVE("obs_test.export_hist", 5.0);
+  SWAPP_OBSERVE("obs_test.export_hist", 500.0);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+
+  std::ostringstream os;
+  obs::write_metrics_jsonl(os, snap);
+  std::istringstream is(os.str());
+  const obs::MetricsSnapshot back = obs::read_metrics_jsonl(is);
+
+  ASSERT_NE(back.counter("obs_test.export_count"), nullptr);
+  EXPECT_EQ(back.counter("obs_test.export_count")->value, 11u);
+  ASSERT_NE(back.gauge("obs_test.export_gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(back.gauge("obs_test.export_gauge")->value, 2.25);
+  const obs::HistogramValue* h = back.histogram("obs_test.export_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->sum, 505.0);
+  EXPECT_DOUBLE_EQ(h->min, 5.0);
+  EXPECT_DOUBLE_EQ(h->max, 500.0);
+  const obs::HistogramValue* original = snap.histogram("obs_test.export_hist");
+  ASSERT_NE(original, nullptr);
+  EXPECT_EQ(h->buckets, original->buckets);
+}
+
+TEST(MetricsReport, PrintsTablesAndHonoursFilter) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.report_a", 1);
+  SWAPP_COUNT("other.report_b", 1);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+
+  std::ostringstream all;
+  print_metrics(all, snap);
+  EXPECT_NE(all.str().find("obs_test.report_a"), std::string::npos);
+  EXPECT_NE(all.str().find("other.report_b"), std::string::npos);
+
+  std::ostringstream filtered;
+  print_metrics(filtered, snap, "obs_test.");
+  EXPECT_NE(filtered.str().find("obs_test.report_a"), std::string::npos);
+  EXPECT_EQ(filtered.str().find("other.report_b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swapp

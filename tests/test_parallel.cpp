@@ -120,6 +120,30 @@ TEST(Parallel, ThreadCountHonoursOverride) {
   EXPECT_GE(thread_count(), 1u);
 }
 
+TEST(Parallel, ParseThreadCountAcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("4"), 4u);
+  EXPECT_EQ(parse_thread_count("128"), 128u);
+}
+
+TEST(Parallel, ParseThreadCountRejectsBadValues) {
+  // SWAPP_THREADS typos must fail loudly, not fall back to a default.
+  EXPECT_THROW(parse_thread_count(""), InvalidArgument);
+  EXPECT_THROW(parse_thread_count("0"), InvalidArgument);
+  EXPECT_THROW(parse_thread_count("-2"), InvalidArgument);
+  EXPECT_THROW(parse_thread_count("four"), InvalidArgument);
+  EXPECT_THROW(parse_thread_count("4x"), InvalidArgument);
+  EXPECT_THROW(parse_thread_count("2.5"), InvalidArgument);
+  EXPECT_THROW(parse_thread_count(" 8"), InvalidArgument);
+  try {
+    parse_thread_count("banana");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos)
+        << "error message should quote the offending value";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // GA determinism across thread counts
 // ---------------------------------------------------------------------------

@@ -344,6 +344,16 @@ TEST_F(CacheTest, ServiceWarmRunPerformsNoSimulation) {
   EXPECT_FALSE(cold_report.warm());
   ASSERT_EQ(cold_report.results.size(), 2u);
 
+  // The report breaks the run down by phase, in execution order, with
+  // non-negative wall times.
+  ASSERT_EQ(cold_report.phases.size(), 5u);
+  EXPECT_EQ(cold_report.phases[0].phase, "plan");
+  EXPECT_EQ(cold_report.phases[1].phase, "spec-library");
+  EXPECT_EQ(cold_report.phases[2].phase, "imb-databases");
+  EXPECT_EQ(cold_report.phases[3].phase, "app-profiles");
+  EXPECT_EQ(cold_report.phases[4].phase, "projection");
+  for (const auto& p : cold_report.phases) EXPECT_GE(p.seconds, 0.0);
+
   service::ProjectionService warm(base, {target}, config);
   configure(warm);
   const auto warm_report = warm.run(requests);

@@ -25,20 +25,64 @@ echo "== standalone collection (file-based flow) =="
   --out "${WORK}/lu_c.app" 2> /dev/null
 test -s "${WORK}/p6.imb" && test -s "${WORK}/lu_c.app"
 
-echo "== batch: cold run populates ${CACHE} =="
+echo "== batch: cold traced run populates ${CACHE} =="
 cat > "${WORK}/batch.req" <<'EOF'
 #swapp "swapp-batch" v1
 request "LU/C" "IBM POWER6 575" 8 1 16
 request "LU/C" "IBM POWER6 575" 16 1 16
 EOF
 "${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
+  --trace "${WORK}/cold.trace" --metrics "${WORK}/cold.metrics" \
   > "${WORK}/cold.out" 2> "${WORK}/cold.err"
 
-echo "== batch: warm rerun must match byte-for-byte =="
+echo "== trace: valid Chrome JSON with nonzero spans =="
+python3 - "${WORK}/cold.trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+assert len(spans) > 0, "trace has no spans"
+names = {e["name"] for e in spans}
+for expected in ("service.run", "ga.restart", "compute.surrogate_search"):
+    assert expected in names, f"missing span: {expected}"
+ids = {e["args"]["id"] for e in spans}
+for e in spans:
+    parent = e["args"]["parent"]
+    assert parent == 0 or parent in ids, f"unresolved parent in {e}"
+print(f"trace ok: {len(spans)} spans")
+EOF
+
+echo "== batch: warm traced rerun must match byte-for-byte =="
 "${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
+  --metrics "${WORK}/warm.metrics" \
   > "${WORK}/warm.out" 2> "${WORK}/warm.err"
 diff -u "${WORK}/cold.out" "${WORK}/warm.out"
 grep -q "warm batch: no simulation performed" "${WORK}/warm.err"
+
+echo "== metrics: warm run hits the disk cache where the cold one missed =="
+python3 - "${WORK}/cold.metrics" "${WORK}/warm.metrics" <<'EOF'
+import json, sys
+def counters(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            m = json.loads(line)
+            if m["type"] == "counter":
+                out[m["name"]] = m["value"]
+    return out
+cold, warm = counters(sys.argv[1]), counters(sys.argv[2])
+assert cold.get("cache.misses", 0) >= 4, f"cold run should miss: {cold}"
+assert warm.get("cache.misses", 0) == 0, f"warm run should not miss: {warm}"
+assert warm.get("cache.disk_hits", 0) >= 4, f"warm run should hit disk: {warm}"
+print(f"metrics ok: cold misses={cold['cache.misses']}, "
+      f"warm disk hits={warm['cache.disk_hits']}")
+EOF
+
+echo "== stats: snapshot pretty-prints and filters =="
+"${SWAPP}" stats --metrics "${WORK}/warm.metrics" > "${WORK}/stats.out"
+grep -q "cache.disk_hits" "${WORK}/stats.out"
+"${SWAPP}" stats --metrics "${WORK}/warm.metrics" --filter planner. \
+  | grep -q "planner.requests"
 
 echo "== one-shot project reuses the batch's cache =="
 "${SWAPP}" project --app LU --class C --tasks 16 \

@@ -36,8 +36,12 @@
 #include "io/record.h"
 #include "machine/machine.h"
 #include "nas/nas_app.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 #include "support/error.h"
+#include "support/obs_report.h"
 #include "support/table.h"
 
 namespace {
@@ -59,6 +63,14 @@ commands:
                 (--app NAME --class C|D [--threads N] |
                  --app-data FILE --spec FILE --base-imb FILE --target-imb FILE)
   batch         --requests FILE [--cache-dir DIR]
+  stats         --metrics FILE [--filter PREFIX]
+
+global options (before or after the command's own flags):
+  --trace FILE    record a span trace of the run; a .jsonl extension writes
+                  JSON-lines, anything else Chrome trace-event JSON
+                  (loadable in chrome://tracing or Perfetto)
+  --metrics FILE  record counters/gauges/histograms and write the snapshot
+                  as JSONL; pretty-print it later with `swapp stats`
 
 The base system is always the TAMU Hydra POWER5+ model.
 
@@ -385,17 +397,23 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
 
   // --- run -----------------------------------------------------------------
   // Progress and reuse information go to stderr; stdout carries only the
-  // result table, so cold and warm runs can be diffed byte-for-byte.
+  // result table, so cold and warm runs can be diffed byte-for-byte.  The
+  // plan/cache summary is the metrics snapshot itself, so recording is
+  // forced on for the batch whether or not --metrics was given.
+  obs::set_metrics_enabled(true);
   const service::ProjectionService::BatchReport report = svc.run(requests);
-  std::cerr << report.plan.describe();
   for (const service::ProjectionService::ArtifactNote& note :
        report.artifacts) {
     note_source(note.name, note.source);
   }
-  const service::CacheStats& s = report.cache;
-  std::cerr << "cache: " << s.memory_hits << " memory hit(s), " << s.disk_hits
-            << " disk hit(s), " << s.misses << " miss(es), " << s.evictions
-            << " eviction(s), " << s.corrupt_files << " corrupt file(s)\n";
+  const obs::MetricsSnapshot snapshot = obs::metrics_snapshot();
+  print_metrics(std::cerr, snapshot, "planner.");
+  print_metrics(std::cerr, snapshot, "cache.");
+  std::cerr << "phases:";
+  for (const service::ProjectionService::PhaseTime& p : report.phases) {
+    std::cerr << ' ' << p.phase << '=' << TextTable::num(p.seconds, 3) << 's';
+  }
+  std::cerr << "\n";
   if (report.warm()) std::cerr << "warm batch: no simulation performed\n";
 
   TextTable table({"App", "Target", "Tasks", "Compute s", "Comm s",
@@ -412,20 +430,65 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_stats(const std::map<std::string, std::string>& flags) {
+  const obs::MetricsSnapshot snapshot =
+      obs::load_metrics_file(need(flags, "metrics"));
+  print_metrics(std::cout, snapshot,
+                flags.count("filter") ? flags.at("filter") : "");
+  return 0;
+}
+
+int dispatch(const std::string& command,
+             const std::map<std::string, std::string>& flags) {
+  if (command == "list-machines") return cmd_list_machines();
+  if (command == "collect-imb") return cmd_collect_imb(flags);
+  if (command == "collect-spec") return cmd_collect_spec(flags);
+  if (command == "profile") return cmd_profile(flags);
+  if (command == "project") return cmd_project(flags);
+  if (command == "batch") return cmd_batch(flags);
+  if (command == "stats") return cmd_stats(flags);
+  usage("unknown command: " + command);
+}
+
+/// Removes a global flag from the parsed set (commands never see it);
+/// returns its value, or "" when absent.
+std::string take_flag(std::map<std::string, std::string>& flags,
+                      const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return {};
+  std::string value = it->second;
+  flags.erase(it);
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
-    const auto flags = parse_flags(argc, argv, 2);
-    if (command == "list-machines") return cmd_list_machines();
-    if (command == "collect-imb") return cmd_collect_imb(flags);
-    if (command == "collect-spec") return cmd_collect_spec(flags);
-    if (command == "profile") return cmd_profile(flags);
-    if (command == "project") return cmd_project(flags);
-    if (command == "batch") return cmd_batch(flags);
-    usage("unknown command: " + command);
+    auto flags = parse_flags(argc, argv, 2);
+    // `stats` reads a snapshot rather than recording one, so it keeps its
+    // --metrics flag; everywhere else --trace/--metrics are the global
+    // recording switches.
+    std::string trace_path;
+    std::string metrics_path;
+    if (command != "stats") {
+      trace_path = take_flag(flags, "trace");
+      metrics_path = take_flag(flags, "metrics");
+    }
+    if (!trace_path.empty()) obs::set_tracing_enabled(true);
+    if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+    const int rc = dispatch(command, flags);
+    // Written only on success: an aborted command would leave open spans and
+    // a half-told story.
+    if (!trace_path.empty()) {
+      obs::write_trace_file(trace_path, obs::drain_trace());
+    }
+    if (!metrics_path.empty()) {
+      obs::write_metrics_file(metrics_path, obs::metrics_snapshot());
+    }
+    return rc;
   } catch (const swapp::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
