@@ -172,9 +172,10 @@ void BM_FindSurrogate(benchmark::State& state) {
 }
 BENCHMARK(BM_FindSurrogate)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
-// The GA objective on a suite-sized genome: fused single-pass kernel
-// (Arg = 1) vs. the compiled-in three-pass reference (Arg = 0).  256
-// evaluations per iteration, matching the per-generation re-evaluation load.
+// The GA objective on a suite-sized genome, one kernel per Arg (the
+// core::GaKernel enum): 0 = three-pass reference, 1 = fused single-pass AoS,
+// 2 = SoA sparse per-genome, 3 = SoA whole-batch.  256 evaluations per
+// iteration, matching the per-generation re-evaluation load.
 void BM_GaFitnessKernel(benchmark::State& state) {
   const machine::Machine base = machine::make_power5_hydra();
   const core::SpecData& spec = ga_spec_data();
@@ -189,15 +190,17 @@ void BM_GaFitnessKernel(benchmark::State& state) {
   for (std::size_t k = 0; k < genome.size() && terms < 6; k += stride, ++terms) {
     genome[k] = 100.0 / (6.0 * spec.base_runtime.at(spec.names[k]));
   }
-  const bool fused = state.range(0) == 1;
+  const auto kernel = static_cast<core::GaKernel>(state.range(0));
   constexpr int kEvals = 256;
+  // Problem setup (signature conversion, transposes, scales) happens once,
+  // outside the timed region: the loop measures the kernels themselves.
+  const core::GaFitnessProber prober(app, app_smt, weights, spec, 100.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::ga_fitness_probe(
-        app, app_smt, weights, spec, 100.0, genome, kEvals, fused));
+    benchmark::DoNotOptimize(prober.run(genome, kEvals, kernel));
   }
   state.SetItemsProcessed(state.iterations() * kEvals);
 }
-BENCHMARK(BM_GaFitnessKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_GaFitnessKernel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // A full figure through the Lab (LU on POWER6: ground-truth runs +
 // projections per row), serial vs. pooled.  Arg = thread count (0 = auto).

@@ -1,0 +1,24 @@
+# ctest driver for the perf_check_bench entry (see CMakeLists.txt here):
+# runs the GA benchmarks fresh with JSON output, then gates the medians
+# against the checked-in baseline via tools/check_bench.py.
+# Inputs: BENCH_MICRO, PYTHON, CHECK_SCRIPT, BASELINE, OUT_JSON.
+
+execute_process(
+  COMMAND "${BENCH_MICRO}"
+    "--benchmark_filter=BM_GaFitnessKernel|^BM_GaSurrogateSearch$"
+    --benchmark_min_time=0.5
+    --benchmark_repetitions=7
+    --benchmark_report_aggregates_only=true
+    --benchmark_format=json
+    "--benchmark_out=${OUT_JSON}"
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_micro failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECK_SCRIPT}" "${BASELINE}" "${OUT_JSON}"
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench.py reported a regression (rc=${check_rc})")
+endif()

@@ -77,10 +77,14 @@ ComputeProjection project_compute_impl(const AppBaseData& app,
   {
     SWAPP_SPAN("compute.ranking");
     out.base_weights = base_group_weights(counters_st, base);
+    // The index overload reuses precomputed metric vectors and flat runtime
+    // arrays; bit-identical to the SpecData path (same shared core).
     out.adjusted_weights =
-        options.use_rank_adjustment
-            ? adjust_weights_to_target(out.base_weights, spec, target_machine)
-            : out.base_weights;
+        !options.use_rank_adjustment
+            ? out.base_weights
+            : (index ? adjust_weights_to_target(out.base_weights, *index)
+                     : adjust_weights_to_target(out.base_weights, spec,
+                                                target_machine));
   }
 
   // --- GA surrogate + Eq. 2 ---------------------------------------------------
@@ -94,7 +98,12 @@ ComputeProjection project_compute_impl(const AppBaseData& app,
   }
   {
     SWAPP_SPAN("compute.combine");
-    out.target_compute = out.surrogate.project_runtime(spec, target_machine);
+    // Slot-based projection on the batched path: GA terms carry their suite
+    // slot, so Eq. 2 sums straight out of the index's target-runtime array.
+    out.target_compute = index
+                             ? out.surrogate.project_runtime(*index)
+                             : out.surrogate.project_runtime(spec,
+                                                             target_machine);
   }
   SWAPP_ASSERT(out.target_compute > 0.0,
                "surrogate projected non-positive compute time");

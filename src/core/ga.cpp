@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/ga_eval.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
@@ -30,9 +31,28 @@ Seconds Surrogate::base_runtime(const SpecData& spec) const {
   return total;
 }
 
+Seconds Surrogate::project_runtime(const SpecIndex& index) const {
+  Seconds total = 0.0;
+  for (const SurrogateTerm& t : terms) {
+    SWAPP_ASSERT(t.slot < index.size(), "surrogate term carries no slot");
+    total += t.weight * index.target_time[t.slot];
+  }
+  return total;
+}
+
+Seconds Surrogate::base_runtime(const SpecIndex& index) const {
+  Seconds total = 0.0;
+  for (const SurrogateTerm& t : terms) {
+    SWAPP_ASSERT(t.slot < index.size(), "surrogate term carries no slot");
+    total += t.weight * index.base_time[t.slot];
+  }
+  return total;
+}
+
 namespace {
 
 using Genome = std::vector<double>;  // one weight per suite benchmark
+using NzList = std::vector<std::size_t>;  // sorted nonzero positions
 
 struct Problem {
   std::vector<machine::MetricVector> bench_st;
@@ -44,6 +64,9 @@ struct Problem {
   std::array<double, machine::kMetricCount> metric_weight{};
   double app_compute = 0.0;
   double lambda = 2.0;
+  /// SoA copy of the arrays above (metric-major signatures); the production
+  /// evaluation path.  Built once per problem by finish_problem.
+  GaEvalEngine engine;
 
   std::size_t size() const { return bench_base_time.size(); }
 
@@ -58,6 +81,19 @@ struct Problem {
     if (total <= 0.0) return;
     const double factor = app_compute / total;
     for (double& w : g) w *= factor;
+  }
+
+  /// Same rescale driven off the genome's nonzero list.  Bit-identical to
+  /// normalise_scale: zero weights contribute exact +0.0 to the total and
+  /// are left at +0.0 by the (positive) factor either way.
+  void normalise_scale_sparse(Genome& g, const NzList& nz) const {
+    double total = 0.0;
+    for (const std::size_t k : nz) {
+      total += g[k] * bench_base_time[k];
+    }
+    if (total <= 0.0) return;
+    const double factor = app_compute / total;
+    for (const std::size_t k : nz) g[k] *= factor;
   }
 
   // Reference three-pass objective (metric_distance + runtime_error +
@@ -149,23 +185,28 @@ struct Problem {
   }
 };
 
-int nonzero_count(const Genome& g) {
-  int n = 0;
-  for (const double w : g) n += (w > 0.0);
-  return n;
-}
-
-void prune_to(Genome& g, int max_terms) {
-  while (nonzero_count(g) > max_terms) {
-    std::size_t smallest = 0;
+/// Zeroes the smallest positive weights until at most `max_terms` remain,
+/// driven off the genome's nonzero list instead of rescanning every suite
+/// position per drop.  Drop order matches the original full-scan version:
+/// the smallest positive weight goes first, ties broken by lowest index
+/// (`<` keeps the first occurrence, and `nz` is sorted ascending).  Dropped
+/// positions are erased from `nz` so the list stays exact.
+void prune_to(Genome& g, NzList& nz, int max_terms) {
+  int positive = 0;
+  for (const std::size_t k : nz) positive += (g[k] > 0.0);
+  while (positive > max_terms) {
+    std::size_t smallest_j = 0;
     double smallest_w = 1e300;
-    for (std::size_t k = 0; k < g.size(); ++k) {
-      if (g[k] > 0.0 && g[k] < smallest_w) {
-        smallest_w = g[k];
-        smallest = k;
+    for (std::size_t j = 0; j < nz.size(); ++j) {
+      const double w = g[nz[j]];
+      if (w > 0.0 && w < smallest_w) {
+        smallest_w = w;
+        smallest_j = j;
       }
     }
-    g[smallest] = 0.0;
+    g[nz[smallest_j]] = 0.0;
+    nz.erase(nz.begin() + static_cast<std::ptrdiff_t>(smallest_j));
+    --positive;
   }
 }
 
@@ -193,6 +234,10 @@ void finish_problem(Problem& prob, const machine::PmuCounters& app_st,
     prob.metric_weight[i] =
         weights[machine::MetricVector::group_of(i)];
   }
+
+  prob.engine.build(prob.bench_st, prob.bench_smt, prob.bench_base_time,
+                    prob.app_st, prob.app_smt, prob.scale, prob.metric_weight,
+                    prob.app_compute, prob.lambda);
 }
 
 Problem build_problem(const machine::PmuCounters& app_st,
@@ -231,11 +276,18 @@ Problem build_problem(const machine::PmuCounters& app_st,
 Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
                               const GaOptions& options) {
   SWAPP_SPAN("ga.restart");
-  std::uint64_t evals = 0;  // fused-kernel evaluations, flushed on exit
+  std::uint64_t evals = 0;  // SoA-engine evaluations, flushed on exit
   Rng rng(options.seed);
   const std::size_t n = prob.size();
 
-  const auto fill_random_genome = [&](Genome& g) {
+  const auto rebuild_nz = [](const Genome& g, NzList& nz) {
+    nz.clear();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      if (g[k] > 0.0) nz.push_back(k);
+    }
+  };
+
+  const auto fill_random_genome = [&](Genome& g, NzList& nz) {
     std::fill(g.begin(), g.end(), 0.0);
     const int terms = static_cast<int>(rng.range(2, 4));
     for (int t = 0; t < terms; ++t) {
@@ -244,20 +296,42 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
              (static_cast<double>(terms) * prob.bench_base_time[k]) *
              rng.uniform(0.5, 1.5);
     }
-    prob.normalise_scale(g);
+    rebuild_nz(g, nz);
+    prob.normalise_scale_sparse(g, nz);
   };
 
-  // Double-buffered population: genomes are written in place each
-  // generation, so the breeding loop performs no allocations after setup.
+  // Double-buffered population: genomes and their nonzero-index lists are
+  // written in place each generation, so the breeding loop performs no
+  // allocations after setup (nz lists are capped at n entries).
   const auto pop_size = static_cast<std::size_t>(options.population);
   std::vector<Genome> population(pop_size, Genome(n, 0.0));
   std::vector<Genome> next(pop_size, Genome(n, 0.0));
-  std::vector<double> fitness(pop_size, 0.0);
+  std::vector<NzList> population_nz(pop_size);
+  std::vector<NzList> next_nz(pop_size);
   for (std::size_t i = 0; i < pop_size; ++i) {
-    fill_random_genome(population[i]);
-    fitness[i] = prob.fitness_fused(population[i]);
+    population_nz[i].reserve(n);
+    next_nz[i].reserve(n);
   }
-  evals += pop_size;
+  std::vector<double> fitness(pop_size, 0.0);
+
+  // Whole-generation scoring through the SoA engine: one batched call per
+  // generation over reused scratch (bit-identical to per-genome fitness()).
+  GaEvalScratch scratch;
+  std::vector<GenomeRef> refs(pop_size);
+  const auto score_population = [&]() {
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      refs[i] = GenomeRef{population[i].data(), population_nz[i].data(),
+                          population_nz[i].size()};
+    }
+    prob.engine.evaluate_population(refs.data(), pop_size, scratch,
+                                    fitness.data());
+    evals += pop_size;
+  };
+
+  for (std::size_t i = 0; i < pop_size; ++i) {
+    fill_random_genome(population[i], population_nz[i]);
+  }
+  score_population();
 
   const auto tournament = [&]() -> const Genome& {
     std::size_t best = static_cast<std::size_t>(
@@ -272,8 +346,6 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
 
   // Scratch reused across generations and children.
   std::vector<std::size_t> order(pop_size);
-  std::vector<std::size_t> nz;
-  nz.reserve(n);
 
   double best_so_far = 1e300;
   int stagnant = 0;
@@ -290,21 +362,22 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
                       });
     next[0] = population[order[0]];
     next[1] = population[order[1]];
+    next_nz[0] = population_nz[order[0]];
+    next_nz[1] = population_nz[order[1]];
 
     for (std::size_t filled = 2; filled < pop_size; ++filled) {
       const Genome& a = tournament();
       const Genome& b = tournament();
       Genome& child = next[filled];
+      NzList& nz = next_nz[filled];
       for (std::size_t k = 0; k < n; ++k) {
         child[k] = rng.chance(0.5) ? a[k] : b[k];
       }
       // The nonzero index list is built once per child and kept current
       // through the mutations below (sorted ascending, exactly what a
-      // rebuild would produce).
-      nz.clear();
-      for (std::size_t k = 0; k < n; ++k) {
-        if (child[k] > 0.0) nz.push_back(k);
-      }
+      // rebuild would produce) — the evaluation engine then touches only
+      // these positions.
+      rebuild_nz(child, nz);
       // Mutations: perturb, add, drop.
       if (rng.chance(0.6)) {
         if (!nz.empty()) {
@@ -325,16 +398,16 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
         child[nz[j]] = 0.0;
         nz.erase(nz.begin() + static_cast<std::ptrdiff_t>(j));
       }
-      prune_to(child, options.max_terms);
-      prob.normalise_scale(child);
+      prune_to(child, nz, options.max_terms);
+      prob.normalise_scale_sparse(child, nz);
     }
     std::swap(population, next);
+    std::swap(population_nz, next_nz);
+    score_population();
     double gen_best = 1e300;
     for (std::size_t i = 0; i < pop_size; ++i) {
-      fitness[i] = prob.fitness_fused(population[i]);
       gen_best = std::min(gen_best, fitness[i]);
     }
-    evals += pop_size;
     SWAPP_COUNT("ga.generations", 1);
     // Convergence series: one sample per generation, attributed to this
     // restart's span/thread, so a trace shows every restart's descent.
@@ -354,20 +427,24 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
       std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
 
   // Deterministic local polish: multiplicative coordinate tweaks on the
-  // winner until no single-weight change improves the objective.
+  // winner until no single-weight change improves the objective.  The
+  // winner's nonzero structure is invariant under the (positive) tweak and
+  // rescale factors, so its nz list serves every candidate.
   Genome polished = population[best];
+  const NzList& polished_nz = population_nz[best];
   double polished_fit = fitness[best];
   Genome candidate(n, 0.0);
   bool improved = true;
   while (improved) {
     improved = false;
-    for (std::size_t k = 0; k < n; ++k) {
+    for (const std::size_t k : polished_nz) {
       if (polished[k] == 0.0) continue;
       for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
         candidate = polished;
         candidate[k] *= factor;
-        prob.normalise_scale(candidate);
-        const double f = prob.fitness_fused(candidate);
+        prob.normalise_scale_sparse(candidate, polished_nz);
+        const double f = prob.engine.fitness_sparse(
+            candidate.data(), polished_nz.data(), polished_nz.size(), scratch);
         ++evals;
         if (f + 1e-12 < polished_fit) {
           std::swap(polished, candidate);
@@ -383,10 +460,12 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
 
   Surrogate out;
   out.fitness = polished_fit;
-  prob.fitness_fused(g, &out.metric_distance, &out.runtime_error);
-  for (std::size_t k = 0; k < n; ++k) {
+  prob.engine.fitness_sparse(g.data(), polished_nz.data(), polished_nz.size(),
+                             scratch, &out.metric_distance,
+                             &out.runtime_error);
+  for (const std::size_t k : polished_nz) {
     if (g[k] > 0.0) {
-      out.terms.push_back(SurrogateTerm{spec.names[k], g[k]});
+      out.terms.push_back(SurrogateTerm{spec.names[k], g[k], k});
     }
   }
   SWAPP_ASSERT(!out.terms.empty(), "GA produced an empty surrogate");
@@ -422,24 +501,36 @@ Surrogate search_and_merge(const Problem& prob, const SpecData& spec,
   // Bagging: near-tied restarts (within 25% of the best objective) are
   // averaged.  Distinct surrogates can fit the counter signature equally
   // well yet imply different target runtimes; the ensemble mean is a far
-  // more stable estimator than an arbitrary tie-break.
-  std::map<std::string, double> merged;
+  // more stable estimator than an arbitrary tie-break.  Suite slots ride
+  // along so the merged terms keep their index-based fast path.
+  struct MergedTerm {
+    std::size_t slot = SurrogateTerm::kNoSlot;
+    double weight = 0.0;
+  };
+  std::map<std::string, MergedTerm> merged;
   int contributors = 0;
   for (const Surrogate& s : runs) {
     if (s.fitness > best_fitness * 1.25 + 1e-12) continue;
-    for (const SurrogateTerm& t : s.terms) merged[t.benchmark] += t.weight;
+    for (const SurrogateTerm& t : s.terms) {
+      MergedTerm& m = merged[t.benchmark];
+      m.slot = t.slot;
+      m.weight += t.weight;
+    }
     ++contributors;
   }
   SWAPP_ASSERT(contributors > 0, "no GA restart survived the fitness filter");
 
   Surrogate out;
   out.fitness = best_fitness;
-  for (auto& [name, weight] : merged) {
-    out.terms.push_back(
-        SurrogateTerm{name, weight / static_cast<double>(contributors)});
+  for (auto& [name, m] : merged) {
+    out.terms.push_back(SurrogateTerm{
+        name, m.weight / static_cast<double>(contributors), m.slot});
   }
   // Re-anchor the averaged weights to the base compute time (Eq. 2's scale).
-  const Seconds base_total = out.base_runtime(spec);
+  Seconds base_total = 0.0;
+  for (const SurrogateTerm& t : out.terms) {
+    base_total += t.weight * prob.bench_base_time[t.slot];
+  }
   SWAPP_ASSERT(base_total > 0.0, "ensemble surrogate has zero base runtime");
   for (SurrogateTerm& t : out.terms) {
     t.weight *= app_base_compute / base_total;
@@ -475,31 +566,101 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
   return search_and_merge(prob, index.data, app_base_compute, options);
 }
 
-double ga_fitness_probe(const machine::PmuCounters& app_st,
-                        const machine::PmuCounters& app_smt,
-                        const GroupWeights& weights, const SpecData& spec,
-                        Seconds app_base_compute,
-                        const std::vector<double>& genome, int iters,
-                        bool fused) {
-  const GaOptions options;
-  const Problem prob = build_problem(app_st, app_smt, weights, spec,
-                                     app_base_compute, options);
+struct GaFitnessProber::Impl {
+  Problem prob;
+  // Scratch reused across run() calls (what the GA's generation loop does),
+  // so the timed path performs no allocations once warm.
+  mutable GaEvalScratch scratch;
+  mutable std::vector<double> flat;
+  mutable std::vector<GenomeRef> refs;
+  mutable std::vector<double> fitness;
+};
+
+GaFitnessProber::GaFitnessProber(const machine::PmuCounters& app_st,
+                                 const machine::PmuCounters& app_smt,
+                                 const GroupWeights& weights,
+                                 const SpecData& spec,
+                                 Seconds app_base_compute)
+    : impl_(new Impl{build_problem(app_st, app_smt, weights, spec,
+                                   app_base_compute, GaOptions{}),
+                     {}, {}, {}, {}}) {}
+
+GaFitnessProber::~GaFitnessProber() = default;
+
+double GaFitnessProber::run(const std::vector<double>& genome, int iters,
+                            GaKernel kernel) const {
+  const Problem& prob = impl_->prob;
   SWAPP_REQUIRE(genome.size() == prob.size(),
                 "genome size must match the benchmark suite");
-  Genome g = genome;
-  double acc = 0.0;
-  for (int it = 0; it < iters; ++it) {
-    // Nudge one weight per iteration so the evaluation cannot be hoisted
-    // out of the loop; the perturbation keeps the zero/nonzero structure.
-    for (std::size_t k = 0; k < g.size(); ++k) {
+  const std::size_t n = genome.size();
+
+  // Nonzero positions of the probe genome; the nudge below preserves the
+  // zero/nonzero structure, so the list stays valid for every iteration.
+  NzList nz;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (genome[k] != 0.0) nz.push_back(k);
+  }
+
+  // Nudges one weight so the evaluation cannot be hoisted out of the loop.
+  const auto nudge = [&](double* g, int it) {
+    for (std::size_t k = 0; k < n; ++k) {
       if (g[k] != 0.0) {
         g[k] = genome[k] * (1.0 + 1e-12 * static_cast<double>(it & 7));
         break;
       }
     }
-    acc += fused ? prob.fitness_fused(g) : prob.fitness(g);
+  };
+
+  GaEvalScratch& scratch = impl_->scratch;
+  if (kernel == GaKernel::kSoaBatch) {
+    // Batched shape: materialise every iteration's nudged variant up front,
+    // score the whole batch in one call, then accumulate in iteration order
+    // (the same order the scalar kernels add in).
+    const auto count = static_cast<std::size_t>(iters);
+    impl_->flat.resize(count * n);
+    impl_->refs.resize(count);
+    impl_->fitness.resize(count);
+    for (std::size_t it = 0; it < count; ++it) {
+      double* g = impl_->flat.data() + it * n;
+      std::copy(genome.begin(), genome.end(), g);
+      nudge(g, static_cast<int>(it));
+      impl_->refs[it] = GenomeRef{g, nz.data(), nz.size()};
+    }
+    prob.engine.evaluate_population(impl_->refs.data(), count, scratch,
+                                    impl_->fitness.data());
+    double acc = 0.0;
+    for (const double f : impl_->fitness) acc += f;
+    return acc;
+  }
+
+  Genome g = genome;
+  double acc = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    nudge(g.data(), it);
+    switch (kernel) {
+      case GaKernel::kReference:
+        acc += prob.fitness(g);
+        break;
+      case GaKernel::kFused:
+        acc += prob.fitness_fused(g);
+        break;
+      default:
+        acc += prob.engine.fitness_sparse(g.data(), nz.data(), nz.size(),
+                                          scratch);
+        break;
+    }
   }
   return acc;
+}
+
+double ga_fitness_probe(const machine::PmuCounters& app_st,
+                        const machine::PmuCounters& app_smt,
+                        const GroupWeights& weights, const SpecData& spec,
+                        Seconds app_base_compute,
+                        const std::vector<double>& genome, int iters,
+                        GaKernel kernel) {
+  return GaFitnessProber(app_st, app_smt, weights, spec, app_base_compute)
+      .run(genome, iters, kernel);
 }
 
 }  // namespace swapp::core

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@ namespace swapp::core {
 struct SurrogateTerm {
   std::string benchmark;
   double weight = 0.0;
+  /// Position of `benchmark` in the suite order the search ran over
+  /// (SpecData::names / SpecIndex slot k); kNoSlot for terms constructed
+  /// outside the GA.  Lets hot paths resolve runtimes by array index
+  /// instead of a string-map lookup per term.
+  std::size_t slot = kNoSlot;
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 };
 
 /// The GA's result: the surrogate and its fit diagnostics.
@@ -40,6 +48,13 @@ struct Surrogate {
                           const std::string& machine_name) const;
   /// Σ w_k · T_k(base).
   Seconds base_runtime(const SpecData& spec) const;
+
+  /// Index-based overloads for the hot ranking/merge paths: terms resolve
+  /// through their suite slots into the index's flat runtime arrays (no
+  /// string-map lookup per term).  Bit-identical to the string versions for
+  /// GA-produced surrogates; requires every term to carry a valid slot.
+  Seconds project_runtime(const SpecIndex& index) const;
+  Seconds base_runtime(const SpecIndex& index) const;
 };
 
 struct GaOptions {
@@ -75,17 +90,54 @@ Surrogate find_surrogate(const machine::PmuCounters& app_st,
                          Seconds app_base_compute,
                          const GaOptions& options = {});
 
-/// Benchmark hook (bench_micro): evaluates the GA objective on `genome`
-/// (one weight per suite benchmark, in `spec.names` order) `iters` times and
-/// returns the accumulated value.  `fused` selects the production
-/// single-pass kernel; `false` selects the reference three-pass
-/// implementation (metric distance + runtime error + combine) kept compiled
-/// in so the fused path's speedup and bit-identical results stay measurable.
+/// Objective-kernel selector for `ga_fitness_probe`.
+enum class GaKernel {
+  /// Three-pass reference (metric_distance + runtime_error + combine), the
+  /// ground truth every faster kernel is checked against.
+  kReference = 0,
+  /// PR 1's fused single-pass AoS kernel, kept compiled in as the speedup
+  /// baseline for the SoA engine.
+  kFused = 1,
+  /// SoA engine, per-genome sparse evaluation (ga_eval.h).
+  kSoaSparse = 2,
+  /// SoA engine, whole-batch evaluation: all `iters` genome variants are
+  /// prepared up front and scored in one `evaluate_population` call — the
+  /// shape of the GA's per-generation population scoring.
+  kSoaBatch = 3,
+};
+
+/// Benchmark hook (bench_micro) and bit-identity probe: a prebuilt GA
+/// problem whose objective can be evaluated through any of the four kernels.
+/// Building the problem (signature conversion, transposes, scales) happens
+/// once in the constructor, so `run` times the kernels themselves.  Not
+/// thread-safe: `run` reuses internal scratch across calls.
+class GaFitnessProber {
+ public:
+  GaFitnessProber(const machine::PmuCounters& app_st,
+                  const machine::PmuCounters& app_smt,
+                  const GroupWeights& weights, const SpecData& spec,
+                  Seconds app_base_compute);
+  ~GaFitnessProber();
+
+  /// Evaluates the objective on `genome` (one weight per suite benchmark,
+  /// in `spec.names` order) `iters` times — each iteration perturbing one
+  /// weight by a structure-preserving nudge — and returns the accumulated
+  /// value.  All four kernels must return bit-identical accumulations for
+  /// the same inputs (tests/test_ga_eval.cpp asserts exactly that).
+  double run(const std::vector<double>& genome, int iters,
+             GaKernel kernel) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience over GaFitnessProber (build + run).
 double ga_fitness_probe(const machine::PmuCounters& app_st,
                         const machine::PmuCounters& app_smt,
                         const GroupWeights& weights, const SpecData& spec,
                         Seconds app_base_compute,
                         const std::vector<double>& genome, int iters,
-                        bool fused);
+                        GaKernel kernel);
 
 }  // namespace swapp::core

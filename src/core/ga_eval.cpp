@@ -1,0 +1,423 @@
+#include "core/ga_eval.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "support/error.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SWAPP_GA_EVAL_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace swapp::core {
+
+void GaEvalEngine::build(
+    const std::vector<machine::MetricVector>& bench_st,
+    const std::vector<machine::MetricVector>& bench_smt,
+    const std::vector<double>& base_time, const machine::MetricVector& app_st,
+    const machine::MetricVector& app_smt,
+    const std::array<double, machine::kMetricCount>& scale,
+    const std::array<double, machine::kMetricCount>& metric_weight,
+    double app_compute, double lambda) {
+  SWAPP_REQUIRE(!bench_st.empty(), "empty benchmark suite");
+  SWAPP_REQUIRE(bench_smt.size() == bench_st.size() &&
+                    base_time.size() == bench_st.size(),
+                "benchmark array sizes disagree");
+  SWAPP_REQUIRE(app_compute > 0.0, "app compute time must be positive");
+  n_ = bench_st.size();
+  st_ = machine::transpose_metric_major(bench_st);
+  smt_ = machine::transpose_metric_major(bench_smt);
+  pairs_.assign(n_ * 2 * machine::kMetricCount, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    double* row = pairs_.data() + k * 2 * machine::kMetricCount;
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      row[2 * i] = st_[i * n_ + k];
+      row[2 * i + 1] = smt_[i * n_ + k];
+    }
+  }
+  base_time_ = base_time;
+  app_st_ = app_st.values;
+  app_smt_ = app_smt.values;
+  for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+    app_pair_[2 * i] = app_st.values[i];
+    app_pair_[2 * i + 1] = app_smt.values[i];
+    scale_pair_[2 * i] = scale[i];
+    scale_pair_[2 * i + 1] = scale[i];
+  }
+  scale_ = scale;
+  metric_weight_ = metric_weight;
+  app_compute_ = app_compute;
+  lambda_ = lambda;
+}
+
+namespace {
+
+/// Everything a kernel needs, gathered once per engine entry point.  The
+/// kernels are free functions behind a pointer so the SIMD tiers can carry
+/// `target` attributes (they must stay out-of-line in a baseline-ISA TU).
+struct EvalCtx {
+  const double* st = nullptr;     // metric-major (portable kernel)
+  const double* smt = nullptr;    // metric-major (portable kernel)
+  const double* pairs = nullptr;  // ST/SMT pair-interleaved (SIMD kernels)
+  const double* base_time = nullptr;
+  const double* app_st = nullptr;
+  const double* app_smt = nullptr;
+  const double* app_pair = nullptr;
+  const double* scale = nullptr;
+  const double* scale_pair = nullptr;
+  const double* metric_weight = nullptr;
+  double app_compute = 0.0;
+  double lambda = 0.0;
+  std::size_t n = 0;
+};
+
+using EvalFn = double (*)(const EvalCtx&, const double* genome,
+                          const std::size_t* nz, std::size_t nz_count,
+                          double* share, double* distance_out,
+                          double* runtime_error_out);
+
+/// Portable scalar kernel over the metric-major layout.  Pass 1 totals the
+/// runtime shares in ascending-k order; pass 2 materialises the per-term
+/// shares (independent divisions); pass 3 blends and measures per metric,
+/// each accumulator fed in ascending-k order with the reference expression
+/// shapes.  This is the shape the bit-identity argument in ga_eval.h is
+/// written against; the SIMD tiers below reproduce it lane for lane.
+[[maybe_unused]] double eval_one_generic(
+    const EvalCtx& c, const double* genome, const std::size_t* nz,
+    std::size_t nz_count, double* share, double* distance_out,
+    double* runtime_error_out) {
+  double share_total = 0.0;
+  for (std::size_t j = 0; j < nz_count; ++j) {
+    share_total += genome[nz[j]] * c.base_time[nz[j]];
+  }
+  const double rerr = std::abs(share_total - c.app_compute) / c.app_compute;
+
+  double distance;
+  if (share_total <= 0.0) {
+    distance = 1e18;
+  } else {
+    for (std::size_t j = 0; j < nz_count; ++j) {
+      share[j] = genome[nz[j]] * c.base_time[nz[j]] / share_total;
+    }
+    distance = 0.0;
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      const double* st_row = c.st + i * c.n;
+      const double* smt_row = c.smt + i * c.n;
+      double blend_st = 0.0;
+      double blend_smt = 0.0;
+      for (std::size_t j = 0; j < nz_count; ++j) {
+        blend_st += share[j] * st_row[nz[j]];
+        blend_smt += share[j] * smt_row[nz[j]];
+      }
+      const double d_st = (blend_st - c.app_st[i]) / c.scale[i];
+      const double d_smt = (blend_smt - c.app_smt[i]) / c.scale[i];
+      distance += c.metric_weight[i] * (d_st * d_st + d_smt * d_smt);
+    }
+  }
+  if (distance_out) *distance_out = distance;
+  if (runtime_error_out) *runtime_error_out = rerr;
+  return distance + c.lambda * rerr * rerr;
+}
+
+#ifdef SWAPP_GA_EVAL_SIMD
+
+static_assert(machine::kMetricCount % 8 == 0,
+              "SIMD kernels block the metric loop by 8");
+
+/// SSE2 kernel: every (st, smt) lane pair advances through one `divpd` /
+/// `mulpd` / `addpd`, so each lane executes exactly the scalar operation
+/// sequence on exactly the scalar operands — IEEE makes the lanes
+/// bit-identical to eval_one_generic.  The metric loop is blocked by 8 so
+/// the 8 pair-accumulators of a block live in registers; blocks run in
+/// ascending metric order, preserving the distance sum's order.  x86-64
+/// always has SSE2, so this is the portable floor on that architecture.
+double eval_one_sse2(const EvalCtx& c, const double* genome,
+                     const std::size_t* nz, std::size_t nz_count,
+                     double* share, double* distance_out,
+                     double* runtime_error_out) {
+  double share_total = 0.0;
+  for (std::size_t j = 0; j < nz_count; ++j) {
+    share_total += genome[nz[j]] * c.base_time[nz[j]];
+  }
+  const double rerr = std::abs(share_total - c.app_compute) / c.app_compute;
+
+  double distance;
+  if (share_total <= 0.0) {
+    distance = 1e18;
+  } else {
+    // Shares two at a time: (w·t) / total per lane, same mul-then-div shape
+    // as the scalar expression.
+    const __m128d vtot = _mm_set1_pd(share_total);
+    std::size_t j = 0;
+    for (; j + 2 <= nz_count; j += 2) {
+      const __m128d g = _mm_set_pd(genome[nz[j + 1]], genome[nz[j]]);
+      const __m128d t = _mm_set_pd(c.base_time[nz[j + 1]], c.base_time[nz[j]]);
+      _mm_storeu_pd(share + j, _mm_div_pd(_mm_mul_pd(g, t), vtot));
+    }
+    for (; j < nz_count; ++j) {
+      share[j] = genome[nz[j]] * c.base_time[nz[j]] / share_total;
+    }
+
+    distance = 0.0;
+    for (std::size_t ib = 0; ib < machine::kMetricCount; ib += 8) {
+      __m128d acc[8];
+      for (auto& a : acc) a = _mm_setzero_pd();
+      for (std::size_t jj = 0; jj < nz_count; ++jj) {
+        const __m128d s = _mm_set1_pd(share[jj]);
+        const double* row =
+            c.pairs + nz[jj] * 2 * machine::kMetricCount + 2 * ib;
+#pragma GCC unroll 8
+        for (int u = 0; u < 8; ++u) {
+          acc[u] =
+              _mm_add_pd(acc[u], _mm_mul_pd(s, _mm_loadu_pd(row + 2 * u)));
+        }
+      }
+#pragma GCC unroll 8
+      for (int u = 0; u < 8; ++u) {
+        const std::size_t i = ib + static_cast<std::size_t>(u);
+        const __m128d d =
+            _mm_div_pd(_mm_sub_pd(acc[u], _mm_loadu_pd(c.app_pair + 2 * i)),
+                       _mm_loadu_pd(c.scale_pair + 2 * i));
+        const __m128d sq = _mm_mul_pd(d, d);
+        const double both =
+            _mm_cvtsd_f64(sq) + _mm_cvtsd_f64(_mm_unpackhi_pd(sq, sq));
+        distance += c.metric_weight[i] * both;
+      }
+    }
+  }
+  if (distance_out) *distance_out = distance;
+  if (runtime_error_out) *runtime_error_out = rerr;
+  return distance + c.lambda * rerr * rerr;
+}
+
+/// AVX2 kernel (runtime-dispatched): two metric pairs per 256-bit vector —
+/// lanes {st_i, smt_i, st_i+1, smt_i+1}.  No FMA: the function's target
+/// enables avx2 only, so mul and add stay separate roundings and every lane
+/// remains the exact scalar sequence.  Distance terms are extracted and
+/// summed per metric in ascending order.
+__attribute__((target("avx2"))) double eval_one_avx2(
+    const EvalCtx& c, const double* genome, const std::size_t* nz,
+    std::size_t nz_count, double* share, double* distance_out,
+    double* runtime_error_out) {
+  double share_total = 0.0;
+  for (std::size_t j = 0; j < nz_count; ++j) {
+    share_total += genome[nz[j]] * c.base_time[nz[j]];
+  }
+  const double rerr = std::abs(share_total - c.app_compute) / c.app_compute;
+
+  double distance;
+  if (share_total <= 0.0) {
+    distance = 1e18;
+  } else {
+    // Shares two at a time: (w·t) / total per lane, same mul-then-div shape
+    // as the scalar expression.
+    const __m128d vtot = _mm_set1_pd(share_total);
+    std::size_t j = 0;
+    for (; j + 2 <= nz_count; j += 2) {
+      const __m128d g = _mm_set_pd(genome[nz[j + 1]], genome[nz[j]]);
+      const __m128d t = _mm_set_pd(c.base_time[nz[j + 1]], c.base_time[nz[j]]);
+      _mm_storeu_pd(share + j, _mm_div_pd(_mm_mul_pd(g, t), vtot));
+    }
+    for (; j < nz_count; ++j) {
+      share[j] = genome[nz[j]] * c.base_time[nz[j]] / share_total;
+    }
+
+    __m256d acc[machine::kMetricCount / 2];
+    for (auto& a : acc) a = _mm256_setzero_pd();
+    for (std::size_t jj = 0; jj < nz_count; ++jj) {
+      const __m256d s = _mm256_broadcast_sd(share + jj);
+      const double* row = c.pairs + nz[jj] * 2 * machine::kMetricCount;
+#pragma GCC unroll 8
+      for (int u = 0; u < static_cast<int>(machine::kMetricCount / 2); ++u) {
+        acc[u] =
+            _mm256_add_pd(acc[u], _mm256_mul_pd(s, _mm256_loadu_pd(row + 4 * u)));
+      }
+    }
+    distance = 0.0;
+#pragma GCC unroll 8
+    for (int u = 0; u < static_cast<int>(machine::kMetricCount / 2); ++u) {
+      const __m256d d = _mm256_div_pd(
+          _mm256_sub_pd(acc[u], _mm256_loadu_pd(c.app_pair + 4 * u)),
+          _mm256_loadu_pd(c.scale_pair + 4 * u));
+      const __m256d sq = _mm256_mul_pd(d, d);
+      const __m128d lo = _mm256_castpd256_pd128(sq);
+      const __m128d hi = _mm256_extractf128_pd(sq, 1);
+      const double lo_both =
+          _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+      const double hi_both =
+          _mm_cvtsd_f64(hi) + _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+      distance += c.metric_weight[2 * u] * lo_both;
+      distance += c.metric_weight[2 * u + 1] * hi_both;
+    }
+  }
+  if (distance_out) *distance_out = distance;
+  if (runtime_error_out) *runtime_error_out = rerr;
+  return distance + c.lambda * rerr * rerr;
+}
+
+/// AVX-512F kernel: four metric pairs per 512-bit vector.  Same lane-wise
+/// scalar sequence as the narrower tiers (mul and add separate, one IEEE
+/// divide per lane); the shorter instruction stream lets the out-of-order
+/// core keep more independent evaluations in flight, which is where the
+/// batch path's extra throughput comes from.
+///
+/// fp-contract must be pinned off here: unlike target("avx2"), the avx512f
+/// target enables the FMA ISA, and GCC lowers _mm512_mul_pd/_mm512_add_pd to
+/// generic vector ops that the default -ffp-contract=fast then fuses into
+/// vfmadd — a different rounding than the reference's separate mul and add,
+/// which would break the bit-identity contract (caught by
+/// tests/test_ga_eval.cpp).
+__attribute__((target("avx512f,avx512dq"),
+               optimize("fp-contract=off"))) double
+eval_one_avx512(
+    const EvalCtx& c, const double* genome, const std::size_t* nz,
+    std::size_t nz_count, double* share, double* distance_out,
+    double* runtime_error_out) {
+  double share_total = 0.0;
+  for (std::size_t j = 0; j < nz_count; ++j) {
+    share_total += genome[nz[j]] * c.base_time[nz[j]];
+  }
+  const double rerr = std::abs(share_total - c.app_compute) / c.app_compute;
+
+  double distance;
+  if (share_total <= 0.0) {
+    distance = 1e18;
+  } else {
+    const __m128d vtot = _mm_set1_pd(share_total);
+    std::size_t j = 0;
+    for (; j + 2 <= nz_count; j += 2) {
+      const __m128d g = _mm_set_pd(genome[nz[j + 1]], genome[nz[j]]);
+      const __m128d t = _mm_set_pd(c.base_time[nz[j + 1]], c.base_time[nz[j]]);
+      _mm_storeu_pd(share + j, _mm_div_pd(_mm_mul_pd(g, t), vtot));
+    }
+    for (; j < nz_count; ++j) {
+      share[j] = genome[nz[j]] * c.base_time[nz[j]] / share_total;
+    }
+
+    __m512d acc[machine::kMetricCount / 4];
+    for (auto& a : acc) a = _mm512_setzero_pd();
+    for (std::size_t jj = 0; jj < nz_count; ++jj) {
+      const __m512d s = _mm512_set1_pd(share[jj]);
+      const double* row = c.pairs + nz[jj] * 2 * machine::kMetricCount;
+#pragma GCC unroll 4
+      for (int u = 0; u < static_cast<int>(machine::kMetricCount / 4); ++u) {
+        acc[u] = _mm512_add_pd(acc[u],
+                               _mm512_mul_pd(s, _mm512_loadu_pd(row + 8 * u)));
+      }
+    }
+    distance = 0.0;
+    // Lane gather for the reduction: [st0,st1,st2,st3, smt0,smt1,smt2,smt3]
+    // from the pair-interleaved squares, so st²+smt² per metric is one ymm
+    // add and w[i]·both one ymm mul — each lane still the exact scalar
+    // operation the reference performs (same operand pair, one rounding).
+    const __m512i gather_idx = _mm512_setr_epi64(0, 2, 4, 6, 1, 3, 5, 7);
+#pragma GCC unroll 4
+    for (int u = 0; u < static_cast<int>(machine::kMetricCount / 4); ++u) {
+      const __m512d d = _mm512_div_pd(
+          _mm512_sub_pd(acc[u], _mm512_loadu_pd(c.app_pair + 8 * u)),
+          _mm512_loadu_pd(c.scale_pair + 8 * u));
+      const __m512d sq = _mm512_mul_pd(d, d);
+      // maskz/mask forms with an explicit source instead of the plain
+      // intrinsics: GCC 12's unmasked helpers route through
+      // _mm512_undefined_pd and trip -Wmaybe-uninitialized; full masks make
+      // them the identical instruction with a defined (ignored) source.
+      const __m512d perm = _mm512_maskz_permutexvar_pd(0xFF, gather_idx, sq);
+      const __m256d st2 = _mm512_mask_extractf64x4_pd(
+          _mm256_setzero_pd(), 0xF, perm, 0);
+      const __m256d smt2 = _mm512_mask_extractf64x4_pd(
+          _mm256_setzero_pd(), 0xF, perm, 1);
+      const __m256d both = _mm256_add_pd(st2, smt2);
+      const __m256d weighted = _mm256_mul_pd(
+          both, _mm256_loadu_pd(c.metric_weight + 4 * u));
+      // The running `distance` chain itself stays scalar and ascending —
+      // that order is what the bit-identity contract pins down.
+      const __m128d lo = _mm256_castpd256_pd128(weighted);
+      const __m128d hi = _mm256_extractf128_pd(weighted, 1);
+      distance += _mm_cvtsd_f64(lo);
+      distance += _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+      distance += _mm_cvtsd_f64(hi);
+      distance += _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    }
+  }
+  if (distance_out) *distance_out = distance;
+  if (runtime_error_out) *runtime_error_out = rerr;
+  return distance + c.lambda * rerr * rerr;
+}
+
+EvalFn select_eval() {
+  // SWAPP_GA_EVAL pins a specific tier (generic | sse2 | avx2 | avx512) —
+  // a diagnostics/benchmarking hook, not a tuning knob: every tier is
+  // bit-identical, so the override can never change results.
+  if (const char* env = std::getenv("SWAPP_GA_EVAL")) {
+    const std::string tier(env);
+    if (tier == "generic") return &eval_one_generic;
+    if (tier == "sse2") return &eval_one_sse2;
+    if (tier == "avx2") return &eval_one_avx2;
+    if (tier == "avx512") return &eval_one_avx512;
+    SWAPP_REQUIRE(false, "unknown SWAPP_GA_EVAL tier '" + tier +
+                             "' (want generic|sse2|avx2|avx512)");
+  }
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return &eval_one_avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return &eval_one_avx2;
+  return &eval_one_sse2;
+}
+
+#else
+
+EvalFn select_eval() { return &eval_one_generic; }
+
+#endif  // SWAPP_GA_EVAL_SIMD
+
+/// Resolved once before main (namespace-scope initialisation), so the hot
+/// paths pay one indirect call and no branch.
+const EvalFn g_eval = select_eval();
+
+}  // namespace
+
+double GaEvalEngine::fitness_sparse(const double* genome,
+                                    const std::size_t* nz,
+                                    std::size_t nz_count,
+                                    GaEvalScratch& scratch,
+                                    double* distance_out,
+                                    double* runtime_error_out) const {
+  SWAPP_ASSERT(n_ > 0, "GaEvalEngine used before build()");
+  if (scratch.share.size() < nz_count) scratch.share.resize(nz_count);
+  const EvalCtx c{st_.data(),         smt_.data(),
+                  pairs_.data(),      base_time_.data(),
+                  app_st_.data(),     app_smt_.data(),
+                  app_pair_.data(),   scale_.data(),
+                  scale_pair_.data(), metric_weight_.data(),
+                  app_compute_,       lambda_,
+                  n_};
+  return g_eval(c, genome, nz, nz_count, scratch.share.data(), distance_out,
+                runtime_error_out);
+}
+
+void GaEvalEngine::evaluate_population(const GenomeRef* batch,
+                                       std::size_t count,
+                                       GaEvalScratch& scratch,
+                                       double* fitness_out) const {
+  SWAPP_ASSERT(n_ > 0, "GaEvalEngine used before build()");
+  if (scratch.share.size() < n_) scratch.share.resize(n_);
+  double* share = scratch.share.data();
+  const EvalCtx c{st_.data(),         smt_.data(),
+                  pairs_.data(),      base_time_.data(),
+                  app_st_.data(),     app_smt_.data(),
+                  app_pair_.data(),   scale_.data(),
+                  scale_pair_.data(), metric_weight_.data(),
+                  app_compute_,       lambda_,
+                  n_};
+  for (std::size_t b = 0; b < count; ++b) {
+    const GenomeRef& ref = batch[b];
+    SWAPP_ASSERT(ref.nz_count <= n_, "nz list longer than the suite");
+    fitness_out[b] =
+        g_eval(c, ref.genome, ref.nz, ref.nz_count, share, nullptr, nullptr);
+  }
+}
+
+}  // namespace swapp::core

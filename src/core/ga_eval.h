@@ -1,0 +1,122 @@
+// GA evaluation engine: the surrogate search's innermost kernel over a
+// transposed, metric-major (SoA) copy of the benchmark signatures.
+//
+// The GA objective (ga.h) blends benchmark metric vectors by runtime share
+// and measures the rank-weighted distance to the application's signature in
+// ST and SMT modes.  `Problem::fitness_fused` sweeps the array-of-structs
+// `MetricVector` storage once per evaluation; this engine holds the same
+// data transposed — for each metric i a contiguous array over the suite —
+// plus the application-side vectors and scales as plain arrays, so the
+// per-metric blend and the distance pass run over flat memory with no
+// per-term gather through `MetricVector` objects.
+//
+// Two entry points sit on top of the layout:
+//   * `fitness_sparse` evaluates one genome given its nonzero-term index
+//     list (the `nz` scratch the breeding loop already maintains), touching
+//     O(|nz|) terms instead of scanning every suite weight.
+//   * `evaluate_population` scores a whole generation in one call over
+//     reused caller-owned scratch, amortising setup across the population.
+//
+// Bit-identity contract: for every genome with non-negative weights whose
+// `nz` list contains at least all strictly-positive positions, both entry
+// points produce results bit-identical to the reference `fitness()` path
+// (and to `fitness_fused`).  The argument, relied on throughout:
+//   * every accumulator (runtime-share total, the 16+16 per-metric blends,
+//     the distance sum) receives its additions in the same ascending-k /
+//     ascending-i order as the reference;
+//   * terms the reference skips (`g[k] == 0.0`) contribute exact `+0.0`
+//     additions here, which cannot change the bits of a non-negative
+//     accumulator;
+//   * every arithmetic expression (share, deviation, penalty) is written
+//     with the same shape as the reference, so the compiler emits the same
+//     roundings.
+// `ga_fitness_probe` (ga.h) and tests/test_ga_eval.cpp verify the contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "machine/counters.h"
+
+namespace swapp::core {
+
+/// Caller-owned scratch reused across evaluations (the engine itself is
+/// immutable after `build`, so one engine can serve concurrent GA restarts
+/// as long as each evaluation thread brings its own scratch).
+struct GaEvalScratch {
+  /// Per-nonzero-term runtime shares (capacity grows to the suite size).
+  std::vector<double> share;
+};
+
+/// One genome prepared for batched evaluation: the weight array and its
+/// nonzero-position list (ascending, containing every strictly-positive
+/// position; extra zero-weight positions are harmless — see bit-identity
+/// contract above).
+struct GenomeRef {
+  const double* genome = nullptr;
+  const std::size_t* nz = nullptr;
+  std::size_t nz_count = 0;
+};
+
+class GaEvalEngine {
+ public:
+  GaEvalEngine() = default;
+
+  /// Builds the metric-major arrays from suite-ordered AoS signatures plus
+  /// the application-side vectors, scales, and penalty parameters.
+  void build(const std::vector<machine::MetricVector>& bench_st,
+             const std::vector<machine::MetricVector>& bench_smt,
+             const std::vector<double>& base_time,
+             const machine::MetricVector& app_st,
+             const machine::MetricVector& app_smt,
+             const std::array<double, machine::kMetricCount>& scale,
+             const std::array<double, machine::kMetricCount>& metric_weight,
+             double app_compute, double lambda);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Sparse single-genome objective.  `nz`/`nz_count` list the genome's
+  /// nonzero positions in ascending order.  Optionally reports the metric
+  /// distance and relative runtime error (the two objective components).
+  double fitness_sparse(const double* genome, const std::size_t* nz,
+                        std::size_t nz_count, GaEvalScratch& scratch,
+                        double* distance_out = nullptr,
+                        double* runtime_error_out = nullptr) const;
+
+  /// Batched entry point: writes `fitness_out[b]` for each genome in
+  /// `batch[0 .. count)`.  Bit-identical to `count` `fitness_sparse` calls.
+  void evaluate_population(const GenomeRef* batch, std::size_t count,
+                           GaEvalScratch& scratch, double* fitness_out) const;
+
+  /// Metric-major signature array (`metric_major_st()[i * size() + k]` =
+  /// metric i of benchmark k), exposed for tests and diagnostics.
+  const std::vector<double>& metric_major_st() const noexcept { return st_; }
+  const std::vector<double>& metric_major_smt() const noexcept { return smt_; }
+
+ private:
+  std::size_t n_ = 0;
+  /// Metric-major signatures: `st_[i * n_ + k]` = metric i of benchmark k.
+  /// This is the canonical transposed store (and the portable kernel's
+  /// layout); `pairs_` below is a SIMD tiling derived from it.
+  std::vector<double> st_;
+  std::vector<double> smt_;
+  /// ST/SMT pair-interleaved tiling for the SIMD kernels:
+  /// `pairs_[k * 2 * kMetricCount + 2 * i]` = metric i of benchmark k in ST
+  /// mode, `... + 2 * i + 1` = the same metric in SMT mode.  One vector load
+  /// then covers the (st, smt) lane pair that the objective's distance pass
+  /// divides by the same `scale_[i]`.
+  std::vector<double> pairs_;
+  std::vector<double> base_time_;
+  std::array<double, machine::kMetricCount> app_st_{};
+  std::array<double, machine::kMetricCount> app_smt_{};
+  /// App-side and scale vectors in the same pair-interleaved order.
+  std::array<double, 2 * machine::kMetricCount> app_pair_{};
+  std::array<double, 2 * machine::kMetricCount> scale_pair_{};
+  std::array<double, machine::kMetricCount> scale_{};
+  std::array<double, machine::kMetricCount> metric_weight_{};
+  double app_compute_ = 0.0;
+  double lambda_ = 0.0;
+};
+
+}  // namespace swapp::core

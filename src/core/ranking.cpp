@@ -85,37 +85,34 @@ std::array<double, machine::kMetricGroupCount> group_intensity(
   return out;
 }
 
-}  // namespace
-
-GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
-                                      const SpecData& spec,
-                                      const std::string& target_machine) {
-  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
+/// Shared step-4 core over suite-ordered arrays: metric vectors plus base
+/// and target runtimes for each benchmark k.  Both public overloads reduce
+/// to this, so the `SpecIndex` path is bit-identical to the `SpecData` path
+/// by construction (same additions, same order, same expression shapes).
+GroupWeights adjust_weights_impl(
+    const GroupWeights& base_weights,
+    const std::vector<machine::MetricVector>& vectors, const double* base_time,
+    const double* target_time) {
+  const std::size_t n = vectors.size();
 
   // Per-metric normalisation scale: the suite mean (guards against zero).
   std::array<double, machine::kMetricCount> scale{};
   scale.fill(0.0);
-  std::vector<machine::MetricVector> vectors;
-  vectors.reserve(spec.names.size());
-  for (const std::string& name : spec.names) {
-    vectors.push_back(machine::MetricVector::from_counters(
-        spec.base_counters_st.at(name)));
+  for (const machine::MetricVector& v : vectors) {
     for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
-      scale[i] += vectors.back().values[i];
+      scale[i] += v.values[i];
     }
   }
   for (double& s : scale) {
-    s = std::max(s / static_cast<double>(spec.names.size()), 1e-12);
+    s = std::max(s / static_cast<double>(n), 1e-12);
   }
 
   // Suite-wide mean speedup and per-group intensity-weighted mean speedup.
   double mean_speedup = 0.0;
   std::array<double, machine::kMetricGroupCount> weighted_speedup{};
   std::array<double, machine::kMetricGroupCount> intensity_sum{};
-  for (std::size_t k = 0; k < spec.names.size(); ++k) {
-    const std::string& name = spec.names[k];
-    const double speedup = spec.base_runtime.at(name) /
-                           spec.runtime_on(target_machine, name);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double speedup = base_time[k] / target_time[k];
     mean_speedup += speedup;
     const auto intensity = group_intensity(vectors[k], scale);
     for (std::size_t g = 0; g < machine::kMetricGroupCount; ++g) {
@@ -123,7 +120,7 @@ GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
       intensity_sum[g] += intensity[g];
     }
   }
-  mean_speedup /= static_cast<double>(spec.names.size());
+  mean_speedup /= static_cast<double>(n);
 
   // Groups whose heavy benchmarks speed up less than average grow in
   // importance on the target; cap the correction to keep it a re-weighting,
@@ -143,6 +140,36 @@ GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
   SWAPP_ASSERT(total > 0.0, "adjusted weights vanished");
   for (double& w : out.weight) w /= total;
   return out;
+}
+
+}  // namespace
+
+GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
+                                      const SpecData& spec,
+                                      const std::string& target_machine) {
+  SWAPP_REQUIRE(!spec.names.empty(), "empty benchmark suite");
+  std::vector<machine::MetricVector> vectors;
+  std::vector<double> base_time;
+  std::vector<double> target_time;
+  vectors.reserve(spec.names.size());
+  base_time.reserve(spec.names.size());
+  target_time.reserve(spec.names.size());
+  for (const std::string& name : spec.names) {
+    vectors.push_back(machine::MetricVector::from_counters(
+        spec.base_counters_st.at(name)));
+    base_time.push_back(spec.base_runtime.at(name));
+    target_time.push_back(spec.runtime_on(target_machine, name));
+  }
+  return adjust_weights_impl(base_weights, vectors, base_time.data(),
+                             target_time.data());
+}
+
+GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
+                                      const SpecIndex& index) {
+  SWAPP_REQUIRE(index.size() > 0, "empty benchmark suite");
+  return adjust_weights_impl(base_weights, index.bench_st,
+                             index.base_time.data(),
+                             index.target_time.data());
 }
 
 }  // namespace swapp::core

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/profiles.h"
+#include "core/spec_index.h"
 #include "machine/counters.h"
 #include "machine/machine.h"
 
@@ -41,5 +42,12 @@ GroupWeights base_group_weights(const machine::PmuCounters& app,
 GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
                                       const SpecData& spec,
                                       const std::string& target_machine);
+
+/// Same adjustment over a prebuilt `SpecIndex` (target machine implied by
+/// the index): the precomputed metric vectors and flat runtime arrays stand
+/// in for the per-call counter conversions and string-map lookups.
+/// Bit-identical to the `SpecData` overload for the same underlying data.
+GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
+                                      const SpecIndex& index);
 
 }  // namespace swapp::core

@@ -62,7 +62,10 @@ class Pool {
     override_ = n;
   }
 
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  /// `chunk` is the claim-run length (0 = auto-size from n and the pool
+  /// width; see auto_chunk below).
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           std::size_t chunk) {
     if (n == 0) return;
     if (t_in_region) {  // nested region: stay on this thread
       for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -82,6 +85,7 @@ class Pool {
       std::lock_guard<std::mutex> job(job_mutex_);
       job_fn_ = &fn;
       job_n_ = n;
+      job_chunk_ = chunk > 0 ? chunk : auto_chunk(n, threads);
       // Workers adopt the caller's innermost span as their logical parent,
       // so spans opened inside work items stitch into the caller's trace
       // tree; the post timestamp feeds the queue-wait histogram.
@@ -162,29 +166,49 @@ class Pool {
     }
   }
 
-  /// Claims and executes items until the job is drained or aborted.  Runs on
-  /// workers and on the calling thread alike.
+  /// Claim-run length for an `n`-item job over `threads` executors.  Aims
+  /// for ~8 runs per executor so stragglers can still be rebalanced, capped
+  /// at 64 so one claim never monopolises a long tail.  Jobs too small to
+  /// split (n below 8 × threads) get runs of 1 — the historical per-item
+  /// claiming — which covers every coarse call site (GA restarts, figure
+  /// rows) where items are few and expensive.
+  static std::size_t auto_chunk(std::size_t n, std::size_t threads) {
+    const std::size_t chunk = n / (threads * 8);
+    return std::clamp<std::size_t>(chunk, 1, 64);
+  }
+
+  /// Claims and executes runs of `job_chunk_` consecutive items until the
+  /// job is drained or aborted.  Runs on workers and on the calling thread
+  /// alike.  One fetch_add claims the half-open index run
+  /// [base, base + job_chunk_); the claimer executes the in-range part in
+  /// ascending order.  Every index is still executed exactly once, so the
+  /// chunk size is invisible to the work items themselves.
   void work() {
     // Worker-side spans attach to the span that dispatched this job (no-op
     // on the caller, whose own span stack already carries it).
     obs::LogicalParentScope trace_parent(job_parent_span_);
+    const std::size_t chunk = job_chunk_;
     while (!abort_.load(std::memory_order_relaxed)) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= job_n_) break;
-      const bool measure = obs::metrics_enabled();
-      const double started_us = measure ? obs::trace_now_us() : 0.0;
-      try {
-        (*job_fn_)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> job(job_mutex_);
-        if (!error_) error_ = std::current_exception();
-        abort_.store(true, std::memory_order_relaxed);
-      }
-      if (measure) {
-        const double task_us = obs::trace_now_us() - started_us;
-        SWAPP_COUNT("pool.tasks", 1);
-        SWAPP_COUNT("pool.busy_us", static_cast<std::uint64_t>(task_us));
-        SWAPP_OBSERVE("pool.task_us", task_us);
+      const std::size_t base = next_.fetch_add(chunk, std::memory_order_relaxed);
+      if (base >= job_n_) break;
+      const std::size_t end = std::min(base + chunk, job_n_);
+      for (std::size_t i = base; i < end; ++i) {
+        if (abort_.load(std::memory_order_relaxed)) return;
+        const bool measure = obs::metrics_enabled();
+        const double started_us = measure ? obs::trace_now_us() : 0.0;
+        try {
+          (*job_fn_)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> job(job_mutex_);
+          if (!error_) error_ = std::current_exception();
+          abort_.store(true, std::memory_order_relaxed);
+        }
+        if (measure) {
+          const double task_us = obs::trace_now_us() - started_us;
+          SWAPP_COUNT("pool.tasks", 1);
+          SWAPP_COUNT("pool.busy_us", static_cast<std::uint64_t>(task_us));
+          SWAPP_OBSERVE("pool.task_us", task_us);
+        }
       }
     }
   }
@@ -203,6 +227,7 @@ class Pool {
   std::uint64_t generation_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 1;  ///< claim-run length for the current job
   std::uint64_t job_parent_span_ = 0;  ///< dispatcher's span (trace stitch)
   double job_post_us_ = 0.0;           ///< job post time (queue-wait metric)
   std::size_t active_workers_ = 0;
@@ -241,7 +266,12 @@ void set_thread_count(std::size_t n) { Pool::instance().set_threads(n); }
 bool in_parallel_region() noexcept { return t_in_region; }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  Pool::instance().run(n, fn);
+  Pool::instance().run(n, fn, 0);
+}
+
+void parallel_for_chunked(std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn) {
+  Pool::instance().run(n, fn, chunk);
 }
 
 }  // namespace swapp

@@ -55,7 +55,23 @@ bool in_parallel_region() noexcept;
 /// Runs fn(0) … fn(n-1), each exactly once, in parallel over the pool.
 /// Blocks until all items finish.  The first exception thrown by any item is
 /// rethrown here (remaining items may be skipped once an item has thrown).
+///
+/// Executors claim *runs* of consecutive indices from the shared counter
+/// (one atomic fetch_add per run instead of per item), with the run length
+/// auto-sized from the item count and thread count — long fine-grained loops
+/// claim runs of up to 64, coarse loops degrade to runs of 1, which is
+/// exactly the historical per-item claiming.  Chunking only changes which
+/// executor runs an item, never what the item computes or where it writes,
+/// so the determinism guarantee above is unaffected.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// `parallel_for` with an explicit claim-run length (`chunk == 0` selects
+/// the same auto-sizing as `parallel_for`; any other value is used as-is,
+/// including lengths larger than `n`, which degenerate to one executor
+/// claiming everything).  Exposed for the determinism/coverage tests; hot
+/// paths should normally let `parallel_for` size the runs.
+void parallel_for_chunked(std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t)>& fn);
 
 /// Maps `fn` over `items`, returning results in input order.
 template <typename T, typename Fn>

@@ -1,0 +1,237 @@
+// Tests for the SoA GA evaluation engine (core/ga_eval.h): the bit-identity
+// contract between the reference objective and every faster kernel —
+// `fitness_fused`, the sparse SoA path, and the batched population path —
+// across genome shapes (all-zero, single-term, dense, randomized sparse),
+// plus the metric-major transpose itself and the contract's zero-weight
+// clause (extra zero positions in `nz` must not change a single bit).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/ga.h"
+#include "core/ga_eval.h"
+#include "core/ranking.h"
+#include "machine/counters.h"
+
+namespace swapp {
+namespace {
+
+machine::PmuCounters counters_with(double stall, double l3, double mem) {
+  machine::PmuCounters c;
+  c.instructions = 1e9;
+  c.cycles = 1e9;
+  c.seconds = 1.0;
+  c.cpi_completion = 0.3;
+  c.cpi_stall_fp = 0.2;
+  c.cpi_stall_mem = stall;
+  c.fp_per_instr = 0.4;
+  c.data_from_l2_per_instr = 0.002;
+  c.data_from_l3_per_instr = l3;
+  c.data_from_local_mem_per_instr = mem;
+  c.memory_bandwidth_gbs = mem * 50.0;
+  return c;
+}
+
+/// Ten benchmarks with spread-out signatures and runtimes: enough terms for
+/// dense genomes to exercise the SIMD kernels' main loops and for odd
+/// nonzero counts to exercise their scalar tails.
+core::SpecData synthetic_spec() {
+  core::SpecData spec;
+  for (int k = 0; k < 10; ++k) {
+    const double stall = 0.1 + 0.45 * k;
+    machine::PmuCounters st =
+        counters_with(stall, 0.001 * (k + 1), 0.0005 * (k + 1));
+    machine::PmuCounters smt = st;
+    smt.cpi_completion *= 1.4;
+    smt.cpi_stall_mem *= 1.2;
+    const std::string name = "bench" + std::to_string(k);
+    spec.names.push_back(name);
+    spec.base_counters_st.emplace(name, st);
+    spec.base_counters_smt.emplace(name, smt);
+    spec.base_runtime.emplace(name, 40.0 + 17.0 * k);
+  }
+  return spec;
+}
+
+class GaEvalBitIdentity : public ::testing::Test {
+ protected:
+  GaEvalBitIdentity()
+      : spec_(synthetic_spec()),
+        app_st_(counters_with(1.7, 0.004, 0.002)),
+        app_smt_(counters_with(2.1, 0.005, 0.0025)) {
+    weights_.weight.fill(1.0 / machine::kMetricGroupCount);
+    prober_ = std::make_unique<core::GaFitnessProber>(app_st_, app_smt_,
+                                                      weights_, spec_, 100.0);
+  }
+
+  /// Runs the probe through all four kernels and asserts exact (bitwise)
+  /// agreement with the reference.  `iters` > 1 also covers the probe's
+  /// nudged genome variants.
+  void expect_kernels_agree(const std::vector<double>& genome, int iters) {
+    const double ref = prober_->run(genome, iters, core::GaKernel::kReference);
+    EXPECT_EQ(ref, prober_->run(genome, iters, core::GaKernel::kFused));
+    EXPECT_EQ(ref, prober_->run(genome, iters, core::GaKernel::kSoaSparse));
+    EXPECT_EQ(ref, prober_->run(genome, iters, core::GaKernel::kSoaBatch));
+  }
+
+  core::SpecData spec_;
+  machine::PmuCounters app_st_;
+  machine::PmuCounters app_smt_;
+  core::GroupWeights weights_;
+  std::unique_ptr<core::GaFitnessProber> prober_;
+};
+
+TEST_F(GaEvalBitIdentity, AllZeroGenome) {
+  // Degenerate share total: every kernel must take the same 1e18 penalty
+  // branch, not divide by zero.
+  const std::vector<double> zero(spec_.names.size(), 0.0);
+  expect_kernels_agree(zero, 1);
+  expect_kernels_agree(zero, 8);
+}
+
+TEST_F(GaEvalBitIdentity, SingleTermGenomes) {
+  for (std::size_t k = 0; k < spec_.names.size(); ++k) {
+    std::vector<double> genome(spec_.names.size(), 0.0);
+    genome[k] = 0.25 + 0.5 * static_cast<double>(k);
+    expect_kernels_agree(genome, 6);
+  }
+}
+
+TEST_F(GaEvalBitIdentity, DenseGenome) {
+  std::vector<double> genome(spec_.names.size());
+  for (std::size_t k = 0; k < genome.size(); ++k) {
+    genome[k] = 0.05 + 0.11 * static_cast<double>(k);
+  }
+  expect_kernels_agree(genome, 12);
+}
+
+TEST_F(GaEvalBitIdentity, RandomizedSparseGenomes) {
+  std::mt19937_64 rng(0xb17b17);
+  std::uniform_real_distribution<double> weight(0.0, 2.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<double> genome(spec_.names.size(), 0.0);
+    for (double& g : genome) {
+      if (coin(rng) < 0.5) g = weight(rng);
+    }
+    expect_kernels_agree(genome, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct engine tests
+// ---------------------------------------------------------------------------
+
+struct EngineFixture {
+  std::vector<machine::MetricVector> st;
+  std::vector<machine::MetricVector> smt;
+  std::vector<double> base_time;
+  machine::MetricVector app_st;
+  machine::MetricVector app_smt;
+  core::GaEvalEngine engine;
+
+  explicit EngineFixture(std::size_t n) {
+    std::array<double, machine::kMetricCount> scale{};
+    std::array<double, machine::kMetricCount> metric_weight{};
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      scale[i] = 0.5 + 0.1 * static_cast<double>(i);
+      metric_weight[i] = 1.0 / (1.0 + static_cast<double>(i));
+      app_st.values[i] = 0.3 + 0.07 * static_cast<double>(i);
+      app_smt.values[i] = 0.4 + 0.05 * static_cast<double>(i);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      machine::MetricVector v_st;
+      machine::MetricVector v_smt;
+      for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+        v_st.values[i] = 0.01 * static_cast<double>(k * 37 + i * 11 + 1);
+        v_smt.values[i] = 0.01 * static_cast<double>(k * 53 + i * 7 + 2);
+      }
+      st.push_back(v_st);
+      smt.push_back(v_smt);
+      base_time.push_back(10.0 + 3.0 * static_cast<double>(k));
+    }
+    engine.build(st, smt, base_time, app_st, app_smt, scale, metric_weight,
+                 75.0, 2.0);
+  }
+};
+
+TEST(GaEvalEngine, MetricMajorTransposeMatchesAoS) {
+  const EngineFixture fx(7);
+  ASSERT_EQ(fx.engine.size(), 7u);
+  const std::vector<double>& mm_st = fx.engine.metric_major_st();
+  const std::vector<double>& mm_smt = fx.engine.metric_major_smt();
+  ASSERT_EQ(mm_st.size(), machine::kMetricCount * 7u);
+  for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+    for (std::size_t k = 0; k < 7u; ++k) {
+      EXPECT_EQ(mm_st[i * 7 + k], fx.st[k].values[i]);
+      EXPECT_EQ(mm_smt[i * 7 + k], fx.smt[k].values[i]);
+    }
+  }
+}
+
+TEST(GaEvalEngine, ExtraZeroPositionsInNzAreBitInvisible) {
+  // The contract's zero-weight clause: an nz list padded with zero-weight
+  // positions must produce bit-identical fitness to the minimal list.
+  const EngineFixture fx(9);
+  std::vector<double> genome(9, 0.0);
+  genome[1] = 0.8;
+  genome[4] = 1.3;
+  genome[7] = 0.2;
+  const std::vector<std::size_t> minimal = {1, 4, 7};
+  std::vector<std::size_t> padded(9);
+  for (std::size_t k = 0; k < 9; ++k) padded[k] = k;
+
+  core::GaEvalScratch scratch;
+  double d_min = 0.0;
+  double r_min = 0.0;
+  const double f_min = fx.engine.fitness_sparse(
+      genome.data(), minimal.data(), minimal.size(), scratch, &d_min, &r_min);
+  double d_pad = 0.0;
+  double r_pad = 0.0;
+  const double f_pad = fx.engine.fitness_sparse(
+      genome.data(), padded.data(), padded.size(), scratch, &d_pad, &r_pad);
+  EXPECT_EQ(f_min, f_pad);
+  EXPECT_EQ(d_min, d_pad);
+  EXPECT_EQ(r_min, r_pad);
+}
+
+TEST(GaEvalEngine, BatchMatchesSparseCalls) {
+  const EngineFixture fx(8);
+  std::mt19937_64 rng(0x5eed);
+  std::uniform_real_distribution<double> weight(0.0, 1.5);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  constexpr std::size_t kPop = 24;
+  std::vector<std::vector<double>> genomes(kPop, std::vector<double>(8, 0.0));
+  std::vector<std::vector<std::size_t>> nz(kPop);
+  std::vector<core::GenomeRef> refs(kPop);
+  for (std::size_t b = 0; b < kPop; ++b) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      if (coin(rng) < 0.6) {
+        genomes[b][k] = weight(rng);
+        nz[b].push_back(k);
+      }
+    }
+    refs[b] = {genomes[b].data(), nz[b].data(), nz[b].size()};
+  }
+
+  core::GaEvalScratch scratch;
+  std::vector<double> batch_fitness(kPop, 0.0);
+  fx.engine.evaluate_population(refs.data(), kPop, scratch,
+                                batch_fitness.data());
+  for (std::size_t b = 0; b < kPop; ++b) {
+    core::GaEvalScratch fresh;
+    const double one = fx.engine.fitness_sparse(genomes[b].data(),
+                                                nz[b].data(), nz[b].size(),
+                                                fresh);
+    EXPECT_EQ(batch_fitness[b], one) << "genome " << b;
+  }
+}
+
+}  // namespace
+}  // namespace swapp

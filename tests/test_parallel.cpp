@@ -105,6 +105,78 @@ TEST(Parallel, NestedRegionsDegradeToSerial) {
   EXPECT_EQ(inner_total.load(), 4 * 8);
 }
 
+// ---------------------------------------------------------------------------
+// Chunked index claiming
+// ---------------------------------------------------------------------------
+
+TEST(ParallelChunked, EveryIndexExactlyOnceAcrossThreadAndChunkConfigs) {
+  ThreadCountGuard guard;
+  // chunk 0 = auto-sizing; 64 > n exercises one executor claiming the whole
+  // range in a single run.
+  const std::size_t chunks[] = {0, 1, 4, 64};
+  const std::size_t threads[] = {1, 3, 16};
+  constexpr std::size_t kN = 41;  // odd, not a chunk multiple, smaller than 64
+  for (const std::size_t t : threads) {
+    set_thread_count(t);
+    for (const std::size_t chunk : chunks) {
+      std::vector<std::atomic<int>> hits(kN);
+      parallel_for_chunked(kN, chunk, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "threads=" << t << " chunk=" << chunk << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelChunked, LargeJobAutoChunksWithFullCoverage) {
+  ThreadCountGuard guard;
+  // 10000 items over 4 threads auto-sizes runs well above 1; every index
+  // must still execute exactly once.
+  set_thread_count(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelChunked, MapResultsIdenticalAcrossConfigs) {
+  ThreadCountGuard guard;
+  std::vector<int> items(513);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int>(i);
+  }
+  const auto triple = [](const int x) { return 3 * x + 1; };
+  set_thread_count(1);
+  const std::vector<int> serial = parallel_map(items, triple);
+  for (const std::size_t t : {3u, 16u}) {
+    set_thread_count(t);
+    EXPECT_EQ(parallel_map(items, triple), serial) << "threads=" << t;
+  }
+}
+
+TEST(ParallelChunked, PropagatesExceptionsFromInsideAChunk) {
+  ThreadCountGuard guard;
+  set_thread_count(3);
+  EXPECT_THROW(parallel_for_chunked(100, 8,
+                                    [](std::size_t i) {
+                                      if (i == 42) {
+                                        throw std::runtime_error("item 42");
+                                      }
+                                    }),
+               std::runtime_error);
+  // The pool must stay usable after an aborted chunked region.
+  std::atomic<int> count{0};
+  parallel_for_chunked(10, 4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
 TEST(Parallel, SetThreadCountInsideRegionIsRejected) {
   ThreadCountGuard guard;
   set_thread_count(2);
@@ -221,6 +293,12 @@ TEST(GaDeterminism, BitIdenticalAcrossThreadCounts) {
   set_thread_count(2);
   const core::Surrogate pooled2 = search(spec);
   expect_identical(serial, pooled2);
+
+  // More threads than restarts: workers race for few items, chunked
+  // claiming degrades to runs of 1, results still bit-identical.
+  set_thread_count(16);
+  const core::Surrogate pooled16 = search(spec);
+  expect_identical(serial, pooled16);
 }
 
 TEST(GaDeterminism, StagnationExitIsDeterministicAndOptIn) {

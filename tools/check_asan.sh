@@ -2,7 +2,10 @@
 # Builds the test suite under AddressSanitizer and runs it with a 4-thread
 # SWAPP pool, so the batched projection paths (shared SpecIndex arenas,
 # cache-owned artifacts, parallel merges) are exercised for lifetime and
-# bounds errors.  Usage: tools/check_asan.sh [extra ctest args].
+# bounds errors.  The full ctest run includes the SoA GA engine tests
+# (test_ga_eval), whose SIMD kernels read pair-interleaved rows and sparse
+# nz lists — exactly the indexing ASan should be watching.
+# Usage: tools/check_asan.sh [extra ctest args].
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

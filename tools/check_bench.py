@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    tools/check_bench.py BASELINE.json FRESH.json [--threshold 15]
+
+The baseline is one of the artifacts/BENCH_*.json records (hand-curated
+medians); the fresh file is raw `bench_micro --benchmark_format=json` output
+with `--benchmark_repetitions=N --benchmark_report_aggregates_only=true`.
+The check fails (exit 1) if any benchmark present in both files regressed by
+more than the threshold (default 15%, sized above the shared CI container's
+load-dependent run-to-run noise).  Improvements and benchmarks missing from
+either side never fail the check — the baseline is a floor on known entries,
+not a coverage requirement.
+
+Wired as the optional ctest entry `perf_check_bench` (label `perf`) behind
+-DSWAPP_PERF_TESTS=ON; that entry runs bench_micro itself and pipes the
+result through this script.  Excluded from the default ctest run: benchmark
+numbers on a loaded shared host are too noisy to gate every build on.
+"""
+
+import argparse
+import json
+import sys
+
+# Maps baseline-record keys (artifacts/BENCH_ga_soa.json layout) to the
+# benchmark names they were measured from.  Extend when a new artifact
+# record gains rows.
+GA_SOA_ROWS = {
+    "reference": "BM_GaFitnessKernel/0",
+    "fused": "BM_GaFitnessKernel/1",
+    "soa_sparse": "BM_GaFitnessKernel/2",
+    "soa_batch": "BM_GaFitnessKernel/3",
+}
+
+
+def baseline_medians_us(baseline):
+    """Extracts {benchmark name: median microseconds} from a baseline record."""
+    out = {}
+    kernels = baseline.get("ga_fitness_kernel_us_per_256_evals", {})
+    for key, bench_name in GA_SOA_ROWS.items():
+        row = kernels.get(key)
+        if isinstance(row, dict) and isinstance(row.get("median"), (int, float)):
+            out[bench_name] = float(row["median"])
+    search = baseline.get("ga_surrogate_search_us", {}).get("current", {})
+    if isinstance(search.get("median"), (int, float)):
+        out["BM_GaSurrogateSearch"] = float(search["median"])
+    return out
+
+
+def fresh_medians_us(fresh):
+    """Extracts {benchmark name: median microseconds} from raw bench JSON."""
+    out = {}
+    for row in fresh.get("benchmarks", []):
+        name = row.get("name", "")
+        if not name.endswith("_median"):
+            continue
+        base = name[: -len("_median")]
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}.get(unit)
+        if scale is None or "real_time" not in row:
+            continue
+        out[base] = float(row["real_time"]) * scale
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in artifacts/BENCH_*.json")
+    parser.add_argument("fresh", help="fresh bench_micro JSON output")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="max allowed regression, percent (default 15)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = baseline_medians_us(json.load(f))
+    with open(args.fresh) as f:
+        fresh = fresh_medians_us(json.load(f))
+
+    if not baseline:
+        print("check_bench: no comparable rows in baseline", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name, base_us in sorted(baseline.items()):
+        now_us = fresh.get(name)
+        if now_us is None:
+            print(f"  SKIP {name}: not in fresh run")
+            continue
+        delta = (now_us - base_us) / base_us * 100.0
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        print(f"  {verdict:4} {name}: baseline {base_us:.1f}us, "
+              f"now {now_us:.1f}us ({delta:+.1f}%)")
+        if delta > args.threshold:
+            failures.append(name)
+
+    if failures:
+        print(f"check_bench: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("check_bench: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Builds the test suite under ThreadSanitizer and runs it with a 4-thread
 # SWAPP pool, so every parallel stage (GA restarts, figure rows) is
-# exercised for data races.  Usage: tools/check_tsan.sh [extra ctest args].
+# exercised for data races.  The full ctest run includes the chunked
+# parallel_for coverage tests (test_parallel) and the SoA GA engine's
+# bit-identity tests (test_ga_eval) — the pool's chunked index claiming and
+# the engine's pre-main kernel dispatch must both stay TSan-clean.
+# Usage: tools/check_tsan.sh [extra ctest args].
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
