@@ -1,0 +1,60 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace swapp::server {
+
+int connect_unix(const std::filesystem::path& path) {
+  const std::string name = path.string();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, name.c_str(), sizeof(addr.sun_path) - 1);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + name + ": " + std::strerror(saved));
+  }
+  return fd;
+}
+
+Client::Client(const std::filesystem::path& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::call(const std::string& request_payload,
+                      std::size_t max_response_bytes) {
+  write_frame(fd_, request_payload);
+  const Frame frame = read_frame(fd_, max_response_bytes);
+  switch (frame.status) {
+    case FrameStatus::kOk:
+      return decode_response(frame.payload);
+    case FrameStatus::kEof:
+    case FrameStatus::kTruncated:
+      throw Error("server closed the connection before answering");
+    case FrameStatus::kOversized:
+      throw Error("server response exceeds " +
+                  std::to_string(max_response_bytes) + " bytes");
+  }
+  throw InternalError("unreachable frame status");
+}
+
+}  // namespace swapp::server

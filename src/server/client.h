@@ -1,0 +1,42 @@
+// Client side of the projection-server protocol: connect to the daemon's
+// Unix-domain socket, send one framed "swapp-batch" document, block for the
+// framed "swapp-batch-result" answer.  `swapp request` is a thin wrapper
+// around this class plus the same table renderer `swapp batch` uses.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace swapp::server {
+
+/// Connects a SOCK_STREAM Unix-domain socket to `path` and returns the fd.
+/// Throws swapp::Error when the socket cannot be created or connected
+/// (e.g. no server is listening).  Exposed separately so protocol tests can
+/// drive raw frames at a live server.
+int connect_unix(const std::filesystem::path& path);
+
+class Client {
+ public:
+  explicit Client(const std::filesystem::path& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request document and blocks for the response.  Protocol-level
+  /// failures the server reports (busy, bad-request, ...) come back as a
+  /// Response with ok == false; a connection the server dropped without
+  /// answering (crash, truncation) throws swapp::Error.
+  Response call(const std::string& request_payload,
+                std::size_t max_response_bytes = std::size_t{64} << 20);
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace swapp::server

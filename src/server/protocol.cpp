@@ -1,0 +1,210 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "io/record.h"
+#include "support/error.h"
+
+namespace swapp::server {
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  throw InternalError("unknown ErrorCode");
+}
+
+ErrorCode error_code_from(const std::string& name) {
+  if (name == "bad-request") return ErrorCode::kBadRequest;
+  if (name == "oversized") return ErrorCode::kOversized;
+  if (name == "busy") return ErrorCode::kBusy;
+  if (name == "shutting-down") return ErrorCode::kShuttingDown;
+  if (name == "internal") return ErrorCode::kInternal;
+  throw InvalidArgument("unknown error code: " + name);
+}
+
+Response Response::failure(ErrorCode code, std::string message) {
+  Response response;
+  response.ok = false;
+  response.error = code;
+  response.message = std::move(message);
+  return response;
+}
+
+std::string encode_response(const Response& response) {
+  std::ostringstream os;
+  io::RecordWriter writer(os, "swapp-batch-result", 1);
+  if (!response.ok) {
+    writer.row("error").field(to_string(response.error))
+        .field(response.message);
+    writer.finish();
+    return os.str();
+  }
+  for (const ResultRow& r : response.results) {
+    writer.row("result")
+        .field(r.app)
+        .field(r.target)
+        .field(r.tasks)
+        .field(r.compute_s)
+        .field(r.comm_s)
+        .field(r.total_s);
+  }
+  for (const PhaseRow& p : response.phases) {
+    writer.row("phase").field(p.phase).field(p.seconds);
+  }
+  for (const ArtifactRow& a : response.artifacts) {
+    writer.row("artifact").field(a.name).field(a.source);
+  }
+  writer.finish();  // the last row stays pending until flushed
+  return os.str();
+}
+
+Response decode_response(const std::string& payload) {
+  std::istringstream in(payload);
+  io::RecordReader reader(in, "swapp-batch-result", 1);
+  Response response;
+  response.ok = true;
+  io::Record rec;
+  while (reader.next(rec)) {
+    if (rec.tag == "error") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("error row needs: code, message");
+      }
+      return Response::failure(error_code_from(rec.str(0)), rec.str(1));
+    }
+    if (rec.tag == "result") {
+      if (rec.fields.size() < 6) {
+        throw InvalidArgument(
+            "result row needs: app, target, tasks, compute, comm, total");
+      }
+      ResultRow r;
+      r.app = rec.str(0);
+      r.target = rec.str(1);
+      r.tasks = static_cast<int>(rec.integer(2));
+      r.compute_s = rec.num(3);
+      r.comm_s = rec.num(4);
+      r.total_s = rec.num(5);
+      response.results.push_back(std::move(r));
+      continue;
+    }
+    if (rec.tag == "phase") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("phase row needs: name, seconds");
+      }
+      response.phases.push_back(PhaseRow{rec.str(0), rec.num(1)});
+      continue;
+    }
+    if (rec.tag == "artifact") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("artifact row needs: name, source");
+      }
+      response.artifacts.push_back(ArtifactRow{rec.str(0), rec.str(1)});
+      continue;
+    }
+    throw InvalidArgument("unknown record in response document: " + rec.tag);
+  }
+  return response;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes into `out` (which may be null to discard).
+/// Returns false on EOF before `n` bytes arrived.
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t got = 0;
+  char sink[4096];
+  while (got < n) {
+    char* dst = out != nullptr ? out + got : sink;
+    const std::size_t want =
+        out != nullptr ? n - got : std::min(n - got, sizeof sink);
+    const ssize_t rc = ::recv(fd, dst, want, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) return false;
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+Frame read_frame(int fd, std::size_t max_bytes) {
+  unsigned char header[4];
+  // A clean close before the first header byte is a normal end of
+  // conversation; a close inside the header or payload is a truncated frame.
+  {
+    ssize_t rc;
+    do {
+      rc = ::recv(fd, header, 1, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) return Frame{FrameStatus::kEof, {}};
+  }
+  if (!read_exact(fd, reinterpret_cast<char*>(header) + 1, 3)) {
+    return Frame{FrameStatus::kTruncated, {}};
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24) |
+                               (static_cast<std::uint32_t>(header[1]) << 16) |
+                               (static_cast<std::uint32_t>(header[2]) << 8) |
+                               static_cast<std::uint32_t>(header[3]);
+  if (length > max_bytes) {
+    // Drain the announced payload so the next frame starts clean; the bytes
+    // themselves are client-controlled noise we refuse to buffer.
+    if (!read_exact(fd, nullptr, length)) {
+      return Frame{FrameStatus::kTruncated, {}};
+    }
+    return Frame{FrameStatus::kOversized, {}};
+  }
+  Frame frame;
+  frame.payload.resize(length);
+  if (length > 0 && !read_exact(fd, frame.payload.data(), length)) {
+    return Frame{FrameStatus::kTruncated, {}};
+  }
+  frame.status = FrameStatus::kOk;
+  return frame;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  SWAPP_REQUIRE(payload.size() <= 0xFFFFFFFFull,
+                "frame payload exceeds the 32-bit length prefix");
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  const auto send_all = [fd](const char* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE here instead of
+      // killing the process with SIGPIPE.
+      const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw Error(std::string("socket write failed: ") +
+                    std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(rc);
+    }
+  };
+  send_all(reinterpret_cast<const char*>(header), sizeof header);
+  send_all(payload.data(), payload.size());
+}
+
+}  // namespace swapp::server

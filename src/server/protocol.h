@@ -1,0 +1,111 @@
+// Wire protocol of the projection server.
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// that many payload bytes, over a SOCK_STREAM Unix-domain socket.  The
+// payload is an io/record document — the exact serialisation the artifact
+// cache already canonicalizes — so the wire format is as boring, diffable,
+// and version-checked as the on-disk formats:
+//
+//   request  frame: a "swapp-batch" v1 document (service/batch_format.h) —
+//                   byte-for-byte the `swapp batch` request file.
+//   response frame: a "swapp-batch-result" v1 document with rows
+//       result "<app>" "<target>" <tasks> <compute_s> <comm_s> <total_s>
+//       phase "<name>" <seconds>
+//       artifact "<name>" "<source>"
+//     or, on failure, exactly one row
+//       error "<code>" "<message>"
+//
+// Error codes are a closed enum so clients can react without string
+// matching: `busy` (admission queue full — retry later), `bad-request`
+// (malformed document or unknown app/target), `oversized` (frame above the
+// server's --max-request-bytes), `shutting-down` (server is draining), and
+// `internal` (batch execution failed).
+//
+// Doubles round-trip exactly through the record format (17 significant
+// digits), which is what lets `swapp request` render a table byte-identical
+// to `swapp batch` from decoded response rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swapp::server {
+
+/// Typed failure classes a response can carry.
+enum class ErrorCode {
+  kBadRequest,
+  kOversized,
+  kBusy,
+  kShuttingDown,
+  kInternal,
+};
+std::string to_string(ErrorCode code);
+/// Inverse of to_string; throws InvalidArgument for unknown codes.
+ErrorCode error_code_from(const std::string& name);
+
+/// One projection result row — the columns of the `swapp batch` table,
+/// carried at full double precision.
+struct ResultRow {
+  std::string app;
+  std::string target;
+  int tasks = 0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total_s = 0.0;
+};
+
+/// Wall-clock of one service phase of the (coalesced) batch this request
+/// rode in.
+struct PhaseRow {
+  std::string phase;
+  double seconds = 0.0;
+};
+
+/// One acquired artifact and the cache tier that satisfied it.
+struct ArtifactRow {
+  std::string name;
+  std::string source;
+};
+
+struct Response {
+  bool ok = false;
+  ErrorCode error = ErrorCode::kInternal;  ///< meaningful when !ok
+  std::string message;                     ///< meaningful when !ok
+  std::vector<ResultRow> results;
+  std::vector<PhaseRow> phases;
+  std::vector<ArtifactRow> artifacts;
+
+  static Response failure(ErrorCode code, std::string message);
+};
+
+std::string encode_response(const Response& response);
+/// Throws swapp::Error on a malformed document.
+Response decode_response(const std::string& payload);
+
+// --- framing ----------------------------------------------------------------
+
+/// Outcome of reading one frame from a connection.
+enum class FrameStatus {
+  kOk,         ///< payload holds a complete frame
+  kEof,        ///< peer closed cleanly before a new frame started
+  kTruncated,  ///< peer closed mid-frame; no response is possible
+  kOversized,  ///< announced length exceeded max_bytes; payload discarded,
+               ///< the stream is positioned at the next frame
+};
+
+struct Frame {
+  FrameStatus status = FrameStatus::kEof;
+  std::string payload;  ///< set when status == kOk
+};
+
+/// Reads one length-prefixed frame from `fd`.  An oversized announcement is
+/// drained from the stream (so the connection survives) but its payload is
+/// dropped.  Throws swapp::Error on hard I/O errors; EINTR is retried.
+Frame read_frame(int fd, std::size_t max_bytes);
+
+/// Writes one length-prefixed frame to `fd` (retrying short writes and
+/// EINTR).  Throws swapp::Error on I/O errors, including a closed peer.
+void write_frame(int fd, const std::string& payload);
+
+}  // namespace swapp::server

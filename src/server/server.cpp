@@ -1,0 +1,469 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/options.h"
+#include "support/error.h"
+
+namespace swapp::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void fill_unix_address(sockaddr_un& addr, const std::string& path) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(machine::Machine b, ServerConfig c, ServiceSetup s, RowValidator v)
+      : base(std::move(b)),
+        config(std::move(c)),
+        setup(std::move(s)),
+        validate(std::move(v)),
+        cache(std::make_shared<service::ArtifactCache>(
+            config.service.cache_dir, config.service.cache_capacity,
+            config.service.cache_dir_max_bytes)) {}
+
+  machine::Machine base;
+  ServerConfig config;
+  ServiceSetup setup;
+  RowValidator validate;
+  std::shared_ptr<service::ArtifactCache> cache;
+
+  int listen_fd = -1;
+  int wake_fd[2] = {-1, -1};
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  bool waited = false;
+
+  /// One admitted client batch: its rows plus the promise the scheduler
+  /// fulfils with the response.
+  struct Item {
+    std::vector<service::BatchRow> rows;
+    std::promise<Response> promise;
+    double enqueued_us = 0.0;
+  };
+
+  std::mutex mutex;  ///< guards queue and stop_requested
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  bool stop_requested = false;
+
+  std::thread acceptor;
+  std::thread scheduler;
+
+  /// Connection registry: the entry owns the fd; the thread only uses it.
+  struct Conn {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conn_mutex;
+  std::vector<Conn> conns;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> proto_errors{0};
+
+  void acceptor_loop();
+  void serve_connection(int fd);
+  Response handle_payload(const std::string& payload);
+  void scheduler_loop();
+  void run_batch(std::vector<Item> items);
+};
+
+void Server::Impl::acceptor_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fd[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // accepting is impossible; shut down rather than spin
+    }
+    if (fds[1].revents != 0) break;  // shutdown byte arrived
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ++accepted;
+    SWAPP_COUNT("server.connections", 1);
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    // Reap finished connections so a long-lived server does not accumulate
+    // one joinable thread (and one fd) per past client.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done->load()) {
+        it->thread.join();
+        ::close(it->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    const std::shared_ptr<std::atomic<bool>> done = conn.done;
+    conn.thread = std::thread([this, fd, done] {
+      serve_connection(fd);
+      done->store(true);
+    });
+    conns.push_back(std::move(conn));
+  }
+  // Stop admitting and wake the scheduler for its final drain.  Admission
+  // flips before the public `draining()` flag, so anyone who observes
+  // draining() == true is guaranteed a shutting-down response, not a queue
+  // slot.
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    stop_requested = true;
+  }
+  cv.notify_all();
+  stopping.store(true);
+}
+
+void Server::Impl::serve_connection(int fd) {
+  try {
+    while (true) {
+      const Frame frame = read_frame(fd, config.max_request_bytes);
+      if (frame.status == FrameStatus::kEof) break;
+      if (frame.status == FrameStatus::kTruncated) {
+        // The peer vanished mid-frame; there is nobody left to answer.
+        ++proto_errors;
+        SWAPP_COUNT("server.truncated_frames", 1);
+        break;
+      }
+      SWAPP_SPAN("server.request");
+      Response response;
+      if (frame.status == FrameStatus::kOversized) {
+        ++proto_errors;
+        SWAPP_COUNT("server.oversized_frames", 1);
+        response = Response::failure(
+            ErrorCode::kOversized,
+            "request frame exceeds " +
+                std::to_string(config.max_request_bytes) + " bytes");
+      } else {
+        response = handle_payload(frame.payload);
+      }
+      write_frame(fd, encode_response(response));
+    }
+  } catch (const std::exception&) {
+    // A hard socket error (peer gone mid-write) ends this conversation;
+    // the server itself is unaffected.
+  }
+  ::shutdown(fd, SHUT_RDWR);  // the registry entry owns and closes the fd
+}
+
+Response Server::Impl::handle_payload(const std::string& payload) {
+  // Parse and validate on the connection thread, so a malformed or
+  // unsatisfiable batch is rejected without ever occupying the admission
+  // queue — and without poisoning the coalesced run other clients ride in.
+  std::vector<service::BatchRow> rows;
+  try {
+    std::istringstream in(payload);
+    rows = service::read_batch_requests(in);
+    for (const service::BatchRow& row : rows) {
+      machine::machine_by_name(row.target);  // throws NotFound when unknown
+      if (row.tasks < 1) {
+        throw InvalidArgument("request needs tasks >= 1, got " +
+                              std::to_string(row.tasks));
+      }
+      if (row.threads < 1) {
+        throw InvalidArgument("request needs threads >= 1, got " +
+                              std::to_string(row.threads));
+      }
+      if (validate) {
+        const std::string message = validate(row);
+        if (!message.empty()) throw InvalidArgument(message);
+      }
+    }
+  } catch (const Error& e) {
+    ++proto_errors;
+    SWAPP_COUNT("server.bad_requests", 1);
+    return Response::failure(ErrorCode::kBadRequest, e.what());
+  }
+
+  std::future<Response> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (stop_requested) {
+      return Response::failure(ErrorCode::kShuttingDown,
+                               "server is draining and accepts no new work");
+    }
+    if (queue.size() >= config.max_queue) {
+      ++busy;
+      SWAPP_COUNT("server.busy_rejections", 1);
+      return Response::failure(
+          ErrorCode::kBusy, "admission queue is full (" +
+                                std::to_string(config.max_queue) +
+                                " pending batches); retry later");
+    }
+    Item item;
+    item.rows = std::move(rows);
+    item.enqueued_us = obs::trace_now_us();
+    pending = item.promise.get_future();
+    queue.push_back(std::move(item));
+    SWAPP_GAUGE_SET("server.queue_depth", static_cast<double>(queue.size()));
+  }
+  cv.notify_all();
+  // The scheduler fulfils every admitted promise, shutdown drain included,
+  // so this wait always terminates.
+  return pending.get();
+}
+
+void Server::Impl::scheduler_loop() {
+  while (true) {
+    std::vector<Item> items;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] {
+        return stop_requested || queue.size() >= config.coalesce_min;
+      });
+      if (queue.empty()) {
+        if (stop_requested) return;  // fully drained
+        continue;
+      }
+      // Everything queued right now becomes one coalesced run; batches
+      // arriving during the run pile up for the next one.
+      while (!queue.empty()) {
+        items.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      SWAPP_GAUGE_SET("server.queue_depth", 0.0);
+    }
+    run_batch(std::move(items));
+  }
+}
+
+void Server::Impl::run_batch(std::vector<Item> items) {
+  SWAPP_SPAN("server.batch");
+  const double drained_us = obs::trace_now_us();
+  for (const Item& item : items) {
+    SWAPP_OBSERVE("server.queue_wait_us", drained_us - item.enqueued_us);
+  }
+  std::vector<service::BatchRow> all_rows;
+  for (const Item& item : items) {
+    all_rows.insert(all_rows.end(), item.rows.begin(), item.rows.end());
+  }
+
+  try {
+    // Targets in first-appearance order over the coalesced rows — the same
+    // derivation `swapp batch` uses, so the spec-library cache key matches
+    // between a served batch and the one-shot CLI on the same requests.
+    std::vector<machine::Machine> targets;
+    for (const service::BatchRow& row : all_rows) {
+      bool known = false;
+      for (const machine::Machine& t : targets) known |= t.name == row.target;
+      if (!known) targets.push_back(machine::machine_by_name(row.target));
+    }
+    service::ServiceConfig service_config = config.service;
+    service_config.shared_cache = cache;
+    service::ProjectionService svc(base, std::move(targets), service_config);
+    setup(svc, all_rows);
+
+    std::vector<std::vector<service::ServiceRequest>> slices;
+    slices.reserve(items.size());
+    for (const Item& item : items) {
+      std::vector<service::ServiceRequest> batch;
+      batch.reserve(item.rows.size());
+      for (const service::BatchRow& row : item.rows) {
+        batch.push_back(service::to_service_request(row));
+      }
+      slices.push_back(std::move(batch));
+    }
+    const service::ProjectionService::CoalescedReport report =
+        svc.run_coalesced(slices);
+
+    std::vector<PhaseRow> phases;
+    for (const service::ProjectionService::PhaseTime& p :
+         report.combined.phases) {
+      phases.push_back(PhaseRow{p.phase, p.seconds});
+    }
+    std::vector<ArtifactRow> artifacts;
+    for (const service::ProjectionService::ArtifactNote& note :
+         report.combined.artifacts) {
+      artifacts.push_back(ArtifactRow{note.name, to_string(note.source)});
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Response response;
+      response.ok = true;
+      for (const core::ProjectionResult& r : report.slices[i]) {
+        response.results.push_back(ResultRow{r.app, r.target, r.cores,
+                                             r.compute.target_compute,
+                                             r.comm.target_total(),
+                                             r.total_target()});
+      }
+      response.phases = phases;
+      response.artifacts = artifacts;
+      served += report.slices[i].size();
+      items[i].promise.set_value(std::move(response));
+    }
+    ++batches;
+    SWAPP_COUNT("server.batches", 1);
+    SWAPP_COUNT("server.requests", all_rows.size());
+  } catch (const std::exception& e) {
+    // Admission-time validation keeps this to genuine execution failures
+    // (e.g. a thread count no profile matches); every rider of the poisoned
+    // run gets the same typed error.
+    SWAPP_COUNT("server.failed_batches", 1);
+    const Response failure = Response::failure(ErrorCode::kInternal, e.what());
+    for (Item& item : items) item.promise.set_value(failure);
+  }
+}
+
+Server::Server(machine::Machine base, ServerConfig config, ServiceSetup setup,
+               RowValidator validate) {
+  SWAPP_REQUIRE(setup != nullptr, "server needs a service setup callback");
+  SWAPP_REQUIRE(config.max_queue >= 1, "max_queue must be >= 1");
+  SWAPP_REQUIRE(config.coalesce_min >= 1, "coalesce_min must be >= 1");
+  impl_ = std::make_unique<Impl>(std::move(base), std::move(config),
+                                 std::move(setup), std::move(validate));
+}
+
+Server::~Server() {
+  if (impl_->started.load() && !impl_->waited) {
+    request_stop();
+    try {
+      wait();
+    } catch (...) {
+      // Destruction must not throw; leaked fds die with the process.
+    }
+  }
+}
+
+void Server::start() {
+  Impl& s = *impl_;
+  SWAPP_REQUIRE(!s.started.load(), "server already started");
+  const std::string path = s.config.socket_path.string();
+  parse_socket_path(path);
+
+  // A stale socket file from a crashed server is replaced; a live one is
+  // refused (a successful connect means somebody is serving it).
+  std::error_code ec;
+  if (std::filesystem::exists(s.config.socket_path, ec)) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe >= 0) {
+      sockaddr_un addr;
+      fill_unix_address(addr, path);
+      const bool live =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0;
+      ::close(probe);
+      if (live) throw Error("socket is already being served: " + path);
+    }
+    std::filesystem::remove(s.config.socket_path, ec);
+  }
+
+  s.listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (s.listen_fd < 0) throw_errno("socket");
+  sockaddr_un addr;
+  fill_unix_address(addr, path);
+  if (::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    errno = saved;
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(s.listen_fd, 64) != 0) throw_errno("listen");
+  if (::pipe2(s.wake_fd, O_CLOEXEC) != 0) throw_errno("pipe2");
+
+  s.started.store(true);
+  s.scheduler = std::thread([&s] { s.scheduler_loop(); });
+  s.acceptor = std::thread([&s] { s.acceptor_loop(); });
+}
+
+int Server::shutdown_fd() const noexcept { return impl_->wake_fd[1]; }
+
+void Server::request_stop() noexcept {
+  if (impl_->wake_fd[1] < 0) return;
+  const char byte = 's';
+  ssize_t rc;
+  do {
+    rc = ::write(impl_->wake_fd[1], &byte, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+bool Server::draining() const noexcept { return impl_->stopping.load(); }
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->queue.size();
+}
+
+void Server::wait() {
+  Impl& s = *impl_;
+  SWAPP_REQUIRE(s.started.load(), "server not started");
+  if (s.waited) return;
+  if (s.acceptor.joinable()) s.acceptor.join();
+  if (s.scheduler.joinable()) s.scheduler.join();
+  // Every admitted promise is now fulfilled, but a reader that just received
+  // its future result may not have written the response yet.  Shut down only
+  // the read side: a reader parked in recv wakes with EOF and exits, while an
+  // in-flight response write still reaches the client.
+  std::vector<Impl::Conn> conns;
+  {
+    std::lock_guard<std::mutex> lock(s.conn_mutex);
+    for (Impl::Conn& conn : s.conns) ::shutdown(conn.fd, SHUT_RD);
+    conns.swap(s.conns);
+  }
+  for (Impl::Conn& conn : conns) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
+  }
+  ::close(s.listen_fd);
+  s.listen_fd = -1;
+  ::close(s.wake_fd[0]);
+  ::close(s.wake_fd[1]);
+  s.wake_fd[0] = s.wake_fd[1] = -1;
+  std::error_code ec;
+  std::filesystem::remove(s.config.socket_path, ec);
+  s.waited = true;
+}
+
+service::ArtifactCache& Server::cache() noexcept { return *impl_->cache; }
+
+std::uint64_t Server::connections_accepted() const noexcept {
+  return impl_->accepted.load();
+}
+std::uint64_t Server::requests_served() const noexcept {
+  return impl_->served.load();
+}
+std::uint64_t Server::batches_run() const noexcept {
+  return impl_->batches.load();
+}
+std::uint64_t Server::busy_rejections() const noexcept {
+  return impl_->busy.load();
+}
+std::uint64_t Server::protocol_errors() const noexcept {
+  return impl_->proto_errors.load();
+}
+
+}  // namespace swapp::server

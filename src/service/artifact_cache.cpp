@@ -1,10 +1,12 @@
 #include "service/artifact_cache.h"
 
+#include <algorithm>
 #include <exception>
 #include <list>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "io/persist.h"
 #include "io/record.h"
@@ -130,6 +132,7 @@ void touch(Store<T>& store, std::uint64_t key) {
 
 struct ArtifactCache::Impl {
   std::size_t capacity = 16;
+  std::uintmax_t max_disk_bytes = 0;  ///< 0 = unbounded disk tier
   mutable std::mutex mutex;
   CacheStats stats;
 
@@ -157,6 +160,55 @@ struct ArtifactCache::Impl {
     if (!obs::metrics_enabled()) return;
     obs::Histogram("cache.lookup_us." + store.kind)
         .observe(obs::trace_now_us() - started_us);
+  }
+
+  /// Removes oldest-mtime `.swapp` files until the directory fits
+  /// `max_disk_bytes` again, sparing `just_written` (the newest entry; a
+  /// single over-cap artifact must still persist to be useful).  Runs
+  /// unlocked — concurrent writers may race to remove the same victim, so
+  /// only files that actually disappeared are counted.  Returns the number
+  /// of evicted files.
+  std::size_t enforce_disk_cap(const std::filesystem::path& dir,
+                               const std::filesystem::path& just_written)
+      const {
+    if (max_disk_bytes == 0) return 0;
+    struct DiskFile {
+      std::filesystem::path path;
+      std::filesystem::file_time_type mtime;
+      std::uintmax_t size = 0;
+    };
+    std::vector<DiskFile> files;
+    std::uintmax_t total = 0;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.path().extension() != ".swapp") continue;
+      DiskFile f;
+      f.path = entry.path();
+      f.size = std::filesystem::file_size(f.path, ec);
+      if (ec) continue;
+      f.mtime = std::filesystem::last_write_time(f.path, ec);
+      if (ec) continue;
+      total += f.size;
+      files.push_back(std::move(f));
+    }
+    if (total <= max_disk_bytes) return 0;
+    // Oldest first; ties broken by path so concurrent enforcers agree on
+    // the victim order.
+    std::sort(files.begin(), files.end(),
+              [](const DiskFile& a, const DiskFile& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    std::size_t evicted = 0;
+    for (const DiskFile& f : files) {
+      if (total <= max_disk_bytes) break;
+      if (f.path == just_written) continue;
+      if (std::filesystem::remove(f.path, ec) && !ec) {
+        total -= f.size;
+        ++evicted;
+      }
+    }
+    return evicted;
   }
 
   template <typename T>
@@ -200,6 +252,7 @@ struct ArtifactCache::Impl {
         }
       }
     }
+    std::size_t disk_evicted = 0;
     if (!value) {
       value = std::make_shared<const T>(make());
       if (on_disk) {
@@ -212,6 +265,7 @@ struct ArtifactCache::Impl {
         try {
           store.save(tmp, *value);
           std::filesystem::rename(tmp, file);
+          disk_evicted = enforce_disk_cap(dir, file);
         } catch (const std::exception&) {
           std::filesystem::remove(tmp, ec);  // cache write is best-effort
         }
@@ -219,6 +273,10 @@ struct ArtifactCache::Impl {
     }
 
     std::lock_guard<std::mutex> lock(mutex);
+    if (disk_evicted > 0) {
+      stats.disk_evictions += disk_evicted;
+      SWAPP_COUNT("cache.disk_evictions", disk_evicted);
+    }
     if (corrupt) {
       ++stats.corrupt_files;
       SWAPP_COUNT("cache.corrupt_files", 1);
@@ -246,10 +304,12 @@ struct ArtifactCache::Impl {
 };
 
 ArtifactCache::ArtifactCache(std::filesystem::path cache_dir,
-                             std::size_t capacity_per_kind)
+                             std::size_t capacity_per_kind,
+                             std::uintmax_t max_disk_bytes)
     : cache_dir_(std::move(cache_dir)), impl_(std::make_unique<Impl>()) {
   SWAPP_REQUIRE(capacity_per_kind >= 1, "cache capacity must be >= 1");
   impl_->capacity = capacity_per_kind;
+  impl_->max_disk_bytes = max_disk_bytes;
 }
 
 ArtifactCache::~ArtifactCache() = default;

@@ -43,6 +43,7 @@ struct CacheStats {
   std::size_t misses = 0;      ///< computed fresh (includes disk misses)
   std::size_t evictions = 0;   ///< memory-tier LRU evictions
   std::size_t corrupt_files = 0;  ///< disk entries rejected and recomputed
+  std::size_t disk_evictions = 0;  ///< files removed to honour the byte cap
 };
 
 /// 64-bit FNV-1a over a canonical input description.
@@ -70,9 +71,13 @@ class ArtifactCache {
  public:
   /// `cache_dir` empty disables the disk tier; otherwise the directory is
   /// created on first save.  `capacity_per_kind` bounds each kind's memory
-  /// tier (LRU beyond it).
+  /// tier (LRU beyond it).  `max_disk_bytes` (0 = unbounded) caps the disk
+  /// tier: after every save, oldest-mtime `.swapp` files are removed until
+  /// the directory fits the cap again (the just-written file is never the
+  /// victim, so a single artifact larger than the cap still persists).
   explicit ArtifactCache(std::filesystem::path cache_dir = {},
-                         std::size_t capacity_per_kind = 16);
+                         std::size_t capacity_per_kind = 16,
+                         std::uintmax_t max_disk_bytes = 0);
   ~ArtifactCache();
 
   ArtifactCache(const ArtifactCache&) = delete;

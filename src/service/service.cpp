@@ -24,7 +24,11 @@ ProjectionService::ProjectionService(machine::Machine base,
     : base_(std::move(base)),
       targets_(std::move(targets)),
       config_(std::move(config)),
-      cache_(config_.cache_dir, config_.cache_capacity),
+      cache_(config_.shared_cache
+                 ? config_.shared_cache
+                 : std::make_shared<ArtifactCache>(
+                       config_.cache_dir, config_.cache_capacity,
+                       config_.cache_dir_max_bytes)),
       collect_imb_([](const machine::Machine& m) {
         return imb::measure_database(m);
       }) {
@@ -92,7 +96,7 @@ ProjectionService::BatchReport ProjectionService::run(
   {
     SWAPP_SPAN("service.spec_library");
     ArtifactSource source = ArtifactSource::kComputed;
-    spec = cache_.spec_library(
+    spec = cache_->spec_library(
         describe_spec_inputs(base_, targets_, task_counts),
         [&] { return collect_spec_(base_, targets_, task_counts); }, &source);
     report.artifacts.push_back(ArtifactNote{"spec library", source});
@@ -114,7 +118,7 @@ ProjectionService::BatchReport ProjectionService::run(
     SWAPP_SPAN("service.imb_databases");
     imb_dbs = parallel_map(machines, [&](const machine::Machine* m) {
       ImbGet got;
-      got.db = cache_.imb_database(
+      got.db = cache_->imb_database(
           describe_imb_inputs(*m, imb::default_core_counts(),
                               imb::default_message_sizes()),
           [&] { return collect_imb_(*m); }, &got.source);
@@ -144,7 +148,7 @@ ProjectionService::BatchReport ProjectionService::run(
         got.source = ArtifactSource::kMemory;
         return got;
       }
-      got.data = cache_.app_data(entry.canonical, entry.collect,
+      got.data = cache_->app_data(entry.canonical, entry.collect,
                                  &got.source);
       return got;
     });
@@ -175,7 +179,35 @@ ProjectionService::BatchReport ProjectionService::run(
   }
   report.results = projector.project_many(engine_requests);
   end_phase("projection");
-  report.cache = cache_.stats();
+  report.cache = cache_->stats();
+  // Surface the phase breakdown in the metrics snapshot ("service.phase_s.
+  // <phase>" gauges), so machine-readable exports (--metrics, the server's
+  // response protocol) carry per-phase wall-clock without parsing stderr.
+  if (obs::metrics_enabled()) {
+    for (const PhaseTime& p : report.phases) {
+      obs::Gauge("service.phase_s." + p.phase).set(p.seconds);
+    }
+  }
+  return report;
+}
+
+ProjectionService::CoalescedReport ProjectionService::run_coalesced(
+    const std::vector<std::vector<ServiceRequest>>& batches) {
+  SWAPP_SPAN("service.run_coalesced");
+  std::vector<ServiceRequest> combined;
+  for (const std::vector<ServiceRequest>& batch : batches) {
+    combined.insert(combined.end(), batch.begin(), batch.end());
+  }
+  CoalescedReport report;
+  report.combined = run(combined);
+  std::size_t next = 0;
+  for (const std::vector<ServiceRequest>& batch : batches) {
+    report.slices.emplace_back(
+        report.combined.results.begin() + static_cast<std::ptrdiff_t>(next),
+        report.combined.results.begin() +
+            static_cast<std::ptrdiff_t>(next + batch.size()));
+    next += batch.size();
+  }
   return report;
 }
 

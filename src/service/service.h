@@ -33,6 +33,14 @@ struct ServiceConfig {
   /// Artifact cache directory; empty keeps the cache in memory only.
   std::filesystem::path cache_dir;
   std::size_t cache_capacity = 16;
+  /// Byte cap for the disk tier (0 = unbounded); see ArtifactCache.
+  std::uintmax_t cache_dir_max_bytes = 0;
+  /// When set, the service records into this cache instead of owning one
+  /// (the cache_* fields above are then ignored).  A long-running owner —
+  /// the projection server — shares one resident cache across the
+  /// short-lived services it builds per coalesced batch, making that owner
+  /// the single process touching the cache directory.
+  std::shared_ptr<ArtifactCache> shared_cache;
   /// Task-count grid for the SPEC library; empty derives the grid from each
   /// batch's requests.  Fixing it keeps the library artifact shared across
   /// batches with different request mixes.
@@ -104,7 +112,19 @@ class ProjectionService {
   /// naming unregistered apps or unconfigured targets.
   BatchReport run(const std::vector<ServiceRequest>& requests);
 
-  ArtifactCache& cache() noexcept { return cache_; }
+  /// Several independent batches planned and executed as one run, so the
+  /// planner's dedup (shared spec indexes, shared GA searches) works across
+  /// them — the server's coalescing entry point, where each slice is one
+  /// client's batch.
+  struct CoalescedReport {
+    BatchReport combined;  ///< the one planned run over every slice
+    /// slices[i] holds the results for batches[i], in that batch's order.
+    std::vector<std::vector<core::ProjectionResult>> slices;
+  };
+  CoalescedReport run_coalesced(
+      const std::vector<std::vector<ServiceRequest>>& batches);
+
+  ArtifactCache& cache() noexcept { return *cache_; }
   const machine::Machine& base() const noexcept { return base_; }
 
  private:
@@ -118,7 +138,7 @@ class ProjectionService {
   std::vector<machine::Machine> targets_;
   std::map<std::string, machine::Machine> targets_by_name_;
   ServiceConfig config_;
-  ArtifactCache cache_;
+  std::shared_ptr<ArtifactCache> cache_;
   SpecCollector collect_spec_;
   ImbCollector collect_imb_;
   std::map<std::string, AppEntry> apps_;

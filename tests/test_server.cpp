@@ -1,0 +1,524 @@
+// Tests for the projection server: flag parsing, frame round-trips over a
+// socketpair (truncation, oversize, garbage payloads), and a live server —
+// admission backpressure, error containment on a shared connection,
+// cross-client coalescing (one planned run, deduplicated GA searches), and
+// graceful shutdown that drains in-flight work.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "experiments/lab.h"
+#include "imb/suite.h"
+#include "machine/machine.h"
+#include "nas/nas_app.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/options.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "service/batch_format.h"
+#include "service/service.h"
+#include "support/error.h"
+
+namespace swapp {
+namespace {
+
+using experiments::collect_base_data;
+using experiments::collect_spec_library;
+
+const std::vector<int> kCounts = {8, 16, 32};
+const std::vector<Bytes> kSizes = {512, 16_KiB, 256_KiB};
+
+// --- options ---------------------------------------------------------------
+
+TEST(ServerOptionsTest, QueueDepthAcceptsPositiveIntegers) {
+  EXPECT_EQ(server::parse_queue_depth("1"), 1u);
+  EXPECT_EQ(server::parse_queue_depth("64"), 64u);
+}
+
+TEST(ServerOptionsTest, QueueDepthRejectsWithOffendingTextQuoted) {
+  for (const std::string bad : {"0", "-3", "abc", "12x", "", "4.5"}) {
+    try {
+      server::parse_queue_depth(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + bad + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ServerOptionsTest, ByteSizeAcceptsSuffixes) {
+  EXPECT_EQ(server::parse_byte_size("512"), 512u);
+  EXPECT_EQ(server::parse_byte_size("64k"), 64u * 1024);
+  EXPECT_EQ(server::parse_byte_size("2M"), 2u * 1024 * 1024);
+  EXPECT_EQ(server::parse_byte_size("1g"), 1024ull * 1024 * 1024);
+}
+
+TEST(ServerOptionsTest, ByteSizeRejectsWithOffendingTextQuoted) {
+  for (const std::string bad : {"0", "-1", "k", "10t", "", "1.5m"}) {
+    try {
+      server::parse_byte_size(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + bad + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ServerOptionsTest, SocketPathRejectsEmptyAndOverlong) {
+  EXPECT_EQ(server::parse_socket_path("/tmp/x.sock"),
+            std::filesystem::path("/tmp/x.sock"));
+  EXPECT_THROW(server::parse_socket_path(""), InvalidArgument);
+  const std::string longpath(server::kMaxSocketPath + 1, 'a');
+  try {
+    server::parse_socket_path(longpath);
+    FAIL() << "accepted an overlong path";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(longpath), std::string::npos);
+  }
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// A connected AF_UNIX socket pair for driving frames without a server.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  void close_writer() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(ProtocolTest, FrameRoundTripsIncludingEmptyPayload) {
+  SocketPair pair;
+  for (const std::string payload : {std::string("hello frames"),
+                                    std::string(), std::string(5000, 'x')}) {
+    server::write_frame(pair.fds[0], payload);
+    const server::Frame frame = server::read_frame(pair.fds[1], 1 << 20);
+    ASSERT_EQ(frame.status, server::FrameStatus::kOk);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(ProtocolTest, CleanCloseReadsAsEof) {
+  SocketPair pair;
+  pair.close_writer();
+  EXPECT_EQ(server::read_frame(pair.fds[1], 1024).status,
+            server::FrameStatus::kEof);
+}
+
+TEST(ProtocolTest, MidHeaderCloseReadsAsTruncated) {
+  SocketPair pair;
+  const char partial[2] = {0, 0};
+  ASSERT_EQ(::send(pair.fds[0], partial, sizeof partial, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof partial));
+  pair.close_writer();
+  EXPECT_EQ(server::read_frame(pair.fds[1], 1024).status,
+            server::FrameStatus::kTruncated);
+}
+
+TEST(ProtocolTest, MidPayloadCloseReadsAsTruncated) {
+  SocketPair pair;
+  const unsigned char header[4] = {0, 0, 0, 100};  // announces 100 bytes
+  ASSERT_EQ(::send(pair.fds[0], header, sizeof header, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof header));
+  ASSERT_EQ(::send(pair.fds[0], "short", 5, MSG_NOSIGNAL), 5);
+  pair.close_writer();
+  EXPECT_EQ(server::read_frame(pair.fds[1], 1024).status,
+            server::FrameStatus::kTruncated);
+}
+
+TEST(ProtocolTest, OversizedFrameIsDrainedAndNextFrameReadable) {
+  SocketPair pair;
+  server::write_frame(pair.fds[0], std::string(2048, 'z'));
+  server::write_frame(pair.fds[0], "after");
+  const server::Frame big = server::read_frame(pair.fds[1], 1024);
+  EXPECT_EQ(big.status, server::FrameStatus::kOversized);
+  const server::Frame next = server::read_frame(pair.fds[1], 1024);
+  ASSERT_EQ(next.status, server::FrameStatus::kOk);
+  EXPECT_EQ(next.payload, "after");
+}
+
+TEST(ProtocolTest, ResponseDocumentRoundTrips) {
+  server::Response response;
+  response.ok = true;
+  response.results.push_back(
+      server::ResultRow{"LU/C", "IBM POWER6 575", 16, 1.25, 0.5, 1.75});
+  response.phases.push_back(server::PhaseRow{"plan", 0.001});
+  response.artifacts.push_back(server::ArtifactRow{"spec-library", "disk"});
+  const server::Response back =
+      server::decode_response(server::encode_response(response));
+  ASSERT_TRUE(back.ok);
+  ASSERT_EQ(back.results.size(), 1u);
+  EXPECT_EQ(back.results[0].app, "LU/C");
+  EXPECT_EQ(back.results[0].tasks, 16);
+  EXPECT_EQ(back.results[0].compute_s, 1.25);  // exact double round-trip
+  EXPECT_EQ(back.results[0].total_s, 1.75);
+  ASSERT_EQ(back.phases.size(), 1u);
+  EXPECT_EQ(back.phases[0].phase, "plan");
+  ASSERT_EQ(back.artifacts.size(), 1u);
+  EXPECT_EQ(back.artifacts[0].source, "disk");
+}
+
+TEST(ProtocolTest, ErrorDocumentRoundTrips) {
+  const server::Response back = server::decode_response(server::encode_response(
+      server::Response::failure(server::ErrorCode::kBusy, "queue full")));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, server::ErrorCode::kBusy);
+  EXPECT_EQ(back.message, "queue full");
+}
+
+TEST(ProtocolTest, GarbageResponseThrows) {
+  EXPECT_THROW(server::decode_response("not a record document"), Error);
+}
+
+// --- live server -----------------------------------------------------------
+
+/// Polls `done` for up to five seconds.
+template <typename Predicate>
+bool eventually(Predicate done) {
+  for (int i = 0; i < 500; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+/// Live-server fixture: one cache directory per suite, so the first test
+/// collects the (small-grid) artifacts cold and every later test runs warm
+/// through each server's resident cache over the same directory — which also
+/// exercises the cache sharing the daemon exists for.
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("swapp-server-test-" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed())));
+    std::filesystem::remove_all(*dir_);
+    std::filesystem::create_directories(*dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  /// Cheap per-batch service setup: small measurement grids, LU/C only.
+  static server::Server::ServiceSetup cheap_setup() {
+    const machine::Machine base = machine::make_power5_hydra();
+    return [base](service::ProjectionService& svc,
+                  const std::vector<service::BatchRow>& rows) {
+      (void)rows;
+      svc.set_spec_collector(
+          [](const machine::Machine& b,
+             const std::vector<machine::Machine>& t,
+             const std::vector<int>& counts) {
+            return collect_spec_library(b, t, counts);
+          });
+      svc.set_imb_collector([](const machine::Machine& m) {
+        return imb::measure_database(m, kCounts, kSizes);
+      });
+      svc.add_app("LU/C",
+                  service::describe_app_inputs("LU-MZ.C", base, 1, {4, 8, 16},
+                                               {4, 8, 16}),
+                  [base] {
+                    return collect_base_data(
+                        nas::NasApp(nas::Benchmark::kLU,
+                                    nas::ProblemClass::kC),
+                        base, {4, 8, 16}, {4, 8, 16});
+                  });
+    };
+  }
+
+  static std::string only_lu(const service::BatchRow& row) {
+    if (row.app != "LU/C") {
+      return "this server only serves LU/C, got " + row.app;
+    }
+    return {};
+  }
+
+  static server::ServerConfig config(const std::string& socket_name) {
+    server::ServerConfig cfg;
+    cfg.socket_path = *dir_ / socket_name;
+    cfg.service.cache_dir = *dir_ / "cache";
+    // Fixed SPEC grid: every batch mix shares one library artifact.
+    cfg.service.spec_task_counts = {4, 8, 16};
+    return cfg;
+  }
+
+  static std::string lu_request(int tasks, int reference) {
+    service::BatchRow row;
+    row.app = "LU/C";
+    row.target = machine::make_power6_575().name;
+    row.tasks = tasks;
+    row.reference = reference;
+    std::ostringstream payload;
+    service::write_batch_requests(payload, {row});
+    return payload.str();
+  }
+
+  static std::filesystem::path* dir_;
+};
+
+std::filesystem::path* ServerTest::dir_ = nullptr;
+
+TEST_F(ServerTest, ServesARequestAndDrainsOnStop) {
+  server::Server srv(machine::make_power5_hydra(), config("round.sock"),
+                     cheap_setup(), &only_lu);
+  srv.start();
+  {
+    server::Client client(*dir_ / "round.sock");
+    const server::Response response = client.call(lu_request(8, 16));
+    ASSERT_TRUE(response.ok) << response.message;
+    ASSERT_EQ(response.results.size(), 1u);
+    // Results carry the profile's app name, exactly as `swapp batch` prints.
+    EXPECT_EQ(response.results[0].app, "LU-MZ.C");
+    EXPECT_EQ(response.results[0].tasks, 8);
+    EXPECT_GT(response.results[0].total_s, 0.0);
+    EXPECT_FALSE(response.phases.empty());
+    EXPECT_FALSE(response.artifacts.empty());
+  }
+  srv.request_stop();
+  srv.wait();
+  EXPECT_EQ(srv.requests_served(), 1u);
+  EXPECT_EQ(srv.batches_run(), 1u);
+  EXPECT_EQ(srv.connections_accepted(), 1u);
+  // The socket file is gone after a graceful exit.
+  EXPECT_FALSE(std::filesystem::exists(*dir_ / "round.sock"));
+}
+
+TEST_F(ServerTest, GarbagePayloadGetsTypedErrorAndConnectionSurvives) {
+  server::Server srv(machine::make_power5_hydra(), config("bad.sock"),
+                     cheap_setup(), &only_lu);
+  srv.start();
+  {
+    server::Client client(*dir_ / "bad.sock");
+    const server::Response bad = client.call("definitely not a record doc");
+    ASSERT_FALSE(bad.ok);
+    EXPECT_EQ(bad.error, server::ErrorCode::kBadRequest);
+
+    // Same connection, unknown target: still a typed rejection.
+    service::BatchRow row;
+    row.app = "LU/C";
+    row.target = "No Such Machine";
+    row.tasks = 8;
+    std::ostringstream payload;
+    service::write_batch_requests(payload, {row});
+    const server::Response unknown = client.call(payload.str());
+    ASSERT_FALSE(unknown.ok);
+    EXPECT_EQ(unknown.error, server::ErrorCode::kBadRequest);
+    EXPECT_NE(unknown.message.find("No Such Machine"), std::string::npos);
+
+    // A validator rejection quotes its own message.
+    service::BatchRow sp = row;
+    sp.app = "SP/C";
+    sp.target = machine::make_power6_575().name;
+    std::ostringstream payload2;
+    service::write_batch_requests(payload2, {sp});
+    const server::Response refused = client.call(payload2.str());
+    ASSERT_FALSE(refused.ok);
+    EXPECT_EQ(refused.error, server::ErrorCode::kBadRequest);
+    EXPECT_NE(refused.message.find("only serves LU/C"), std::string::npos);
+
+    // And after all of that the connection still serves real work.
+    const server::Response good = client.call(lu_request(8, 16));
+    EXPECT_TRUE(good.ok) << good.message;
+  }
+  EXPECT_GE(srv.protocol_errors(), 3u);
+  srv.request_stop();
+  srv.wait();
+}
+
+TEST_F(ServerTest, OversizedFrameGetsTypedErrorAndConnectionSurvives) {
+  server::ServerConfig cfg = config("oversize.sock");
+  cfg.max_request_bytes = 4096;
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+  const int fd = server::connect_unix(cfg.socket_path);
+  server::write_frame(fd, std::string(10000, 'x'));
+  const server::Frame reply = server::read_frame(fd, 1 << 20);
+  ASSERT_EQ(reply.status, server::FrameStatus::kOk);
+  const server::Response response = server::decode_response(reply.payload);
+  ASSERT_FALSE(response.ok);
+  EXPECT_EQ(response.error, server::ErrorCode::kOversized);
+
+  server::write_frame(fd, lu_request(8, 16));
+  const server::Frame reply2 = server::read_frame(fd, 1 << 20);
+  ASSERT_EQ(reply2.status, server::FrameStatus::kOk);
+  EXPECT_TRUE(server::decode_response(reply2.payload).ok);
+  ::close(fd);
+  srv.request_stop();
+  srv.wait();
+}
+
+TEST_F(ServerTest, TruncatedFrameClosesConnectionButServerSurvives) {
+  server::Server srv(machine::make_power5_hydra(), config("trunc.sock"),
+                     cheap_setup(), &only_lu);
+  srv.start();
+  {
+    const int fd = server::connect_unix(*dir_ / "trunc.sock");
+    const unsigned char header[4] = {0, 0, 1, 0};  // announces 256 bytes
+    ASSERT_EQ(::send(fd, header, sizeof header, MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof header));
+    ::close(fd);  // vanish mid-frame
+  }
+  ASSERT_TRUE(eventually([&] { return srv.protocol_errors() >= 1; }));
+
+  // A fresh connection is served normally.
+  server::Client client(*dir_ / "trunc.sock");
+  EXPECT_TRUE(client.call(lu_request(8, 16)).ok);
+  srv.request_stop();
+  srv.wait();
+}
+
+TEST_F(ServerTest, FullQueueRejectsWithBusy) {
+  server::ServerConfig cfg = config("busy.sock");
+  cfg.max_queue = 1;
+  // The scheduler holds out for three queued batches (which never arrive),
+  // so the first admitted batch parks in the queue deterministically.
+  cfg.coalesce_min = 3;
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+
+  server::Response first;
+  std::thread admitted([&] {
+    server::Client client(cfg.socket_path);
+    first = client.call(lu_request(8, 16));
+  });
+  // Wait until that batch occupies the queue's only slot, then overflow it.
+  ASSERT_TRUE(eventually([&] { return srv.queue_depth() == 1; }));
+  {
+    server::Client overflow(cfg.socket_path);
+    const server::Response r = overflow.call(lu_request(16, 16));
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.error, server::ErrorCode::kBusy);
+    EXPECT_NE(r.message.find("retry"), std::string::npos);
+  }
+  EXPECT_EQ(srv.busy_rejections(), 1u);
+
+  // Shutdown drains the parked batch: its client still gets an answer.
+  srv.request_stop();
+  srv.wait();
+  admitted.join();
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_EQ(first.results.size(), 1u);
+}
+
+TEST_F(ServerTest, CoalescesConcurrentClientsIntoOnePlannedRun) {
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  server::ServerConfig cfg = config("coalesce.sock");
+  cfg.coalesce_min = 2;  // force the two clients into one run
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+
+  server::Response r1, r2;
+  std::thread a([&] {
+    server::Client client(cfg.socket_path);
+    r1 = client.call(lu_request(8, 16));
+  });
+  std::thread b([&] {
+    server::Client client(cfg.socket_path);
+    r2 = client.call(lu_request(16, 16));
+  });
+  a.join();
+  b.join();
+  srv.request_stop();
+  srv.wait();
+
+  ASSERT_TRUE(r1.ok) << r1.message;
+  ASSERT_TRUE(r2.ok) << r2.message;
+  ASSERT_EQ(r1.results.size(), 1u);
+  ASSERT_EQ(r2.results.size(), 1u);
+  EXPECT_EQ(r1.results[0].tasks, 8);
+  EXPECT_EQ(r2.results[0].tasks, 16);
+  // One coalesced run served both clients...
+  EXPECT_EQ(srv.batches_run(), 1u);
+  EXPECT_EQ(srv.requests_served(), 2u);
+  // ...and the planner deduplicated the shared GA search: both rows ask for
+  // the same (app, target) group at reference 16, so two naive searches
+  // collapse into one.
+  const obs::MetricsSnapshot snapshot = obs::metrics_snapshot();
+  const obs::CounterValue* searches = snapshot.counter("planner.searches");
+  const obs::CounterValue* naive = snapshot.counter("planner.naive_searches");
+  ASSERT_NE(searches, nullptr);
+  ASSERT_NE(naive, nullptr);
+  EXPECT_EQ(searches->value, 1u);
+  EXPECT_EQ(naive->value, 2u);
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+}
+
+TEST_F(ServerTest, DrainingServerAnswersShuttingDown) {
+  server::Server srv(machine::make_power5_hydra(), config("drain.sock"),
+                     cheap_setup(), &only_lu);
+  srv.start();
+  server::Client client(*dir_ / "drain.sock");
+  EXPECT_TRUE(client.call(lu_request(8, 16)).ok);
+
+  srv.request_stop();
+  ASSERT_TRUE(eventually([&] { return srv.draining(); }));
+  const server::Response refused = client.call(lu_request(16, 16));
+  ASSERT_FALSE(refused.ok);
+  EXPECT_EQ(refused.error, server::ErrorCode::kShuttingDown);
+  srv.wait();
+}
+
+TEST_F(ServerTest, LiveSocketIsRefusedStaleSocketIsReplaced) {
+  server::Server first(machine::make_power5_hydra(), config("twice.sock"),
+                       cheap_setup(), &only_lu);
+  first.start();
+  {
+    server::Server second(machine::make_power5_hydra(), config("twice.sock"),
+                          cheap_setup(), &only_lu);
+    EXPECT_THROW(second.start(), Error);
+  }
+  first.request_stop();
+  first.wait();
+
+  // A stale socket file (no listener behind it) is silently replaced.
+  { std::ofstream stale(*dir_ / "twice.sock"); }
+  server::Server third(machine::make_power5_hydra(), config("twice.sock"),
+                       cheap_setup(), &only_lu);
+  third.start();
+  server::Client client(*dir_ / "twice.sock");
+  EXPECT_TRUE(client.call(lu_request(8, 16)).ok);
+  third.request_stop();
+  third.wait();
+}
+
+TEST_F(ServerTest, ConstructorRejectsBadConfiguration) {
+  server::ServerConfig cfg = config("cfg.sock");
+  EXPECT_THROW(server::Server(machine::make_power5_hydra(), cfg, nullptr),
+               Error);
+  cfg.max_queue = 0;
+  EXPECT_THROW(server::Server(machine::make_power5_hydra(), cfg,
+                              cheap_setup()),
+               Error);
+}
+
+}  // namespace
+}  // namespace swapp

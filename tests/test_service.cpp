@@ -4,6 +4,7 @@
 // corruption fallback, eviction), and the request planner's dedup.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -307,6 +308,108 @@ TEST_F(CacheTest, EvictionKeepsLiveReferencesValid) {
   service::ArtifactSource source = service::ArtifactSource::kMemory;
   cache.spec_index("a", make(1), &source);
   EXPECT_EQ(source, service::ArtifactSource::kComputed);
+}
+
+TEST_F(CacheTest, DiskCapEvictsOldestFileAtWriteTime) {
+  const auto file_for = [this](const std::string& key) {
+    return dir_ /
+           ("imb-" + service::fingerprint_hex(service::fingerprint(key)) +
+            ".swapp");
+  };
+  // Learn the on-disk size of one artifact, then cap the tier so two fit
+  // but three do not.
+  std::uintmax_t one = 0;
+  {
+    service::ArtifactCache probe(dir_);
+    probe.imb_database("imb\nkey-a", &small_db);
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      one = std::filesystem::file_size(entry.path());
+    }
+  }
+  ASSERT_GT(one, 0u);
+  std::filesystem::remove_all(dir_);
+
+  service::ArtifactCache cache(dir_, /*capacity_per_kind=*/16,
+                               /*max_disk_bytes=*/2 * one + one / 2);
+  cache.imb_database("imb\nkey-a", &small_db);
+  // Pin the eviction order: "a" is unambiguously the oldest file.
+  std::filesystem::last_write_time(
+      file_for("imb\nkey-a"),
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(1));
+  cache.imb_database("imb\nkey-b", &small_db);
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);  // two files fit the cap
+
+  cache.imb_database("imb\nkey-c", &small_db);  // third save breaks the cap
+  EXPECT_EQ(cache.stats().disk_evictions, 1u);
+  EXPECT_FALSE(std::filesystem::exists(file_for("imb\nkey-a")));
+  EXPECT_TRUE(std::filesystem::exists(file_for("imb\nkey-b")));
+  EXPECT_TRUE(std::filesystem::exists(file_for("imb\nkey-c")));
+
+  // A survivor is still loadable from disk by a fresh cache.
+  service::ArtifactCache warm(dir_, 16, 2 * one + one / 2);
+  service::ArtifactSource source = service::ArtifactSource::kComputed;
+  warm.imb_database("imb\nkey-b", &small_db, &source);
+  EXPECT_EQ(source, service::ArtifactSource::kDisk);
+
+  // An artifact larger than the cap still persists: the file just written
+  // is never the eviction victim, only its elders are.
+  service::ArtifactCache tiny(dir_, 16, /*max_disk_bytes=*/1);
+  tiny.imb_database("imb\nkey-d", &small_db);
+  EXPECT_TRUE(std::filesystem::exists(file_for("imb\nkey-d")));
+  EXPECT_EQ(tiny.stats().disk_evictions, 2u);  // both elders ("b" and "c")
+}
+
+TEST_F(CacheTest, CoalescedRunMatchesIndependentRunsAndSharesSearches) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  const auto configure = [&](service::ProjectionService& svc) {
+    svc.set_spec_collector(
+        [](const machine::Machine& b,
+           const std::vector<machine::Machine>& t,
+           const std::vector<int>& counts) {
+          return collect_spec_library(b, t, counts);
+        });
+    svc.set_imb_collector([](const machine::Machine& m) {
+      return imb::measure_database(m, kCounts, kSizes);
+    });
+    svc.add_app("LU/C",
+                service::describe_app_inputs("LU-MZ.C", base, 1, {4, 8, 16},
+                                             {4, 8, 16}),
+                [base] {
+                  return collect_base_data(
+                      nas::NasApp(nas::Benchmark::kLU, nas::ProblemClass::kC),
+                      base, {4, 8, 16}, {4, 8, 16});
+                });
+  };
+  core::ProjectionOptions shared;
+  shared.compute.surrogate_reference_cores = 16;
+  const std::vector<std::vector<service::ServiceRequest>> batches = {
+      {{"LU/C", target.name, 8, 1, shared}, {"LU/C", target.name, 16, 1, shared}},
+      {{"LU/C", target.name, 4, 1, shared}},
+  };
+
+  service::ProjectionService svc(base, {target}, {});
+  configure(svc);
+  const auto coalesced = svc.run_coalesced(batches);
+  ASSERT_EQ(coalesced.slices.size(), 2u);
+  ASSERT_EQ(coalesced.slices[0].size(), 2u);
+  ASSERT_EQ(coalesced.slices[1].size(), 1u);
+  ASSERT_EQ(coalesced.combined.results.size(), 3u);
+  // One shared surrogate search covers all three requests; run separately
+  // the two batches would have searched twice (once each).
+  EXPECT_EQ(coalesced.combined.plan.searches, 1u);
+  EXPECT_EQ(coalesced.combined.plan.naive_searches, 3u);
+
+  // Each slice is byte-identical to running that batch on its own service.
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    service::ProjectionService lone(base, {target}, {});
+    configure(lone);
+    const auto report = lone.run(batches[b]);
+    ASSERT_EQ(report.results.size(), coalesced.slices[b].size());
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      expect_identical(report.results[i], coalesced.slices[b][i]);
+    }
+  }
 }
 
 TEST_F(CacheTest, ServiceWarmRunPerformsNoSimulation) {

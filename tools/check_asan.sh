@@ -4,7 +4,9 @@
 # cache-owned artifacts, parallel merges) are exercised for lifetime and
 # bounds errors.  The full ctest run includes the SoA GA engine tests
 # (test_ga_eval), whose SIMD kernels read pair-interleaved rows and sparse
-# nz lists — exactly the indexing ASan should be watching.
+# nz lists — exactly the indexing ASan should be watching — and the
+# projection server suite (test_server), where frame buffers, connection
+# registries, and promise/future handoffs live across thread boundaries.
 # Usage: tools/check_asan.sh [extra ctest args].
 set -euo pipefail
 

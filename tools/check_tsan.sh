@@ -4,7 +4,10 @@
 # exercised for data races.  The full ctest run includes the chunked
 # parallel_for coverage tests (test_parallel) and the SoA GA engine's
 # bit-identity tests (test_ga_eval) — the pool's chunked index claiming and
-# the engine's pre-main kernel dispatch must both stay TSan-clean.
+# the engine's pre-main kernel dispatch must both stay TSan-clean.  It also
+# runs the projection server suite (test_server): concurrent clients over a
+# Unix socket, admission-queue handoff between connection threads and the
+# scheduler, and graceful shutdown must all be race-free.
 # Usage: tools/check_tsan.sh [extra ctest args].
 set -euo pipefail
 

@@ -33,7 +33,11 @@ request "LU/C" "IBM POWER6 575" 16 1 16
 EOF
 "${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
   --trace "${WORK}/cold.trace" --metrics "${WORK}/cold.metrics" \
+  --out "${WORK}/cold.doc" \
   > "${WORK}/cold.out" 2> "${WORK}/cold.err"
+# The machine-readable result document carries per-phase wall clock.
+grep -q '^result ' "${WORK}/cold.doc"
+grep -q '^phase "projection"' "${WORK}/cold.doc"
 
 echo "== trace: valid Chrome JSON with nonzero spans =="
 python3 - "${WORK}/cold.trace" <<'EOF'
@@ -83,6 +87,36 @@ echo "== stats: snapshot pretty-prints and filters =="
 grep -q "cache.disk_hits" "${WORK}/stats.out"
 "${SWAPP}" stats --metrics "${WORK}/warm.metrics" --filter planner. \
   | grep -q "planner.requests"
+
+echo "== serve: daemon answers requests byte-identically to batch =="
+SOCK="${WORK}/swapp.sock"
+"${SWAPP}" serve --socket "${SOCK}" --cache-dir "${WORK}/serve-cache" \
+  --metrics "${WORK}/serve.metrics" 2> "${WORK}/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${SOCK}" ]] && break
+  sleep 0.1
+done
+[[ -S "${SOCK}" ]] || { echo "server socket never appeared" >&2; exit 1; }
+# Cold and warm served runs must both match the standalone batch table.
+"${SWAPP}" request --socket "${SOCK}" --requests "${WORK}/batch.req" \
+  > "${WORK}/served-cold.out" 2> "${WORK}/served-cold.err"
+diff -u "${WORK}/cold.out" "${WORK}/served-cold.out"
+"${SWAPP}" request --socket "${SOCK}" --requests "${WORK}/batch.req" \
+  --out "${WORK}/served.doc" \
+  > "${WORK}/served-warm.out" 2> "${WORK}/served-warm.err"
+diff -u "${WORK}/cold.out" "${WORK}/served-warm.out"
+# Result rows of the served document match the local batch document exactly
+# (phase timings legitimately differ between runs).
+diff -u <(grep '^result ' "${WORK}/cold.doc") \
+        <(grep '^result ' "${WORK}/served.doc")
+
+echo "== serve: SIGTERM drains gracefully and flushes metrics =="
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
+grep -q "served" "${WORK}/serve.err"
+test -s "${WORK}/serve.metrics"
+[[ ! -S "${SOCK}" ]] || { echo "socket file not removed on shutdown" >&2; exit 1; }
 
 echo "== one-shot project reuses the batch's cache =="
 "${SWAPP}" project --app LU --class C --tasks 16 \

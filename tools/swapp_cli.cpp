@@ -21,6 +21,10 @@
 //
 //   # batch: many projections, planned together (shared artifacts built once)
 //   swapp batch --requests batch.req --cache-dir .swapp-cache
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -39,6 +43,10 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/client.h"
+#include "server/options.h"
+#include "server/server.h"
+#include "service/batch_format.h"
 #include "service/service.h"
 #include "support/error.h"
 #include "support/obs_report.h"
@@ -62,7 +70,10 @@ commands:
   project       --target NAME --tasks N [--cache-dir DIR]
                 (--app NAME --class C|D [--threads N] |
                  --app-data FILE --spec FILE --base-imb FILE --target-imb FILE)
-  batch         --requests FILE [--cache-dir DIR]
+  batch         --requests FILE [--cache-dir DIR] [--out FILE]
+  serve         --socket PATH [--cache-dir DIR] [--cache-dir-max-bytes N[k|m|g]]
+                [--max-queue N] [--max-request-bytes N[k|m|g]]
+  request       --socket PATH --requests FILE [--out FILE]
   stats         --metrics FILE [--filter PREFIX]
 
 global options (before or after the command's own flags):
@@ -84,7 +95,19 @@ count and rescales it to every other count of the same app/target group.
 
 --cache-dir enables the content-addressed artifact cache: collected spec
 libraries, IMB databases, and app profiles are stored there and reused by
-later runs (a warm run performs no simulation).
+later runs (a warm run performs no simulation).  --cache-dir-max-bytes caps
+the disk tier; past the cap the oldest artifact files are evicted.
+
+`serve` runs a long-lived projection daemon on a Unix-domain socket; it owns
+the artifact cache and coalesces concurrently queued requests into one
+planned batch, so shared artifacts and GA surrogate searches are deduplicated
+across clients.  SIGINT/SIGTERM drain in-flight work before exiting.
+`request` sends a batch request file to a running server and prints the same
+table `swapp batch` would, byte for byte.
+
+--out (on batch and request) additionally writes the machine-readable
+"swapp-batch-result" document — result, phase, and artifact rows, the same
+format the server speaks on the wire.
 )";
   std::exit(2);
 }
@@ -307,70 +330,57 @@ int cmd_project(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_batch(const std::map<std::string, std::string>& flags) {
-  const machine::Machine base = machine::make_power5_hydra();
-
-  // --- parse the request file ---------------------------------------------
-  struct Row {
-    std::string app;
-    std::string target;
-    int tasks = 0;
-    int threads = 1;
-    int reference = 0;
-  };
-  const std::string requests_path = need(flags, "requests");
-  std::ifstream in(requests_path);
-  if (!in) usage("cannot open requests file: " + requests_path);
-  io::RecordReader reader(in, "swapp-batch", 1);
-  io::Record rec;
-  std::vector<Row> rows;
-  while (reader.next(rec)) {
-    if (rec.tag != "request") {
-      usage("unknown record in batch file: " + rec.tag);
+/// Checks one batch row's app shape without registering anything; returns an
+/// error message, or "" when the row is servable.  Shared between `batch`
+/// (where it turns into usage errors) and `serve` (where it is the
+/// admission-time RowValidator, run on connection threads — pure and
+/// thread-safe by construction).
+std::string validate_nas_row(const service::BatchRow& row) {
+  if (row.app.rfind("file:", 0) == 0) {
+    const std::filesystem::path path = row.app.substr(5);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return "app profile file not found: " + path.string();
     }
-    if (rec.fields.size() < 3) {
-      usage("request row needs: app, target, tasks");
-    }
-    Row row;
-    row.app = rec.str(0);
-    row.target = rec.str(1);
-    row.tasks = static_cast<int>(rec.integer(2));
-    if (rec.fields.size() > 3) row.threads = static_cast<int>(rec.integer(3));
-    if (rec.fields.size() > 4) {
-      row.reference = static_cast<int>(rec.integer(4));
-    }
-    rows.push_back(row);
+    return {};
   }
-  if (rows.empty()) usage("batch file has no requests");
-
-  // --- configure the service ----------------------------------------------
-  std::vector<machine::Machine> targets;
-  for (const Row& row : rows) {
-    bool known = false;
-    for (const machine::Machine& t : targets) known |= t.name == row.target;
-    if (!known) targets.push_back(machine::machine_by_name(row.target));
+  const auto slash = row.app.find('/');
+  if (slash == std::string::npos) {
+    return "app must be 'BT|SP|LU/C|D' or 'file:PATH': " + row.app;
   }
-  service::ServiceConfig config;
-  if (flags.count("cache-dir")) config.cache_dir = flags.at("cache-dir");
-  service::ProjectionService svc(base, targets, config);
-  svc.set_spec_collector(
-      [](const machine::Machine& b, const std::vector<machine::Machine>& t,
-         const std::vector<int>& counts) {
-        return experiments::collect_spec_library(b, t, counts);
-      });
+  const std::string bench = row.app.substr(0, slash);
+  if (bench != "BT" && bench != "SP" && bench != "LU") {
+    return "unknown app (use BT, SP, or LU): " + bench;
+  }
+  const std::string cls = row.app.substr(slash + 1);
+  if (cls != "C" && cls != "D") return "unknown class (use C or D): " + cls;
+  return {};
+}
 
-  for (const Row& row : rows) {
+/// Registers every app named by `rows` with the service — "file:PATH" rows
+/// load eagerly, NAS rows get a lazy profiling collector keyed for the
+/// artifact cache.  Shared between `batch` and the server's per-batch
+/// ServiceSetup, so both paths produce identical cache keys.  Throws
+/// InvalidArgument for unservable app shapes.
+void register_row_apps(service::ProjectionService& svc,
+                       const machine::Machine& base,
+                       const std::vector<service::BatchRow>& rows) {
+  for (const service::BatchRow& row : rows) {
     if (svc.has_app(row.app)) continue;
     if (row.app.rfind("file:", 0) == 0) {
       svc.add_app_file(row.app, row.app.substr(5));
       continue;
     }
+    const std::string message = validate_nas_row(row);
+    if (!message.empty()) throw swapp::InvalidArgument(message);
     const auto slash = row.app.find('/');
-    if (slash == std::string::npos) {
-      usage("app must be 'BT|SP|LU/C|D' or 'file:PATH': " + row.app);
-    }
-    const nas::Benchmark bench = benchmark_from(row.app.substr(0, slash));
-    const nas::ProblemClass cls = class_from(row.app.substr(slash + 1));
+    const std::string bench_name = row.app.substr(0, slash);
+    const nas::Benchmark bench = bench_name == "BT" ? nas::Benchmark::kBT
+                                 : bench_name == "SP" ? nas::Benchmark::kSP
+                                                      : nas::Benchmark::kLU;
+    const nas::ProblemClass cls = row.app.substr(slash + 1) == "C"
+                                      ? nas::ProblemClass::kC
+                                      : nas::ProblemClass::kD;
     const std::vector<int> counts =
         bench == nas::Benchmark::kLU ? std::vector<int>{4, 8, 16}
                                      : std::vector<int>{16, 32, 64, 128};
@@ -380,19 +390,96 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
                                              base, threads, counts, counts),
                 [=] { return profile_app(bench, cls, threads, counts); });
   }
+}
+
+void install_spec_collector(service::ProjectionService& svc) {
+  svc.set_spec_collector(
+      [](const machine::Machine& b, const std::vector<machine::Machine>& t,
+         const std::vector<int>& counts) {
+        return experiments::collect_spec_library(b, t, counts);
+      });
+}
+
+/// One row of the batch result table, decoupled from where the numbers came
+/// from (a local BatchReport or a decoded server response).
+struct BatchTableRow {
+  std::string app;
+  std::string target;
+  int tasks = 0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total_s = 0.0;
+};
+
+/// Renders the batch result table to stdout.  `batch` and `request` both
+/// call this, and record doubles round-trip exactly, so their stdout is
+/// byte-identical for the same requests.
+void print_batch_table(const std::vector<BatchTableRow>& rows) {
+  TextTable table({"App", "Target", "Tasks", "Compute s", "Comm s",
+                   "Total s"});
+  table.set_title("Batch projections (" + std::to_string(rows.size()) +
+                  " requests)");
+  for (const BatchTableRow& r : rows) {
+    table.add_row({r.app, r.target, std::to_string(r.tasks),
+                   TextTable::num(r.compute_s, 3),
+                   TextTable::num(r.comm_s, 3),
+                   TextTable::num(r.total_s, 3)});
+  }
+  table.print(std::cout);
+}
+
+/// Writes the machine-readable "swapp-batch-result" document — result,
+/// phase, and artifact rows, exactly the payload a server would answer
+/// with — so downstream tooling parses one format whether the run was
+/// local (`batch --out`) or served (`request --out`).
+void write_result_document(const std::string& path,
+                           const server::Response& response) {
+  std::ofstream out(path);
+  if (!out) usage("cannot open output file: " + path);
+  out << server::encode_response(response);
+  std::cerr << "wrote " << path << "\n";
+}
+
+std::vector<service::BatchRow> read_batch_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage("cannot open requests file: " + path);
+  try {
+    return service::read_batch_requests(in);
+  } catch (const swapp::Error& e) {
+    usage(e.what());
+  }
+}
+
+int cmd_batch(const std::map<std::string, std::string>& flags) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const std::vector<service::BatchRow> rows =
+      read_batch_file(need(flags, "requests"));
+
+  // --- configure the service ----------------------------------------------
+  std::vector<machine::Machine> targets;
+  for (const service::BatchRow& row : rows) {
+    bool known = false;
+    for (const machine::Machine& t : targets) known |= t.name == row.target;
+    if (!known) targets.push_back(machine::machine_by_name(row.target));
+  }
+  service::ServiceConfig config;
+  if (flags.count("cache-dir")) config.cache_dir = flags.at("cache-dir");
+  if (flags.count("cache-dir-max-bytes")) {
+    config.cache_dir_max_bytes =
+        server::parse_byte_size(flags.at("cache-dir-max-bytes"));
+  }
+  service::ProjectionService svc(base, targets, config);
+  install_spec_collector(svc);
+  try {
+    register_row_apps(svc, base, rows);
+  } catch (const swapp::Error& e) {
+    usage(e.what());
+  }
 
   std::vector<service::ServiceRequest> requests;
   requests.reserve(rows.size());
-  for (const Row& row : rows) {
-    service::ServiceRequest q;
-    q.app = row.app;
-    q.target = row.target;
-    q.cores = row.tasks;
-    q.threads = row.threads;
-    if (row.reference > 0) {
-      q.options.compute.surrogate_reference_cores = row.reference;
-    }
-    requests.push_back(q);
+  for (const service::BatchRow& row : rows) {
+    requests.push_back(service::to_service_request(row));
   }
 
   // --- run -----------------------------------------------------------------
@@ -416,17 +503,131 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
   std::cerr << "\n";
   if (report.warm()) std::cerr << "warm batch: no simulation performed\n";
 
-  TextTable table({"App", "Target", "Tasks", "Compute s", "Comm s",
-                   "Total s"});
-  table.set_title("Batch projections (" +
-                  std::to_string(report.results.size()) + " requests)");
-  for (const core::ProjectionResult& r : report.results) {
-    table.add_row({r.app, r.target, std::to_string(r.cores),
-                   TextTable::num(r.compute.target_compute, 3),
-                   TextTable::num(r.comm.target_total(), 3),
-                   TextTable::num(r.total_target(), 3)});
+  if (flags.count("out")) {
+    server::Response document;
+    document.ok = true;
+    for (const core::ProjectionResult& r : report.results) {
+      document.results.push_back(server::ResultRow{
+          r.app, r.target, r.cores, r.compute.target_compute,
+          r.comm.target_total(), r.total_target()});
+    }
+    for (const service::ProjectionService::PhaseTime& p : report.phases) {
+      document.phases.push_back(server::PhaseRow{p.phase, p.seconds});
+    }
+    for (const service::ProjectionService::ArtifactNote& note :
+         report.artifacts) {
+      document.artifacts.push_back(
+          server::ArtifactRow{note.name, to_string(note.source)});
+    }
+    write_result_document(flags.at("out"), document);
   }
-  table.print(std::cout);
+
+  std::vector<BatchTableRow> table_rows;
+  for (const core::ProjectionResult& r : report.results) {
+    table_rows.push_back(BatchTableRow{r.app, r.target, r.cores,
+                                       r.compute.target_compute,
+                                       r.comm.target_total(),
+                                       r.total_target()});
+  }
+  print_batch_table(table_rows);
+  return 0;
+}
+
+// --- serve / request --------------------------------------------------------
+
+/// Written by cmd_serve before installing the signal handlers; the handler
+/// only does an async-signal-safe write to it.
+int g_shutdown_fd = -1;
+
+void handle_shutdown_signal(int) {
+  if (g_shutdown_fd < 0) return;
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t rc = ::write(g_shutdown_fd, &byte, 1);
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const machine::Machine base = machine::make_power5_hydra();
+  server::ServerConfig config;
+  config.socket_path = server::parse_socket_path(need(flags, "socket"));
+  if (flags.count("cache-dir")) {
+    config.service.cache_dir = flags.at("cache-dir");
+  }
+  if (flags.count("cache-dir-max-bytes")) {
+    config.service.cache_dir_max_bytes =
+        server::parse_byte_size(flags.at("cache-dir-max-bytes"));
+  }
+  if (flags.count("max-queue")) {
+    config.max_queue = server::parse_queue_depth(flags.at("max-queue"));
+  }
+  if (flags.count("max-request-bytes")) {
+    config.max_request_bytes = static_cast<std::size_t>(
+        server::parse_byte_size(flags.at("max-request-bytes")));
+  }
+
+  server::Server srv(
+      base, config,
+      [base](service::ProjectionService& svc,
+             const std::vector<service::BatchRow>& rows) {
+        install_spec_collector(svc);
+        register_row_apps(svc, base, rows);
+      },
+      [](const service::BatchRow& row) { return validate_nas_row(row); });
+  srv.start();
+
+  g_shutdown_fd = srv.shutdown_fd();
+  struct sigaction action = {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::cerr << "serving on " << config.socket_path.string() << " (queue depth "
+            << config.max_queue << ")\n";
+  srv.wait();
+  g_shutdown_fd = -1;
+  std::cerr << "served " << srv.requests_served() << " requests in "
+            << srv.batches_run() << " batches over "
+            << srv.connections_accepted() << " connections ("
+            << srv.busy_rejections() << " busy, " << srv.protocol_errors()
+            << " protocol errors)\n";
+  return 0;
+}
+
+int cmd_request(const std::map<std::string, std::string>& flags) {
+  const std::vector<service::BatchRow> rows =
+      read_batch_file(need(flags, "requests"));
+  // Re-encode rather than forwarding the file verbatim: the wire payload is
+  // then always the canonical five-field document, whatever the file used.
+  std::ostringstream payload;
+  service::write_batch_requests(payload, rows);
+
+  server::Client client(need(flags, "socket"));
+  const server::Response response = client.call(payload.str());
+  if (!response.ok) {
+    std::cerr << "error: server " << server::to_string(response.error) << ": "
+              << response.message << "\n";
+    return 1;
+  }
+
+  for (const server::ArtifactRow& a : response.artifacts) {
+    std::cerr << a.name << ": " << a.source << "\n";
+  }
+  std::cerr << "phases:";
+  for (const server::PhaseRow& p : response.phases) {
+    std::cerr << ' ' << p.phase << '=' << TextTable::num(p.seconds, 3) << 's';
+  }
+  std::cerr << "\n";
+
+  // Record doubles round-trip exactly, so re-encoding the decoded response
+  // reproduces the server's result rows byte for byte.
+  if (flags.count("out")) write_result_document(flags.at("out"), response);
+
+  std::vector<BatchTableRow> table_rows;
+  for (const server::ResultRow& r : response.results) {
+    table_rows.push_back(BatchTableRow{r.app, r.target, r.tasks, r.compute_s,
+                                       r.comm_s, r.total_s});
+  }
+  print_batch_table(table_rows);
   return 0;
 }
 
@@ -446,6 +647,8 @@ int dispatch(const std::string& command,
   if (command == "profile") return cmd_profile(flags);
   if (command == "project") return cmd_project(flags);
   if (command == "batch") return cmd_batch(flags);
+  if (command == "serve") return cmd_serve(flags);
+  if (command == "request") return cmd_request(flags);
   if (command == "stats") return cmd_stats(flags);
   usage("unknown command: " + command);
 }
