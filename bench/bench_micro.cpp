@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ga.h"
+#include "core/ga_eval.h"
 #include "core/projector.h"
 #include "core/ranking.h"
 #include "experiments/lab.h"
@@ -172,6 +173,19 @@ void BM_FindSurrogate(benchmark::State& state) {
 }
 BENCHMARK(BM_FindSurrogate)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+/// The max_terms genome every GA micro-benchmark perturbs (suite-strided,
+/// scaled so base runtimes sum near the target compute time).
+std::vector<double> ga_bench_genome(const core::SpecData& spec) {
+  std::vector<double> genome(spec.names.size(), 0.0);
+  const std::size_t stride = std::max<std::size_t>(1, genome.size() / 6);
+  int terms = 0;
+  for (std::size_t k = 0; k < genome.size() && terms < 6;
+       k += stride, ++terms) {
+    genome[k] = 100.0 / (6.0 * spec.base_runtime.at(spec.names[k]));
+  }
+  return genome;
+}
+
 // The GA objective on a suite-sized genome, one kernel per Arg (the
 // core::GaKernel enum): 0 = three-pass reference, 1 = fused single-pass AoS,
 // 2 = SoA sparse per-genome, 3 = SoA whole-batch.  256 evaluations per
@@ -182,14 +196,7 @@ void BM_GaFitnessKernel(benchmark::State& state) {
   const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
   const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
   const core::GroupWeights weights = core::base_group_weights(app, base);
-  // A max_terms-sized genome spread across the suite, scaled so the base
-  // runtimes sum near the target compute time.
-  std::vector<double> genome(spec.names.size(), 0.0);
-  const std::size_t stride = std::max<std::size_t>(1, genome.size() / 6);
-  int terms = 0;
-  for (std::size_t k = 0; k < genome.size() && terms < 6; k += stride, ++terms) {
-    genome[k] = 100.0 / (6.0 * spec.base_runtime.at(spec.names[k]));
-  }
+  const std::vector<double> genome = ga_bench_genome(spec);
   const auto kernel = static_cast<core::GaKernel>(state.range(0));
   constexpr int kEvals = 256;
   // Problem setup (signature conversion, transposes, scales) happens once,
@@ -201,6 +208,87 @@ void BM_GaFitnessKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kEvals);
 }
 BENCHMARK(BM_GaFitnessKernel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// An application whose signature is a genuine six-way blend of the strided
+/// genome's benchmarks (instruction-weighted accumulate, distinct shares).
+/// Matching it with fewer terms leaves a real residual, so the polished
+/// optimum keeps all six weights live — a single-app target like zeusmp is
+/// matched by two suite benchmarks and the polish crushes the other four
+/// weights to ~1e-13, where every tweak is a numerical tie the screen
+/// (correctly) cannot reject without an exact eval.
+machine::PmuCounters ga_polish_app(
+    const core::SpecData& spec,
+    const std::map<std::string, machine::PmuCounters>& counters) {
+  static constexpr double kShare[6] = {0.30, 0.23, 0.17, 0.13, 0.10, 0.07};
+  const std::size_t stride = std::max<std::size_t>(1, spec.names.size() / 6);
+  machine::PmuCounters app;
+  int terms = 0;
+  for (std::size_t k = 0; k < spec.names.size() && terms < 6;
+       k += stride, ++terms) {
+    machine::PmuCounters part = counters.at(spec.names[k]);
+    const double scale = kShare[terms] / part.instructions;
+    part.instructions *= scale;
+    part.cycles *= scale;
+    part.seconds *= scale;
+    app.accumulate(part);
+  }
+  return app;
+}
+
+// The GA's deterministic polish loop on a converged max_terms genome.  Arg
+// = core::PolishMode: 0 = delta-screened (screen every candidate, confirm
+// improvements exactly), 1 = the pre-change full-eval path.  The genome is
+// polished to its local optimum once, outside the timed region, because
+// that is the regime the GA puts the loop in — its winners arrive
+// near-converged, so almost every candidate is a rejection, which is
+// exactly where the screen replaces a copy+rescale+exact-eval with one
+// O(M) delta pass.  `min_sweeps` pins the candidate-visit count, so both
+// modes walk the same sweep schedule and the ratio is the screen's saving.
+void BM_GaPolish(benchmark::State& state) {
+  const machine::Machine base = machine::make_power5_hydra();
+  const core::SpecData& spec = ga_spec_data();
+  const machine::PmuCounters app = ga_polish_app(spec, spec.base_counters_st);
+  const machine::PmuCounters app_smt =
+      ga_polish_app(spec, spec.base_counters_smt);
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  const auto mode = static_cast<core::PolishMode>(state.range(0));
+  constexpr int kMinSweeps = 32;
+  const core::GaFitnessProber prober(app, app_smt, weights, spec, 100.0);
+  std::vector<double> converged;
+  prober.run_polish(ga_bench_genome(spec), 0, core::PolishMode::kFullEval,
+                    &converged);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.run_polish(converged, kMinSweeps, mode));
+  }
+}
+BENCHMARK(BM_GaPolish)->Arg(0)->Arg(1);
+
+// The raw one-weight delta screen through one ISA tier.  Arg indexes
+// {generic, sse2, avx2, avx512}; tiers the CPU lacks are skipped.  256
+// screens per iteration over a bound blend — the load the polish loop puts
+// on the kernel per sweep family.
+void BM_GaDeltaKernel(benchmark::State& state) {
+  static const char* kTiers[] = {"generic", "sse2", "avx2", "avx512"};
+  const std::string tier = kTiers[state.range(0)];
+  if (!core::set_ga_delta_tier(tier)) {
+    state.SkipWithError(("tier unsupported on this CPU: " + tier).c_str());
+    return;
+  }
+  const machine::Machine base = machine::make_power5_hydra();
+  const core::SpecData& spec = ga_spec_data();
+  const machine::PmuCounters app = spec.base_counters_st.at("zeusmp");
+  const machine::PmuCounters app_smt = spec.base_counters_smt.at("zeusmp");
+  const core::GroupWeights weights = core::base_group_weights(app, base);
+  const std::vector<double> genome = ga_bench_genome(spec);
+  constexpr int kScreens = 256;
+  const core::GaFitnessProber prober(app, app_smt, weights, spec, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.run_delta(genome, kScreens));
+  }
+  core::set_ga_delta_tier("");
+  state.SetItemsProcessed(state.iterations() * kScreens);
+}
+BENCHMARK(BM_GaDeltaKernel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // A full figure through the Lab (LU on POWER6: ground-truth runs +
 // projections per row), serial vs. pooled.  Arg = thread count (0 = auto).

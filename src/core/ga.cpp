@@ -210,6 +210,119 @@ void prune_to(Genome& g, NzList& nz, int max_terms) {
   }
 }
 
+/// Counters the polish loop reports back to its caller.
+struct PolishStats {
+  std::uint64_t exact_evals = 0;
+  std::uint64_t screens = 0;
+};
+
+/// Deterministic local polish: multiplicative one-weight tweaks on
+/// `polished` until no candidate improves the objective (and at least
+/// `min_sweeps` sweeps have run — the GA passes 0; the benchmark prober
+/// pins a sweep count so both modes make identical candidate visits).
+///
+/// kFullEval pays one exact eval (genome copy + rescale + fitness_sparse)
+/// per candidate — the pre-delta behaviour.  kDeltaScreened screens each
+/// candidate through the cached blend in O(M) first and only confirms
+/// apparent improvements exactly.  Why the two modes accept identically:
+///   * the screen approximates the exact post-rescale fitness to ~1e-12
+///     absolute (reciprocal-multiply rounding, one delta step off the
+///     bound blend, and the dropped post-rescale runtime penalty ~1e-31);
+///   * the confirm margin 1e-9·(1+|fit|) dwarfs that error, so no
+///     candidate the exact path would accept (f + 1e-12 < fit) can be
+///     screened out, while spurious survivors die on their exact eval;
+///   * acceptance tests only exact values — so the accept sequence, the
+///     final genome, and the fitness are identical in both modes.
+/// Accepted tweaks are committed into the blend via apply_scale1 (one
+/// rounding of drift each); every GaBlendState::kRefreshInterval commits
+/// the blend is re-bound from the live genome, bounding total drift.  The
+/// blend never sees the global rescale the exact path applies — screen
+/// values are scale-invariant, so it tracks the unnormalised trajectory.
+double polish_genome(const Problem& prob, Genome& polished,
+                     const NzList& polished_nz, double polished_fit,
+                     PolishMode mode, int min_sweeps, GaEvalScratch& scratch,
+                     PolishStats& stats) {
+  if (polished_nz.empty()) return polished_fit;
+  Genome candidate(polished.size(), 0.0);
+  GaBlendState blend;
+  const bool screened = mode == PolishMode::kDeltaScreened;
+  if (screened) {
+    prob.engine.bind_blend(blend, polished.data(), polished_nz.data(),
+                           polished_nz.size());
+  }
+  int sweeps = 0;
+  bool improved = true;
+  while (improved || sweeps < min_sweeps) {
+    improved = false;
+    ++sweeps;
+    for (std::size_t j = 0; j < polished_nz.size(); ++j) {
+      const std::size_t k = polished_nz[j];
+      if (polished[k] == 0.0) continue;
+      for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
+        if (screened) {
+          const double screen =
+              prob.engine.fitness_delta_scale1(blend, j, factor);
+          ++stats.screens;
+          const double margin = 1e-9 * (1.0 + std::abs(polished_fit));
+          if (!(screen < polished_fit + margin)) continue;
+        }
+        candidate = polished;
+        candidate[k] *= factor;
+        prob.normalise_scale_sparse(candidate, polished_nz);
+        const double f = prob.engine.fitness_sparse(
+            candidate.data(), polished_nz.data(), polished_nz.size(), scratch);
+        ++stats.exact_evals;
+        if (f + 1e-12 < polished_fit) {
+          std::swap(polished, candidate);
+          polished_fit = f;
+          improved = true;
+          if (screened) {
+            prob.engine.apply_scale1(blend, j, factor);
+            if (blend.needs_refresh()) {
+              prob.engine.bind_blend(blend, polished.data(),
+                                     polished_nz.data(), polished_nz.size());
+            }
+          }
+        }
+      }
+    }
+  }
+  return polished_fit;
+}
+
+/// Collects per-slot weight differences between `child` and `parent` over
+/// the union of their nonzero lists (both sorted ascending).  Returns the
+/// number of differing slots, or 4 as soon as the diff exceeds the 3
+/// changes the mutation screen handles — the caller then falls back to an
+/// exact eval.
+std::size_t genome_diff(const Genome& child, const NzList& child_nz,
+                        const Genome& parent, const NzList& parent_nz,
+                        GaWeightChange* out) {
+  constexpr std::size_t kScreenable = 3;
+  std::size_t count = 0;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < child_nz.size() || b < parent_nz.size()) {
+    std::size_t k;
+    if (b >= parent_nz.size() ||
+        (a < child_nz.size() && child_nz[a] < parent_nz[b])) {
+      k = child_nz[a++];
+    } else if (a >= child_nz.size() || parent_nz[b] < child_nz[a]) {
+      k = parent_nz[b++];
+    } else {
+      k = child_nz[a];
+      ++a;
+      ++b;
+    }
+    const double dw = child[k] - parent[k];
+    if (dw != 0.0) {
+      if (count == kScreenable) return kScreenable + 1;
+      out[count++] = GaWeightChange{k, dw};
+    }
+  }
+  return count;
+}
+
 /// Fills the application-side fields and the per-metric scales; the
 /// benchmark arrays must already be in place.
 void finish_problem(Problem& prob, const machine::PmuCounters& app_st,
@@ -276,7 +389,8 @@ Problem build_problem(const machine::PmuCounters& app_st,
 Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
                               const GaOptions& options) {
   SWAPP_SPAN("ga.restart");
-  std::uint64_t evals = 0;  // SoA-engine evaluations, flushed on exit
+  std::uint64_t evals = 0;    // exact SoA-engine evaluations, flushed on exit
+  std::uint64_t screens = 0;  // O(M) delta screens, flushed on exit
   Rng rng(options.seed);
   const std::size_t n = prob.size();
 
@@ -316,24 +430,27 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
 
   // Whole-generation scoring through the SoA engine: one batched call per
   // generation over reused scratch (bit-identical to per-genome fitness()).
+  // `first` skips individuals whose score is already known — the elites,
+  // whose fitness carries over verbatim because the objective is a pure
+  // function of (genome, nz) and elites are verbatim copies.
   GaEvalScratch scratch;
   std::vector<GenomeRef> refs(pop_size);
-  const auto score_population = [&]() {
-    for (std::size_t i = 0; i < pop_size; ++i) {
+  const auto score_population = [&](std::size_t first) {
+    for (std::size_t i = first; i < pop_size; ++i) {
       refs[i] = GenomeRef{population[i].data(), population_nz[i].data(),
                           population_nz[i].size()};
     }
-    prob.engine.evaluate_population(refs.data(), pop_size, scratch,
-                                    fitness.data());
-    evals += pop_size;
+    prob.engine.evaluate_population(refs.data() + first, pop_size - first,
+                                    scratch, fitness.data() + first);
+    evals += pop_size - first;
   };
 
   for (std::size_t i = 0; i < pop_size; ++i) {
     fill_random_genome(population[i], population_nz[i]);
   }
-  score_population();
+  score_population(0);
 
-  const auto tournament = [&]() -> const Genome& {
+  const auto tournament = [&]() -> std::size_t {
     std::size_t best = static_cast<std::size_t>(
         rng.below(static_cast<std::uint64_t>(options.population)));
     for (int t = 1; t < 3; ++t) {
@@ -341,11 +458,31 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
           rng.below(static_cast<std::uint64_t>(options.population)));
       if (fitness[c] < fitness[best]) best = c;
     }
-    return population[best];
+    return best;
   };
 
   // Scratch reused across generations and children.
   std::vector<std::size_t> order(pop_size);
+
+  // Mutation-screening scratch (options.screen_mutations only): per-parent
+  // cached blends bound lazily once per generation (the per-generation
+  // re-bind is the drift refresh — screens never commit updates), the
+  // per-child screen results, and the batch list for the children that
+  // still need an exact eval.
+  std::vector<GaBlendState> parent_blend;
+  std::vector<int> parent_blend_gen;
+  std::vector<char> child_screened;
+  std::vector<double> screened_fit;
+  std::vector<std::size_t> exact_index;
+  std::vector<double> exact_fit;
+  if (options.screen_mutations) {
+    parent_blend.resize(pop_size);
+    parent_blend_gen.assign(pop_size, -1);
+    child_screened.assign(pop_size, 0);
+    screened_fit.assign(pop_size, 0.0);
+    exact_index.resize(pop_size);
+    exact_fit.resize(pop_size);
+  }
 
   double best_so_far = 1e300;
   int stagnant = 0;
@@ -364,10 +501,14 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
     next[1] = population[order[1]];
     next_nz[0] = population_nz[order[0]];
     next_nz[1] = population_nz[order[1]];
+    const double elite_fit0 = fitness[order[0]];
+    const double elite_fit1 = fitness[order[1]];
 
     for (std::size_t filled = 2; filled < pop_size; ++filled) {
-      const Genome& a = tournament();
-      const Genome& b = tournament();
+      const std::size_t pa = tournament();
+      const std::size_t pb = tournament();
+      const Genome& a = population[pa];
+      const Genome& b = population[pb];
       Genome& child = next[filled];
       NzList& nz = next_nz[filled];
       for (std::size_t k = 0; k < n; ++k) {
@@ -399,11 +540,64 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
         nz.erase(nz.begin() + static_cast<std::ptrdiff_t>(j));
       }
       prune_to(child, nz, options.max_terms);
+      if (options.screen_mutations) {
+        // Children within 3 weight changes of their first parent (identical
+        // tournament picks, or crossover of near-duplicate parents in a
+        // converged population) are scored through the parent's cached
+        // blend instead of an exact eval.  The diff is taken before the
+        // rescale below — the screen is scale-invariant, so it still
+        // approximates the normalised child's fitness.
+        GaWeightChange changes[kMaxDeltaChanges];
+        const std::size_t diff =
+            genome_diff(child, nz, a, population_nz[pa], changes);
+        if (diff <= 3) {
+          GaBlendState& blend = parent_blend[pa];
+          if (parent_blend_gen[pa] != gen) {
+            prob.engine.bind_blend(blend, a.data(), population_nz[pa].data(),
+                                   population_nz[pa].size());
+            parent_blend_gen[pa] = gen;
+          }
+          screened_fit[filled] =
+              prob.engine.fitness_delta_changes(blend, changes, diff);
+          child_screened[filled] = 1;
+          ++screens;
+        } else {
+          child_screened[filled] = 0;
+        }
+      }
       prob.normalise_scale_sparse(child, nz);
     }
     std::swap(population, next);
     std::swap(population_nz, next_nz);
-    score_population();
+    // Elite scores carry over (verbatim copies of already-scored genomes).
+    fitness[0] = elite_fit0;
+    fitness[1] = elite_fit1;
+    if (!options.screen_mutations) {
+      score_population(2);
+    } else {
+      // Screened children keep their approximate score; the rest batch
+      // through one exact evaluate_population call.
+      std::size_t exact_count = 0;
+      for (std::size_t i = 2; i < pop_size; ++i) {
+        if (child_screened[i]) {
+          fitness[i] = screened_fit[i];
+        } else {
+          refs[exact_count] = GenomeRef{population[i].data(),
+                                        population_nz[i].data(),
+                                        population_nz[i].size()};
+          exact_index[exact_count] = i;
+          ++exact_count;
+        }
+      }
+      if (exact_count > 0) {
+        prob.engine.evaluate_population(refs.data(), exact_count, scratch,
+                                        exact_fit.data());
+        for (std::size_t e = 0; e < exact_count; ++e) {
+          fitness[exact_index[e]] = exact_fit[e];
+        }
+        evals += exact_count;
+      }
+    }
     double gen_best = 1e300;
     for (std::size_t i = 0; i < pop_size; ++i) {
       gen_best = std::min(gen_best, fitness[i]);
@@ -426,36 +620,27 @@ Surrogate find_surrogate_once(const Problem& prob, const SpecData& spec,
   std::size_t best = static_cast<std::size_t>(
       std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
 
-  // Deterministic local polish: multiplicative coordinate tweaks on the
-  // winner until no single-weight change improves the objective.  The
+  // Deterministic local polish on the winner (polish_genome above): the
   // winner's nonzero structure is invariant under the (positive) tweak and
   // rescale factors, so its nz list serves every candidate.
   Genome polished = population[best];
   const NzList& polished_nz = population_nz[best];
   double polished_fit = fitness[best];
-  Genome candidate(n, 0.0);
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    for (const std::size_t k : polished_nz) {
-      if (polished[k] == 0.0) continue;
-      for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
-        candidate = polished;
-        candidate[k] *= factor;
-        prob.normalise_scale_sparse(candidate, polished_nz);
-        const double f = prob.engine.fitness_sparse(
-            candidate.data(), polished_nz.data(), polished_nz.size(), scratch);
-        ++evals;
-        if (f + 1e-12 < polished_fit) {
-          std::swap(polished, candidate);
-          polished_fit = f;
-          improved = true;
-        }
-      }
-    }
+  if (options.screen_mutations) {
+    // Population scores may be approximate in this mode; the polish
+    // baseline (and the returned fitness) must be exact.
+    polished_fit = prob.engine.fitness_sparse(
+        polished.data(), polished_nz.data(), polished_nz.size(), scratch);
+    ++evals;
   }
+  PolishStats polish_stats;
+  polished_fit = polish_genome(prob, polished, polished_nz, polished_fit,
+                               options.polish, 0, scratch, polish_stats);
+  evals += polish_stats.exact_evals;
+  screens += polish_stats.screens;
   const Genome& g = polished;
   SWAPP_COUNT("ga.evals", evals);
+  SWAPP_COUNT("ga.screens", screens);
   SWAPP_COUNT("ga.restarts", 1);
 
   Surrogate out;
@@ -649,6 +834,51 @@ double GaFitnessProber::run(const std::vector<double>& genome, int iters,
                                           scratch);
         break;
     }
+  }
+  return acc;
+}
+
+double GaFitnessProber::run_polish(const std::vector<double>& genome,
+                                   int min_sweeps, PolishMode mode,
+                                   std::vector<double>* polished_out) const {
+  const Problem& prob = impl_->prob;
+  SWAPP_REQUIRE(genome.size() == prob.size(),
+                "genome size must match the benchmark suite");
+  Genome g = genome;
+  NzList nz;
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    if (g[k] > 0.0) nz.push_back(k);
+  }
+  SWAPP_REQUIRE(!nz.empty(), "polish probe needs a genome with positive terms");
+  prob.normalise_scale_sparse(g, nz);
+  const double fit = prob.engine.fitness_sparse(g.data(), nz.data(), nz.size(),
+                                                impl_->scratch);
+  PolishStats stats;
+  const double polished_fit = polish_genome(prob, g, nz, fit, mode,
+                                            min_sweeps, impl_->scratch, stats);
+  if (polished_out != nullptr) *polished_out = g;
+  return polished_fit;
+}
+
+double GaFitnessProber::run_delta(const std::vector<double>& genome,
+                                  int iters) const {
+  const Problem& prob = impl_->prob;
+  SWAPP_REQUIRE(genome.size() == prob.size(),
+                "genome size must match the benchmark suite");
+  Genome g = genome;
+  NzList nz;
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    if (g[k] > 0.0) nz.push_back(k);
+  }
+  SWAPP_REQUIRE(!nz.empty(), "delta probe needs a genome with positive terms");
+  prob.normalise_scale_sparse(g, nz);
+  GaBlendState blend;
+  prob.engine.bind_blend(blend, g.data(), nz.data(), nz.size());
+  static constexpr double kFactors[4] = {0.8, 1.25, 0.95, 1.05};
+  double acc = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const std::size_t j = static_cast<std::size_t>(it) % nz.size();
+    acc += prob.engine.fitness_delta_scale1(blend, j, kFactors[it & 3]);
   }
   return acc;
 }

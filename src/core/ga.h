@@ -57,6 +57,20 @@ struct Surrogate {
   Seconds base_runtime(const SpecIndex& index) const;
 };
 
+/// Polish-loop strategy for the deterministic local refinement that follows
+/// the generation loop.
+enum class PolishMode {
+  /// Screen every one-weight candidate through the O(M) delta path and
+  /// confirm apparent improvements with one exact eval before accepting.
+  /// Acceptance decisions are made only on exact values, so the returned
+  /// Surrogate is bit-identical to kFullEval — this is the default.
+  kDeltaScreened = 0,
+  /// The pre-delta behaviour: one exact `fitness_sparse` (plus a genome
+  /// copy and rescale) per candidate.  Kept selectable as the ground truth
+  /// the screened path is property-tested and benchmarked against.
+  kFullEval = 1,
+};
+
 struct GaOptions {
   int population = 96;
   int generations = 240;
@@ -68,6 +82,16 @@ struct GaOptions {
   /// without improving its best fitness.  Deterministic for a fixed seed;
   /// 0 (default) disables the exit so results match the full-length search.
   int stagnation_limit = 0;
+  /// Polish strategy; both modes return bit-identical surrogates (the
+  /// screen only decides which candidates get an exact eval).
+  PolishMode polish = PolishMode::kDeltaScreened;
+  /// Opt-in: score children that differ from their first parent in at most
+  /// 3 weights through the parent's cached blend instead of an exact eval
+  /// (the best individual is re-evaluated exactly before polish).  Screened
+  /// population fitness can flip tournament/elitism comparisons, so this
+  /// mode trades the search's bit-identity to the exact path for fewer
+  /// full evaluations in converged populations — off by default.
+  bool screen_mutations = false;
 };
 
 /// Runs the search.  `app_st`/`app_smt` are the application's counters on
@@ -126,6 +150,25 @@ class GaFitnessProber {
   /// the same inputs (tests/test_ga_eval.cpp asserts exactly that).
   double run(const std::vector<double>& genome, int iters,
              GaKernel kernel) const;
+
+  /// Runs the GA's polish loop on `genome` (normalised first) in the given
+  /// mode and returns the polished fitness.  The loop keeps sweeping until
+  /// it has both converged and completed at least `min_sweeps` sweeps, so
+  /// both modes perform the same number of candidate visits — the
+  /// BM_GaPolish benchmark's apples-to-apples shape.  The accept sequence
+  /// (and therefore the result) is identical across modes.  `polished_out`
+  /// (optional) receives the polished genome, so a benchmark can converge
+  /// once and then time the steady all-reject regime the GA's winners put
+  /// the loop in.
+  double run_polish(const std::vector<double>& genome, int min_sweeps,
+                    PolishMode mode,
+                    std::vector<double>* polished_out = nullptr) const;
+
+  /// Times the raw delta-screen kernel: binds the genome's blend once and
+  /// performs `iters` one-weight screens (cycling term and factor),
+  /// returning the accumulated screen values.  Pin the tier with
+  /// `set_ga_delta_tier` (ga_eval.h) to probe a specific ISA.
+  double run_delta(const std::vector<double>& genome, int iters) const;
 
  private:
   struct Impl;

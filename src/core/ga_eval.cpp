@@ -1,5 +1,6 @@
 #include "core/ga_eval.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -45,6 +46,13 @@ void GaEvalEngine::build(
     app_pair_[2 * i + 1] = app_smt.values[i];
     scale_pair_[2 * i] = scale[i];
     scale_pair_[2 * i + 1] = scale[i];
+    // Delta-screen precomputes: the screen may trade the per-lane divide
+    // for a reciprocal multiply (it is approximate by contract), and the
+    // pair-duplicated metric weight turns its reduction into mul/add only.
+    inv_scale_pair_[2 * i] = 1.0 / scale[i];
+    inv_scale_pair_[2 * i + 1] = 1.0 / scale[i];
+    mw_pair_[2 * i] = metric_weight[i];
+    mw_pair_[2 * i + 1] = metric_weight[i];
   }
   scale_ = scale;
   metric_weight_ = metric_weight;
@@ -377,7 +385,206 @@ EvalFn select_eval() { return &eval_one_generic; }
 /// paths pay one indirect call and no branch.
 const EvalFn g_eval = select_eval();
 
+// --- Delta-screen kernels --------------------------------------------------
+//
+// The screen evaluates, in one O(M) pass over a GaBlendState's cached
+// numerators, the metric distance of `(num + Σ dwt_c · row_c) / (total +
+// Σ dwt_c)` — the blended metric vector after a few-weight change, whose
+// distance is invariant under the global rescale the exact path performs.
+// Unlike the exact kernels the screen has no bit-identity contract: it
+// exists to *reject* candidates cheaply, so a reciprocal multiply replaces
+// the per-lane divide and the post-rescale runtime penalty (λ·rerr² ≈
+// 1e-31) is dropped.  The tiers still keep mul and add unfused (the
+// AVX-512 tier pins fp-contract=off like its exact sibling) so a screen
+// value never depends on which tier computed it beyond ordinary
+// reassociation-free rounding — which keeps the screen-vs-exact error
+// bound (~1e-12 absolute, far under the confirm margin) tier-independent.
+
+/// Engine precomputes a delta kernel needs, gathered per entry point.
+struct DeltaCtx {
+  const double* num = nullptr;  // 2·kMetricCount cached blend numerators
+  const double* app_pair = nullptr;
+  const double* inv_scale_pair = nullptr;
+  const double* mw_pair = nullptr;
+};
+
+/// `rows[c]` is the pair-interleaved signature row of changed slot c,
+/// `dwt[c]` its weight·base-time change; `inv` = 1 / (total + Σ dwt).
+using DeltaFn = double (*)(const DeltaCtx&, double inv,
+                           const double* const* rows, const double* dwt,
+                           std::size_t count);
+
+double delta_one_generic(const DeltaCtx& c, double inv,
+                         const double* const* rows, const double* dwt,
+                         std::size_t count) {
+  double acc = 0.0;
+  for (std::size_t l = 0; l < 2 * machine::kMetricCount; ++l) {
+    double p = c.num[l];
+    for (std::size_t t = 0; t < count; ++t) p += dwt[t] * rows[t][l];
+    const double d = (p * inv - c.app_pair[l]) * c.inv_scale_pair[l];
+    acc += c.mw_pair[l] * (d * d);
+  }
+  return acc;
+}
+
+#ifdef SWAPP_GA_EVAL_SIMD
+
+double delta_one_sse2(const DeltaCtx& c, double inv,
+                      const double* const* rows, const double* dwt,
+                      std::size_t count) {
+  const __m128d vinv = _mm_set1_pd(inv);
+  __m128d vacc = _mm_setzero_pd();
+  for (std::size_t l = 0; l < 2 * machine::kMetricCount; l += 2) {
+    __m128d p = _mm_loadu_pd(c.num + l);
+    for (std::size_t t = 0; t < count; ++t) {
+      p = _mm_add_pd(p,
+                     _mm_mul_pd(_mm_set1_pd(dwt[t]), _mm_loadu_pd(rows[t] + l)));
+    }
+    const __m128d d = _mm_mul_pd(
+        _mm_sub_pd(_mm_mul_pd(p, vinv), _mm_loadu_pd(c.app_pair + l)),
+        _mm_loadu_pd(c.inv_scale_pair + l));
+    vacc = _mm_add_pd(
+        vacc, _mm_mul_pd(_mm_loadu_pd(c.mw_pair + l), _mm_mul_pd(d, d)));
+  }
+  return _mm_cvtsd_f64(vacc) + _mm_cvtsd_f64(_mm_unpackhi_pd(vacc, vacc));
+}
+
+__attribute__((target("avx2"))) double delta_one_avx2(
+    const DeltaCtx& c, double inv, const double* const* rows,
+    const double* dwt, std::size_t count) {
+  const __m256d vinv = _mm256_set1_pd(inv);
+  __m256d vacc = _mm256_setzero_pd();
+  for (std::size_t l = 0; l < 2 * machine::kMetricCount; l += 4) {
+    __m256d p = _mm256_loadu_pd(c.num + l);
+    for (std::size_t t = 0; t < count; ++t) {
+      p = _mm256_add_pd(p, _mm256_mul_pd(_mm256_set1_pd(dwt[t]),
+                                         _mm256_loadu_pd(rows[t] + l)));
+    }
+    const __m256d d = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_mul_pd(p, vinv), _mm256_loadu_pd(c.app_pair + l)),
+        _mm256_loadu_pd(c.inv_scale_pair + l));
+    vacc = _mm256_add_pd(
+        vacc, _mm256_mul_pd(_mm256_loadu_pd(c.mw_pair + l), _mm256_mul_pd(d, d)));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(vacc);
+  const __m128d hi = _mm256_extractf128_pd(vacc, 1);
+  const __m128d sum = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(sum) + _mm_cvtsd_f64(_mm_unpackhi_pd(sum, sum));
+}
+
+/// fp-contract pinned off for the same reason as eval_one_avx512: the
+/// avx512f target enables FMA and -ffp-contract=fast would fuse the
+/// mul/add pairs, making this tier's screen values drift from the others'.
+__attribute__((target("avx512f,avx512dq"),
+               optimize("fp-contract=off"))) double
+delta_one_avx512(const DeltaCtx& c, double inv, const double* const* rows,
+                 const double* dwt, std::size_t count) {
+  const __m512d vinv = _mm512_set1_pd(inv);
+  __m512d vacc = _mm512_setzero_pd();
+  for (std::size_t l = 0; l < 2 * machine::kMetricCount; l += 8) {
+    __m512d p = _mm512_loadu_pd(c.num + l);
+    for (std::size_t t = 0; t < count; ++t) {
+      p = _mm512_add_pd(p, _mm512_mul_pd(_mm512_set1_pd(dwt[t]),
+                                         _mm512_loadu_pd(rows[t] + l)));
+    }
+    const __m512d d = _mm512_mul_pd(
+        _mm512_sub_pd(_mm512_mul_pd(p, vinv), _mm512_loadu_pd(c.app_pair + l)),
+        _mm512_loadu_pd(c.inv_scale_pair + l));
+    vacc = _mm512_add_pd(
+        vacc, _mm512_mul_pd(_mm512_loadu_pd(c.mw_pair + l), _mm512_mul_pd(d, d)));
+  }
+  // Masked extracts with an explicit zero source for the reduction — the
+  // plain _mm512_reduce_add_pd helper routes through _mm512_undefined_pd
+  // and trips GCC 12's -Wmaybe-uninitialized (same idiom as the exact
+  // AVX-512 kernel above).
+  const __m256d lo = _mm512_mask_extractf64x4_pd(_mm256_setzero_pd(), 0xF,
+                                                 vacc, 0);
+  const __m256d hi = _mm512_mask_extractf64x4_pd(_mm256_setzero_pd(), 0xF,
+                                                 vacc, 1);
+  const __m256d sum4 = _mm256_add_pd(lo, hi);
+  const __m128d sum2 = _mm_add_pd(_mm256_castpd256_pd128(sum4),
+                                  _mm256_extractf128_pd(sum4, 1));
+  return _mm_cvtsd_f64(sum2) + _mm_cvtsd_f64(_mm_unpackhi_pd(sum2, sum2));
+}
+
+#endif  // SWAPP_GA_EVAL_SIMD
+
+/// Maps a tier name to its kernel; `ok` reports whether this CPU can run
+/// it.  "" means auto-select (env pin honoured, then best supported ISA).
+DeltaFn delta_for_tier(const std::string& tier, bool& ok) {
+  ok = true;
+  if (tier == "generic") return &delta_one_generic;
+#ifdef SWAPP_GA_EVAL_SIMD
+  if (tier == "sse2") return &delta_one_sse2;
+  if (tier == "avx2") {
+    ok = __builtin_cpu_supports("avx2");
+    return &delta_one_avx2;
+  }
+  if (tier == "avx512") {
+    ok = __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+    return &delta_one_avx512;
+  }
+#endif
+  ok = false;
+  return &delta_one_generic;
+}
+
+DeltaFn select_delta() {
+  // Same SWAPP_GA_EVAL pin as the exact kernels: pinning a tier pins both
+  // dispatches, so a pinned run exercises one ISA end to end.
+  if (const char* env = std::getenv("SWAPP_GA_EVAL")) {
+    bool ok = false;
+    DeltaFn fn = delta_for_tier(env, ok);
+    SWAPP_REQUIRE(ok, "unknown or unsupported SWAPP_GA_EVAL tier '" +
+                          std::string(env) +
+                          "' (want generic|sse2|avx2|avx512)");
+    return fn;
+  }
+#ifdef SWAPP_GA_EVAL_SIMD
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return &delta_one_avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return &delta_one_avx2;
+  return &delta_one_sse2;
+#else
+  return &delta_one_generic;
+#endif
+}
+
+/// Unlike g_eval this dispatch is an atomic: set_ga_delta_tier lets tests
+/// and benchmarks sweep every supported tier within one process, including
+/// while GA restarts run on pool threads (relaxed loads — tier switches
+/// need no ordering because every tier computes the same screen).
+std::atomic<DeltaFn> g_delta{select_delta()};
+
 }  // namespace
+
+bool set_ga_delta_tier(const std::string& tier) {
+  if (tier.empty()) {
+    g_delta.store(select_delta(), std::memory_order_relaxed);
+    return true;
+  }
+  bool ok = false;
+  const DeltaFn fn = delta_for_tier(tier, ok);
+  if (!ok) return false;
+  g_delta.store(fn, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<std::string> ga_delta_supported_tiers() {
+  std::vector<std::string> out{"generic"};
+#ifdef SWAPP_GA_EVAL_SIMD
+  out.push_back("sse2");
+  if (__builtin_cpu_supports("avx2")) out.push_back("avx2");
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    out.push_back("avx512");
+  }
+#endif
+  return out;
+}
 
 double GaEvalEngine::fitness_sparse(const double* genome,
                                     const std::size_t* nz,
@@ -418,6 +625,86 @@ void GaEvalEngine::evaluate_population(const GenomeRef* batch,
     fitness_out[b] =
         g_eval(c, ref.genome, ref.nz, ref.nz_count, share, nullptr, nullptr);
   }
+}
+
+void GaEvalEngine::bind_blend(GaBlendState& state, const double* genome,
+                              const std::size_t* nz,
+                              std::size_t nz_count) const {
+  SWAPP_ASSERT(n_ > 0, "GaEvalEngine used before build()");
+  state.slots_.assign(nz, nz + nz_count);
+  state.wt_.resize(nz_count);
+  state.num_.fill(0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < nz_count; ++j) {
+    const std::size_t k = nz[j];
+    SWAPP_ASSERT(k < n_, "nz slot outside the suite");
+    const double wt = genome[k] * base_time_[k];
+    state.wt_[j] = wt;
+    total += wt;
+    const double* row = pairs_.data() + k * 2 * machine::kMetricCount;
+    for (std::size_t l = 0; l < 2 * machine::kMetricCount; ++l) {
+      state.num_[l] += wt * row[l];
+    }
+  }
+  state.total_ = total;
+  state.updates_ = 0;
+  state.bound_ = true;
+}
+
+double GaEvalEngine::fitness_delta_scale1(const GaBlendState& state,
+                                          std::size_t j,
+                                          double factor) const {
+  SWAPP_ASSERT(state.bound_ && j < state.slots_.size(),
+               "delta screen on an unbound or out-of-range term");
+  const double dwt = (factor - 1.0) * state.wt_[j];
+  const double total = state.total_ + dwt;
+  if (total <= 0.0) return 1e18;
+  const double* row =
+      pairs_.data() + state.slots_[j] * 2 * machine::kMetricCount;
+  const DeltaCtx c{state.num_.data(), app_pair_.data(),
+                   inv_scale_pair_.data(), mw_pair_.data()};
+  const double* rows[1] = {row};
+  const double dwts[1] = {dwt};
+  return g_delta.load(std::memory_order_relaxed)(c, 1.0 / total, rows, dwts,
+                                                 1);
+}
+
+double GaEvalEngine::fitness_delta_changes(const GaBlendState& state,
+                                           const GaWeightChange* changes,
+                                           std::size_t count) const {
+  SWAPP_ASSERT(state.bound_, "delta screen on an unbound state");
+  SWAPP_ASSERT(count <= kMaxDeltaChanges, "too many delta changes");
+  const double* rows[kMaxDeltaChanges];
+  double dwts[kMaxDeltaChanges];
+  double total = state.total_;
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t k = changes[t].slot;
+    SWAPP_ASSERT(k < n_, "delta change slot outside the suite");
+    const double dwt = changes[t].delta_weight * base_time_[k];
+    rows[t] = pairs_.data() + k * 2 * machine::kMetricCount;
+    dwts[t] = dwt;
+    total += dwt;
+  }
+  if (total <= 0.0) return 1e18;
+  const DeltaCtx c{state.num_.data(), app_pair_.data(),
+                   inv_scale_pair_.data(), mw_pair_.data()};
+  return g_delta.load(std::memory_order_relaxed)(c, 1.0 / total, rows, dwts,
+                                                 count);
+}
+
+void GaEvalEngine::apply_scale1(GaBlendState& state, std::size_t j,
+                                double factor) const {
+  SWAPP_ASSERT(state.bound_ && j < state.slots_.size(),
+               "delta apply on an unbound or out-of-range term");
+  const double dwt = (factor - 1.0) * state.wt_[j];
+  const double* row =
+      pairs_.data() + state.slots_[j] * 2 * machine::kMetricCount;
+  for (std::size_t l = 0; l < 2 * machine::kMetricCount; ++l) {
+    state.num_[l] += dwt * row[l];
+  }
+  state.total_ += dwt;
+  state.wt_[j] *= factor;
+  ++state.updates_;
 }
 
 }  // namespace swapp::core

@@ -31,10 +31,26 @@
 //     with the same shape as the reference, so the compiler emits the same
 //     roundings.
 // `ga_fitness_probe` (ga.h) and tests/test_ga_eval.cpp verify the contract.
+//
+// Delta evaluation (the screening fast path): the objective blend is linear
+// in the weights, so a genome whose blended metric vector is cached in a
+// `GaBlendState` can be re-screened after a few-weight change in O(M) —
+// one accumulator update per metric lane — instead of the O(|nz|·M) full
+// re-blend.  Screens are *approximate* by design (reciprocal-multiply
+// replaces the per-lane divide, the post-rescale runtime penalty ~1e-31 is
+// dropped, and the cached blend drifts by one rounding per committed
+// update); consumers must confirm any apparently-improving candidate with
+// one exact `fitness_sparse` before acting on it.  ga.cpp's polish loop is
+// the canonical consumer: screen 4×|nz| candidates per sweep, confirm the
+// survivors exactly, accept only on the exact value — which keeps the
+// search's results bit-identical to full evaluation while skipping the
+// exact evals for the (vast majority of) rejected candidates.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "machine/counters.h"
@@ -57,6 +73,48 @@ struct GenomeRef {
   const double* genome = nullptr;
   const std::size_t* nz = nullptr;
   std::size_t nz_count = 0;
+};
+
+/// One weight edit for delta screening: `slot` indexes the suite and
+/// `delta_weight` is the change in the raw weight (new − old).  Slots
+/// outside the bound genome's nz list are allowed (an add-mutation).
+struct GaWeightChange {
+  std::size_t slot = 0;
+  double delta_weight = 0.0;
+};
+
+/// Screens accept at most this many simultaneous weight changes (the
+/// mutation path produces ≤3; one slot of headroom keeps the kernels'
+/// change loop trivially bounded).
+inline constexpr std::size_t kMaxDeltaChanges = 4;
+
+/// Cached blend of one genome: the runtime-weighted total Σ wⱼtⱼ and the
+/// 2·kMetricCount pair-interleaved blend numerators Σ wⱼtⱼ·mⱼₗ, plus the
+/// per-term wⱼtⱼ products the scale-1 entry points perturb.  Bound by
+/// `GaEvalEngine::bind_blend`; committed updates accumulate one rounding
+/// each, so after `kRefreshInterval` updates `needs_refresh()` asks the
+/// owner to re-bind from the live genome (the drift bound
+/// tests/test_ga_eval.cpp measures).
+class GaBlendState {
+ public:
+  /// Committed delta updates tolerated before a full re-bind is requested.
+  static constexpr std::uint32_t kRefreshInterval = 64;
+
+  bool bound() const noexcept { return bound_; }
+  bool needs_refresh() const noexcept { return updates_ >= kRefreshInterval; }
+  std::uint32_t updates() const noexcept { return updates_; }
+  std::size_t term_count() const noexcept { return slots_.size(); }
+
+ private:
+  friend class GaEvalEngine;
+  /// Pair-interleaved blend numerators (same lane order as the engine's
+  /// `pairs_` tiling): num_[2i] = Σ wⱼtⱼ·st_i, num_[2i+1] = Σ wⱼtⱼ·smt_i.
+  std::array<double, 2 * machine::kMetricCount> num_{};
+  double total_ = 0.0;               ///< Σ wⱼtⱼ over the bound nz list
+  std::vector<double> wt_;           ///< per-nz-term wⱼtⱼ products
+  std::vector<std::size_t> slots_;   ///< the bound nz list (ascending)
+  std::uint32_t updates_ = 0;
+  bool bound_ = false;
 };
 
 class GaEvalEngine {
@@ -89,6 +147,35 @@ class GaEvalEngine {
   void evaluate_population(const GenomeRef* batch, std::size_t count,
                            GaEvalScratch& scratch, double* fitness_out) const;
 
+  // --- Delta evaluation (screening) -------------------------------------
+
+  /// Caches `genome`'s blend in `state` (exact O(|nz|·M) build; the nz list
+  /// is copied so the state outlives the genome buffer).
+  void bind_blend(GaBlendState& state, const double* genome,
+                  const std::size_t* nz, std::size_t nz_count) const;
+
+  /// Screened objective after scaling the bound genome's j-th nz term by
+  /// `factor` and renormalising globally (the polish move).  O(M): one
+  /// fused pass over the cached numerators through the runtime-dispatched
+  /// delta kernel.  Approximates the exact post-rescale fitness to ~1e-12
+  /// absolute — callers must confirm with `fitness_sparse` before
+  /// accepting.
+  double fitness_delta_scale1(const GaBlendState& state, std::size_t j,
+                              double factor) const;
+
+  /// Screened objective after applying up to `kMaxDeltaChanges` raw weight
+  /// edits to the bound genome and renormalising globally (the mutation
+  /// path's perturb-only children).  Same accuracy contract as
+  /// `fitness_delta_scale1`.
+  double fitness_delta_changes(const GaBlendState& state,
+                               const GaWeightChange* changes,
+                               std::size_t count) const;
+
+  /// Commits the scale-1 change into the cached blend (O(M) accumulator
+  /// update, one more rounding of drift; bumps the update counter driving
+  /// `needs_refresh()`).
+  void apply_scale1(GaBlendState& state, std::size_t j, double factor) const;
+
   /// Metric-major signature array (`metric_major_st()[i * size() + k]` =
   /// metric i of benchmark k), exposed for tests and diagnostics.
   const std::vector<double>& metric_major_st() const noexcept { return st_; }
@@ -113,10 +200,26 @@ class GaEvalEngine {
   /// App-side and scale vectors in the same pair-interleaved order.
   std::array<double, 2 * machine::kMetricCount> app_pair_{};
   std::array<double, 2 * machine::kMetricCount> scale_pair_{};
+  /// Delta-kernel precomputes: reciprocal scales and pair-duplicated metric
+  /// weights, so the screen is pure mul/add over 2·kMetricCount lanes.
+  std::array<double, 2 * machine::kMetricCount> inv_scale_pair_{};
+  std::array<double, 2 * machine::kMetricCount> mw_pair_{};
   std::array<double, machine::kMetricCount> scale_{};
   std::array<double, machine::kMetricCount> metric_weight_{};
   double app_compute_ = 0.0;
   double lambda_ = 0.0;
 };
+
+/// Pins the delta-screen kernel tier at runtime ("generic" | "sse2" |
+/// "avx2" | "avx512"; "" restores auto-selection, which also honours the
+/// `SWAPP_GA_EVAL` env pin).  Returns false — leaving the tier unchanged —
+/// if the CPU lacks the requested ISA.  Unlike the exact-eval dispatch
+/// (resolved once before main), this is an atomic so tests and benchmarks
+/// can sweep every supported tier in one process.
+bool set_ga_delta_tier(const std::string& tier);
+
+/// Delta tiers this CPU can run, in escalation order (always starts with
+/// "generic").
+std::vector<std::string> ga_delta_supported_tiers();
 
 }  // namespace swapp::core

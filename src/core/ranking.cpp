@@ -72,40 +72,19 @@ GroupWeights base_group_weights(const machine::PmuCounters& app,
 
 namespace {
 
-/// Intensity of one benchmark in one metric group, normalised across the
-/// suite so groups with different units are comparable.
-std::array<double, machine::kMetricGroupCount> group_intensity(
-    const machine::MetricVector& v,
-    const std::array<double, machine::kMetricCount>& scale) {
-  std::array<double, machine::kMetricGroupCount> out{};
-  for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
-    const auto g = static_cast<std::size_t>(machine::MetricVector::group_of(i));
-    out[g] += v.values[i] / scale[i];
-  }
-  return out;
-}
-
-/// Shared step-4 core over suite-ordered arrays: metric vectors plus base
+/// Shared step-4 core over the precomputed suite decomposition plus base
 /// and target runtimes for each benchmark k.  Both public overloads reduce
-/// to this, so the `SpecIndex` path is bit-identical to the `SpecData` path
-/// by construction (same additions, same order, same expression shapes).
-GroupWeights adjust_weights_impl(
-    const GroupWeights& base_weights,
-    const std::vector<machine::MetricVector>& vectors, const double* base_time,
-    const double* target_time) {
-  const std::size_t n = vectors.size();
-
-  // Per-metric normalisation scale: the suite mean (guards against zero).
-  std::array<double, machine::kMetricCount> scale{};
-  scale.fill(0.0);
-  for (const machine::MetricVector& v : vectors) {
-    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
-      scale[i] += v.values[i];
-    }
-  }
-  for (double& s : scale) {
-    s = std::max(s / static_cast<double>(n), 1e-12);
-  }
+/// to this — the `SpecData` path computes the decomposition on the fly,
+/// the `SpecIndex` path reuses the one `SpecIndex::build` cached — so the
+/// two are bit-identical by construction (same additions, same order, same
+/// expression shapes; `compute_suite_intensity` preserves the loop order
+/// of the code it replaced).  Only the speedup-weighted pass below depends
+/// on the target, so it is all a cached call pays for.
+GroupWeights adjust_weights_impl(const GroupWeights& base_weights,
+                                 const SuiteIntensity& suite,
+                                 const double* base_time,
+                                 const double* target_time) {
+  const std::size_t n = suite.size();
 
   // Suite-wide mean speedup and per-group intensity-weighted mean speedup.
   double mean_speedup = 0.0;
@@ -114,7 +93,8 @@ GroupWeights adjust_weights_impl(
   for (std::size_t k = 0; k < n; ++k) {
     const double speedup = base_time[k] / target_time[k];
     mean_speedup += speedup;
-    const auto intensity = group_intensity(vectors[k], scale);
+    const std::array<double, machine::kMetricGroupCount>& intensity =
+        suite.bench[k];
     for (std::size_t g = 0; g < machine::kMetricGroupCount; ++g) {
       weighted_speedup[g] += intensity[g] * speedup;
       intensity_sum[g] += intensity[g];
@@ -160,16 +140,23 @@ GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
     base_time.push_back(spec.base_runtime.at(name));
     target_time.push_back(spec.runtime_on(target_machine, name));
   }
-  return adjust_weights_impl(base_weights, vectors, base_time.data(),
-                             target_time.data());
+  return adjust_weights_impl(base_weights, compute_suite_intensity(vectors),
+                             base_time.data(), target_time.data());
 }
 
 GroupWeights adjust_weights_to_target(const GroupWeights& base_weights,
                                       const SpecIndex& index) {
   SWAPP_REQUIRE(index.size() > 0, "empty benchmark suite");
-  return adjust_weights_impl(base_weights, index.bench_st,
-                             index.base_time.data(),
-                             index.target_time.data());
+  // `SpecIndex::build` caches the decomposition; hand-assembled indexes
+  // (tests) may lack it, in which case it is derived on the fly.
+  if (index.intensity.size() == index.size()) {
+    return adjust_weights_impl(base_weights, index.intensity,
+                               index.base_time.data(),
+                               index.target_time.data());
+  }
+  return adjust_weights_impl(base_weights,
+                             compute_suite_intensity(index.bench_st),
+                             index.base_time.data(), index.target_time.data());
 }
 
 }  // namespace swapp::core

@@ -1,8 +1,39 @@
 #include "core/spec_index.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace swapp::core {
+
+SuiteIntensity compute_suite_intensity(
+    const std::vector<machine::MetricVector>& vectors) {
+  SuiteIntensity out;
+  const std::size_t n = vectors.size();
+  // Per-metric normalisation scale: the suite mean (guards against zero).
+  // Accumulation order (benchmark-major, then the per-metric floor) matches
+  // the code this replaces in ranking.cpp bit for bit.
+  out.scale.fill(0.0);
+  for (const machine::MetricVector& v : vectors) {
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      out.scale[i] += v.values[i];
+    }
+  }
+  for (double& s : out.scale) {
+    s = std::max(s / static_cast<double>(n), 1e-12);
+  }
+  out.bench.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::array<double, machine::kMetricGroupCount>& g = out.bench[k];
+    g.fill(0.0);
+    for (std::size_t i = 0; i < machine::kMetricCount; ++i) {
+      const auto group =
+          static_cast<std::size_t>(machine::MetricVector::group_of(i));
+      g[group] += vectors[k].values[i] / out.scale[i];
+    }
+  }
+  return out;
+}
 
 SpecIndex SpecIndex::build(const SpecLibrary& lib,
                            const std::string& target_machine,
@@ -31,6 +62,7 @@ SpecIndex SpecIndex::build(const SpecLibrary& lib,
     }
     index.target_time.push_back(it->second);
   }
+  index.intensity = compute_suite_intensity(index.bench_st);
   return index;
 }
 

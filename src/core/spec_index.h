@@ -13,6 +13,7 @@
 // bit-identical to projections built on a fresh `SpecData` view.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,28 @@
 #include "machine/counters.h"
 
 namespace swapp::core {
+
+/// Suite-wide intensity decomposition consumed by ranking step 4
+/// (`adjust_weights_to_target`): the per-metric normalisation scale (suite
+/// mean, floored) plus each benchmark's per-group normalised intensity.  A
+/// pure function of the suite's ST metric vectors — independent of the
+/// application and of the target runtimes — so `SpecIndex::build`
+/// precomputes it once and every adjustment against the index (one per
+/// request in a batch) skips the O(n·M) recompute and runs only the
+/// speedup-weighted pass.  Computed with exactly the loop order the
+/// previously-inline code used, so cached and uncached paths are
+/// bit-identical.
+struct SuiteIntensity {
+  std::array<double, machine::kMetricCount> scale{};
+  /// bench[k][g] = Σ over metrics i in group g of vectors[k][i] / scale[i].
+  std::vector<std::array<double, machine::kMetricGroupCount>> bench;
+
+  std::size_t size() const noexcept { return bench.size(); }
+};
+
+/// Builds the decomposition from suite-ordered ST metric vectors.
+SuiteIntensity compute_suite_intensity(
+    const std::vector<machine::MetricVector>& vectors);
 
 struct SpecIndex {
   std::string target_machine;
@@ -37,6 +60,12 @@ struct SpecIndex {
   std::vector<machine::MetricVector> bench_smt;
   std::vector<double> base_time;
   std::vector<double> target_time;
+
+  /// Precomputed ranking-step-4 decomposition over `bench_st` (see
+  /// SuiteIntensity above).  `adjust_weights_to_target(…, index)` consults
+  /// it when its size matches the suite and recomputes otherwise, so
+  /// hand-assembled indexes stay valid.
+  SuiteIntensity intensity;
 
   std::size_t size() const noexcept { return base_time.size(); }
 

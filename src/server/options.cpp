@@ -33,6 +33,15 @@ std::size_t parse_queue_depth(const std::string& value) {
   return static_cast<std::size_t>(v);
 }
 
+std::chrono::milliseconds parse_coalesce_window(const std::string& value) {
+  const long long v = parse_positive_decimal(value);
+  SWAPP_REQUIRE(v >= 0,
+                "--coalesce-window must be a non-negative integer number of "
+                "milliseconds, got '" +
+                    value + "'");
+  return std::chrono::milliseconds(v);
+}
+
 std::uintmax_t parse_byte_size(const std::string& value) {
   std::string digits = value;
   std::uintmax_t scale = 1;

@@ -5,6 +5,7 @@
 // lifetime.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -14,6 +15,10 @@ namespace swapp::server {
 /// Admission-queue depth: a positive decimal integer with no trailing
 /// characters.
 std::size_t parse_queue_depth(const std::string& value);
+
+/// Coalesce window in milliseconds: a non-negative decimal integer with no
+/// trailing characters ("0" — the default — keeps the eager drain).
+std::chrono::milliseconds parse_coalesce_window(const std::string& value);
 
 /// Byte size: a positive decimal integer, optionally suffixed with k, m, or
 /// g (case-insensitive, powers of 1024).  "64k" -> 65536.

@@ -249,6 +249,14 @@ void Server::Impl::scheduler_loop() {
         if (stop_requested) return;  // fully drained
         continue;
       }
+      if (config.coalesce_window.count() > 0 && !stop_requested) {
+        // Linger so near-simultaneous clients join this run.  Only
+        // shutdown cuts the window short; further arrivals simply ride
+        // along when it closes (wait_for re-arms with the remaining time
+        // on their notifies).
+        cv.wait_for(lock, config.coalesce_window,
+                    [&] { return stop_requested; });
+      }
       // Everything queued right now becomes one coalesced run; batches
       // arriving during the run pile up for the next one.
       while (!queue.empty()) {
@@ -342,6 +350,8 @@ Server::Server(machine::Machine base, ServerConfig config, ServiceSetup setup,
   SWAPP_REQUIRE(setup != nullptr, "server needs a service setup callback");
   SWAPP_REQUIRE(config.max_queue >= 1, "max_queue must be >= 1");
   SWAPP_REQUIRE(config.coalesce_min >= 1, "coalesce_min must be >= 1");
+  SWAPP_REQUIRE(config.coalesce_window.count() >= 0,
+                "coalesce_window must be non-negative");
   impl_ = std::make_unique<Impl>(std::move(base), std::move(config),
                                  std::move(setup), std::move(validate));
 }

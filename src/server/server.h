@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -57,6 +58,12 @@ struct ServerConfig {
   /// draining (shutdown drains regardless).  1 — the default — adds no
   /// latency; tests raise it to force deterministic cross-client coalescing.
   std::size_t coalesce_min = 1;
+  /// Once the scheduler has work, it lingers up to this long before
+  /// draining so near-simultaneous clients land in the same coalesced run
+  /// (and share the planner's spec-index/GA-search dedup).  The window is a
+  /// latency ceiling, not a floor: shutdown cuts it short, and 0 — the
+  /// default — preserves the eager drain.
+  std::chrono::milliseconds coalesce_window{0};
   /// Per-batch service configuration.  `shared_cache` is overwritten by the
   /// server with its resident cache; cache_dir/cache_capacity/
   /// cache_dir_max_bytes configure that resident cache instead.

@@ -107,8 +107,14 @@ std::string describe_app_inputs(const std::string& app_name,
 
 namespace {
 
-/// One artifact kind: a bounded LRU memory tier plus (for persistent kinds)
-/// a load/save pair from io/persist.
+/// One artifact kind: a bounded memory tier plus (for persistent kinds) a
+/// load/save pair from io/persist.  Eviction is cost-aware: each entry
+/// remembers what it cost to produce this time (disk load or recompute) and
+/// its disk footprint, and the victim is the entry with the lowest
+/// cost-per-byte — the one that is cheapest to bring back relative to the
+/// memory it holds.  Memory-only kinds have no disk footprint, so their
+/// score degenerates to the raw recompute cost, which is exactly the right
+/// ordering for them.  Ties (and the uniform-cost case) fall back to LRU.
 template <typename T>
 struct Store {
   using Saver = void (*)(const std::filesystem::path&, const T&);
@@ -118,7 +124,12 @@ struct Store {
   Saver save = nullptr;  ///< null for memory-only kinds
   Loader load = nullptr;
 
-  std::map<std::uint64_t, std::shared_ptr<const T>> entries;
+  struct Entry {
+    std::shared_ptr<const T> value;
+    double cost_us = 0.0;      ///< observed load/recompute cost
+    std::uintmax_t bytes = 1;  ///< disk footprint; 1 for memory-only kinds
+  };
+  std::map<std::uint64_t, Entry> entries;
   std::list<std::uint64_t> recency;  ///< front = most recently used
 };
 
@@ -126,6 +137,28 @@ template <typename T>
 void touch(Store<T>& store, std::uint64_t key) {
   store.recency.remove(key);
   store.recency.push_front(key);
+}
+
+/// Picks the eviction victim: lowest cost-per-byte, walking the recency
+/// list back-to-front so the least recently used entry wins ties (strict
+/// `<` keeps the first candidate seen — the older one — on equal scores).
+template <typename T>
+std::uint64_t pick_victim(const Store<T>& store) {
+  const auto score_of = [&store](std::uint64_t key) {
+    const auto& e = store.entries.at(key);
+    return e.cost_us / static_cast<double>(e.bytes == 0 ? 1 : e.bytes);
+  };
+  std::uint64_t victim = store.recency.back();
+  double best = score_of(victim);
+  for (auto it = std::next(store.recency.rbegin());
+       it != store.recency.rend(); ++it) {
+    const double s = score_of(*it);
+    if (s < best) {
+      best = s;
+      victim = *it;
+    }
+  }
+  return victim;
 }
 
 }  // namespace
@@ -229,24 +262,31 @@ struct ArtifactCache::Impl {
         if (source) *source = ArtifactSource::kMemory;
         SWAPP_COUNT("cache.memory_hits", 1);
         observe_lookup(store, started_us);
-        return it->second;
+        return it->second.value;
       }
     }
 
     // Miss path runs unlocked: disk loads and make() are slow, and a
     // duplicated computation under a rare same-key race is still the same
-    // pure function of the key.
+    // pure function of the key.  The cost clock runs regardless of whether
+    // metrics are enabled: the eviction policy feeds on it.
     std::shared_ptr<const T> value;
     ArtifactSource from = ArtifactSource::kComputed;
     const bool on_disk = store.load != nullptr && !dir.empty();
     bool corrupt = false;
+    double cost_us = 0.0;
+    std::uintmax_t bytes = 1;
     if (on_disk) {
       const std::filesystem::path file = path_of(store, dir, key);
       std::error_code ec;
       if (std::filesystem::exists(file, ec)) {
+        const double load_started_us = obs::trace_now_us();
         try {
           value = std::make_shared<const T>(store.load(file));
           from = ArtifactSource::kDisk;
+          cost_us = obs::trace_now_us() - load_started_us;
+          const std::uintmax_t size = std::filesystem::file_size(file, ec);
+          if (!ec && size > 0) bytes = size;
         } catch (const std::exception&) {
           corrupt = true;  // rejected: recompute and overwrite below
         }
@@ -254,7 +294,13 @@ struct ArtifactCache::Impl {
     }
     std::size_t disk_evicted = 0;
     if (!value) {
+      const double make_started_us = obs::trace_now_us();
       value = std::make_shared<const T>(make());
+      cost_us = obs::trace_now_us() - make_started_us;
+      if (obs::metrics_enabled()) {
+        obs::Histogram("cache.recompute_cost_us." + store.kind)
+            .observe(cost_us);
+      }
       if (on_disk) {
         std::error_code ec;
         std::filesystem::create_directories(dir, ec);
@@ -265,6 +311,8 @@ struct ArtifactCache::Impl {
         try {
           store.save(tmp, *value);
           std::filesystem::rename(tmp, file);
+          const std::uintmax_t size = std::filesystem::file_size(file, ec);
+          if (!ec && size > 0) bytes = size;
           disk_evicted = enforce_disk_cap(dir, file);
         } catch (const std::exception&) {
           std::filesystem::remove(tmp, ec);  // cache write is best-effort
@@ -288,18 +336,31 @@ struct ArtifactCache::Impl {
       ++stats.misses;
       SWAPP_COUNT("cache.misses", 1);
     }
-    const auto [it, inserted] = store.entries.emplace(key, value);
+    const auto [it, inserted] = store.entries.emplace(
+        key, typename Store<T>::Entry{value, cost_us, bytes});
+    if (!inserted) {
+      // Same-key race: another thread inserted first.  Keep its value (ours
+      // is identical) but refresh the cost observation.
+      it->second.cost_us = cost_us;
+      it->second.bytes = bytes;
+    }
     touch(store, key);
+    // Grab the winning pointer before evicting: the fresh entry is a legal
+    // victim if it is the cheapest per byte, and erasing it invalidates it.
+    std::shared_ptr<const T> result = it->second.value;
     while (store.entries.size() > capacity) {
-      const std::uint64_t victim = store.recency.back();
-      store.recency.pop_back();
+      const std::uint64_t victim = pick_victim(store);
+      store.recency.remove(victim);
       store.entries.erase(victim);
       ++stats.evictions;
       SWAPP_COUNT("cache.evictions", 1);
+      if (obs::metrics_enabled()) {
+        obs::Counter("cache.evictions." + store.kind).increment();
+      }
     }
     if (source) *source = from;
     observe_lookup(store, started_us);
-    return it->second;
+    return result;
   }
 };
 

@@ -41,7 +41,7 @@ struct CacheStats {
   std::size_t memory_hits = 0;
   std::size_t disk_hits = 0;
   std::size_t misses = 0;      ///< computed fresh (includes disk misses)
-  std::size_t evictions = 0;   ///< memory-tier LRU evictions
+  std::size_t evictions = 0;   ///< memory-tier cost-aware evictions
   std::size_t corrupt_files = 0;  ///< disk entries rejected and recomputed
   std::size_t disk_evictions = 0;  ///< files removed to honour the byte cap
 };
@@ -71,7 +71,10 @@ class ArtifactCache {
  public:
   /// `cache_dir` empty disables the disk tier; otherwise the directory is
   /// created on first save.  `capacity_per_kind` bounds each kind's memory
-  /// tier (LRU beyond it).  `max_disk_bytes` (0 = unbounded) caps the disk
+  /// tier; beyond it the entry with the lowest observed cost-per-byte is
+  /// evicted (the cheapest to bring back relative to the memory it holds;
+  /// LRU breaks ties, so uniform costs degrade to plain LRU).
+  /// `max_disk_bytes` (0 = unbounded) caps the disk
   /// tier: after every save, oldest-mtime `.swapp` files are removed until
   /// the directory fits the cap again (the just-written file is never the
   /// victim, so a single artifact larger than the cap still persists).

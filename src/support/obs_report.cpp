@@ -1,6 +1,9 @@
 #include "support/obs_report.h"
 
+#include <algorithm>
+#include <map>
 #include <ostream>
+#include <unordered_map>
 
 #include "support/table.h"
 
@@ -40,6 +43,55 @@ void print_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot,
                         TextTable::num(h.max, 2)});
   }
   if (histograms.row_count() > 0) histograms.print(os);
+}
+
+std::vector<SpanRollup> rollup_spans(
+    const std::vector<obs::TraceEvent>& events) {
+  // Pass 1: per-parent sum of direct-children durations.
+  std::unordered_map<std::uint64_t, double> child_us;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::TraceEvent::Kind::kSpan) continue;
+    if (e.parent != 0) child_us[e.parent] += e.dur_us;
+  }
+  // Pass 2: aggregate by name (std::map: deterministic iteration order).
+  std::map<std::string, SpanRollup> by_name;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::TraceEvent::Kind::kSpan) continue;
+    SpanRollup& r = by_name[e.name];
+    r.name = e.name;
+    r.count += 1;
+    r.total_us += e.dur_us;
+    r.max_us = std::max(r.max_us, e.dur_us);
+    const auto it = child_us.find(e.id);
+    const double children = it == child_us.end() ? 0.0 : it->second;
+    r.self_us += std::max(0.0, e.dur_us - children);
+  }
+  std::vector<SpanRollup> out;
+  out.reserve(by_name.size());
+  for (auto& [name, r] : by_name) out.push_back(std::move(r));
+  std::sort(out.begin(), out.end(), [](const SpanRollup& a,
+                                       const SpanRollup& b) {
+    return a.self_us != b.self_us ? a.self_us > b.self_us : a.name < b.name;
+  });
+  return out;
+}
+
+void print_span_rollup(std::ostream& os,
+                       const std::vector<SpanRollup>& rollups) {
+  double self_sum = 0.0;
+  for (const SpanRollup& r : rollups) self_sum += r.self_us;
+  TextTable table({"Span", "Count", "Total ms", "Self ms", "Self %",
+                   "Max ms"});
+  for (const SpanRollup& r : rollups) {
+    const double share =
+        self_sum > 0.0 ? 100.0 * r.self_us / self_sum : 0.0;
+    table.add_row({r.name, std::to_string(r.count),
+                   TextTable::num(r.total_us / 1000.0, 3),
+                   TextTable::num(r.self_us / 1000.0, 3),
+                   TextTable::num(share, 1),
+                   TextTable::num(r.max_us / 1000.0, 3)});
+  }
+  if (table.row_count() > 0) table.print(os);
 }
 
 }  // namespace swapp

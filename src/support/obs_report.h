@@ -1,11 +1,15 @@
 // Human-readable rendering of a metrics snapshot through support/table —
-// the printer behind `swapp stats` and the batch CLI's stderr summary.
+// the printer behind `swapp stats` and the batch CLI's stderr summary —
+// plus per-name span rollups over a recorded trace (`swapp stats --trace`).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swapp {
 
@@ -15,5 +19,28 @@ namespace swapp {
 /// non-empty keeps only metrics whose name starts with it.
 void print_metrics(std::ostream& os, const obs::MetricsSnapshot& snapshot,
                    const std::string& filter_prefix = {});
+
+/// Per-name aggregate over the spans of one trace.
+struct SpanRollup {
+  std::string name;
+  std::size_t count = 0;   ///< spans with this name
+  double total_us = 0.0;   ///< inclusive: sum of dur_us
+  double self_us = 0.0;    ///< exclusive: total minus direct-children time
+  double max_us = 0.0;     ///< longest single span (inclusive)
+};
+
+/// Aggregates spans by name.  A span's self-time is its duration minus the
+/// summed durations of its direct children (by parent id), clamped at zero:
+/// pool fan-out stitches workers' spans onto the dispatching caller's span,
+/// so concurrent children can legitimately out-sum their parent's wall
+/// time.  Counter samples are ignored.  Sorted by descending self_us (ties
+/// by name, so the order is deterministic).
+std::vector<SpanRollup> rollup_spans(
+    const std::vector<obs::TraceEvent>& events);
+
+/// Pretty-prints a rollup as one table: count, total/self/max in ms, and
+/// each name's share of the summed self-time.
+void print_span_rollup(std::ostream& os,
+                       const std::vector<SpanRollup>& rollups);
 
 }  // namespace swapp

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <random>
@@ -17,6 +18,7 @@
 #include "core/ga_eval.h"
 #include "core/ranking.h"
 #include "machine/counters.h"
+#include "support/parallel.h"
 
 namespace swapp {
 namespace {
@@ -231,6 +233,250 @@ TEST(GaEvalEngine, BatchMatchesSparseCalls) {
                                                 fresh);
     EXPECT_EQ(batch_fitness[b], one) << "genome " << b;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Delta evaluation
+// ---------------------------------------------------------------------------
+
+/// Restores the automatic delta-tier selection (and the default pool size)
+/// when a sweep ends.
+struct DeltaSweepGuard {
+  ~DeltaSweepGuard() {
+    core::set_ga_delta_tier("");
+    set_thread_count(0);
+  }
+};
+
+/// Exact fitness of `genome` with its j-th nz term scaled by `factor` and
+/// the whole genome renormalised to the fixture's runtime target (75.0) —
+/// the quantity `fitness_delta_scale1` screens for.
+double exact_rescaled_fitness(const EngineFixture& fx,
+                              const std::vector<double>& genome,
+                              const std::vector<std::size_t>& nz,
+                              std::size_t j, double factor) {
+  std::vector<double> cand = genome;
+  cand[nz[j]] *= factor;
+  double total = 0.0;
+  for (const std::size_t k : nz) total += cand[k] * fx.base_time[k];
+  const double scale = 75.0 / total;
+  for (const std::size_t k : nz) cand[k] *= scale;
+  core::GaEvalScratch scratch;
+  return fx.engine.fitness_sparse(cand.data(), nz.data(), nz.size(), scratch);
+}
+
+TEST(GaDeltaEval, SupportedTiersStartWithGeneric) {
+  const std::vector<std::string> tiers = core::ga_delta_supported_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), "generic");
+  EXPECT_FALSE(core::set_ga_delta_tier("no-such-isa"));
+  DeltaSweepGuard guard;
+  for (const std::string& tier : tiers) {
+    EXPECT_TRUE(core::set_ga_delta_tier(tier)) << tier;
+  }
+}
+
+TEST(GaDeltaEval, Scale1ScreenTracksExactFitnessOnEveryTier) {
+  const EngineFixture fx(10);
+  std::vector<double> genome(10, 0.0);
+  genome[0] = 0.7;
+  genome[3] = 1.1;
+  genome[5] = 0.4;
+  genome[8] = 0.9;
+  const std::vector<std::size_t> nz = {0, 3, 5, 8};
+  core::GaBlendState blend;
+  fx.engine.bind_blend(blend, genome.data(), nz.data(), nz.size());
+  ASSERT_TRUE(blend.bound());
+  EXPECT_EQ(blend.term_count(), nz.size());
+
+  DeltaSweepGuard guard;
+  for (const std::string& tier : core::ga_delta_supported_tiers()) {
+    ASSERT_TRUE(core::set_ga_delta_tier(tier));
+    for (std::size_t j = 0; j < nz.size(); ++j) {
+      for (const double factor : {0.8, 1.25, 0.95, 1.05}) {
+        const double screen =
+            fx.engine.fitness_delta_scale1(blend, j, factor);
+        const double exact = exact_rescaled_fitness(fx, genome, nz, j,
+                                                    factor);
+        // The polish margin (1e-9 relative) must dominate the screen error
+        // on every tier, or screened polish could diverge from exact.
+        EXPECT_NEAR(screen, exact, 1e-9 * (1.0 + std::abs(exact)))
+            << tier << " j=" << j << " factor=" << factor;
+      }
+    }
+  }
+}
+
+TEST(GaDeltaEval, ChangeSetScreenHandlesAddsRemovesAndRescales) {
+  const EngineFixture fx(12);
+  std::vector<double> genome(12, 0.0);
+  const std::vector<std::size_t> nz = {1, 4, 6, 9};
+  genome[1] = 0.6;
+  genome[4] = 1.2;
+  genome[6] = 0.3;
+  genome[9] = 0.8;
+  core::GaBlendState blend;
+  fx.engine.bind_blend(blend, genome.data(), nz.data(), nz.size());
+
+  std::mt19937_64 rng(0xde17a);
+  std::uniform_real_distribution<double> delta(0.05, 0.5);
+  std::uniform_int_distribution<std::size_t> pick_nz(0, nz.size() - 1);
+  std::uniform_int_distribution<std::size_t> any_slot(0, 11);
+  std::uniform_int_distribution<int> count_dist(1, 3);
+  core::GaEvalScratch scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<core::GaWeightChange, core::kMaxDeltaChanges> changes{};
+    const int count = count_dist(rng);
+    std::vector<double> cand = genome;
+    for (int c = 0; c < count; ++c) {
+      // Mix edits of existing terms with add-mutations on empty slots.
+      const std::size_t slot =
+          (trial + c) % 3 == 0 ? any_slot(rng) : nz[pick_nz(rng)];
+      const double dw = cand[slot] > delta(rng) && (trial & 1) != 0
+                            ? -0.5 * cand[slot]   // shrink (stay positive)
+                            : delta(rng);         // grow or add
+      changes[static_cast<std::size_t>(c)] = {slot, dw};
+      cand[slot] += dw;
+    }
+    const double screen = fx.engine.fitness_delta_changes(
+        blend, changes.data(), static_cast<std::size_t>(count));
+
+    // Exact: renormalise the edited genome over the union support.
+    std::vector<std::size_t> support;
+    for (std::size_t k = 0; k < cand.size(); ++k) {
+      if (cand[k] != 0.0) support.push_back(k);
+    }
+    double total = 0.0;
+    for (const std::size_t k : support) total += cand[k] * fx.base_time[k];
+    ASSERT_GT(total, 0.0);
+    const double scale = 75.0 / total;
+    for (const std::size_t k : support) cand[k] *= scale;
+    const double exact = fx.engine.fitness_sparse(
+        cand.data(), support.data(), support.size(), scratch);
+    EXPECT_NEAR(screen, exact, 1e-9 * (1.0 + std::abs(exact)))
+        << "trial " << trial;
+  }
+}
+
+TEST(GaDeltaEval, CommittedUpdatesStayWithinTheRefreshDriftBound) {
+  const EngineFixture fx(10);
+  std::vector<double> genome(10, 0.0);
+  std::vector<std::size_t> nz = {0, 2, 4, 5, 7, 9};
+  for (const std::size_t k : nz) {
+    genome[k] = 0.4 + 0.1 * static_cast<double>(k);
+  }
+  core::GaBlendState blend;
+  fx.engine.bind_blend(blend, genome.data(), nz.data(), nz.size());
+
+  std::mt19937_64 rng(0xd21f7);
+  std::uniform_int_distribution<std::size_t> pick(0, nz.size() - 1);
+  const double factors[4] = {0.8, 1.25, 0.95, 1.05};
+  std::uint32_t max_updates_seen = 0;
+  for (int iter = 0; iter < 512; ++iter) {
+    const std::size_t j = pick(rng);
+    const double factor = factors[iter & 3];
+    fx.engine.apply_scale1(blend, j, factor);
+    genome[nz[j]] *= factor;
+    max_updates_seen = std::max(max_updates_seen, blend.updates());
+    if (blend.needs_refresh()) {
+      fx.engine.bind_blend(blend, genome.data(), nz.data(), nz.size());
+    }
+
+    // A factor-1 screen is the blended fitness of the live genome: compare
+    // the drifted accumulators against a freshly bound state.
+    const double drifted = fx.engine.fitness_delta_scale1(blend, 0, 1.0);
+    core::GaBlendState fresh;
+    fx.engine.bind_blend(fresh, genome.data(), nz.data(), nz.size());
+    const double reference = fx.engine.fitness_delta_scale1(fresh, 0, 1.0);
+    ASSERT_NEAR(drifted, reference, 1e-10 * (1.0 + std::abs(reference)))
+        << "iter " << iter << " updates " << blend.updates();
+  }
+  // The refresh policy actually engaged (and never overshot the interval).
+  EXPECT_EQ(max_updates_seen, core::GaBlendState::kRefreshInterval);
+}
+
+TEST_F(GaEvalBitIdentity, PolishModesAgreeBitwise) {
+  std::vector<double> genome(spec_.names.size(), 0.0);
+  genome[1] = 0.9;
+  genome[3] = 0.5;
+  genome[6] = 1.4;
+  genome[8] = 0.2;
+  DeltaSweepGuard guard;
+  const double full = prober_->run_polish(genome, 4, core::PolishMode::kFullEval);
+  for (const std::string& tier : core::ga_delta_supported_tiers()) {
+    ASSERT_TRUE(core::set_ga_delta_tier(tier));
+    EXPECT_EQ(full,
+              prober_->run_polish(genome, 4, core::PolishMode::kDeltaScreened))
+        << tier;
+  }
+}
+
+/// Everything the GA returns, flattened for exact comparison.
+void expect_surrogates_identical(const core::Surrogate& a,
+                                 const core::Surrogate& b,
+                                 const std::string& label) {
+  EXPECT_EQ(a.fitness, b.fitness) << label;
+  EXPECT_EQ(a.metric_distance, b.metric_distance) << label;
+  EXPECT_EQ(a.runtime_error, b.runtime_error) << label;
+  ASSERT_EQ(a.terms.size(), b.terms.size()) << label;
+  for (std::size_t i = 0; i < a.terms.size(); ++i) {
+    EXPECT_EQ(a.terms[i].benchmark, b.terms[i].benchmark) << label;
+    EXPECT_EQ(a.terms[i].weight, b.terms[i].weight) << label;
+    EXPECT_EQ(a.terms[i].slot, b.terms[i].slot) << label;
+  }
+}
+
+TEST_F(GaEvalBitIdentity, ScreenedSearchIsBitIdenticalAcrossThreadsAndTiers) {
+  core::GaOptions options;
+  options.population = 32;
+  options.generations = 30;
+  options.restarts = 2;
+
+  // Ground truth: the pre-delta polish path, single-threaded.
+  set_thread_count(1);
+  options.polish = core::PolishMode::kFullEval;
+  const core::Surrogate reference = core::find_surrogate(
+      app_st_, app_smt_, weights_, spec_, 100.0, options);
+  ASSERT_FALSE(reference.terms.empty());
+
+  DeltaSweepGuard guard;
+  options.polish = core::PolishMode::kDeltaScreened;
+  for (const int threads : {1, 4}) {
+    set_thread_count(threads);
+    for (const std::string& tier : core::ga_delta_supported_tiers()) {
+      ASSERT_TRUE(core::set_ga_delta_tier(tier));
+      const core::Surrogate screened = core::find_surrogate(
+          app_st_, app_smt_, weights_, spec_, 100.0, options);
+      expect_surrogates_identical(
+          reference, screened,
+          "threads=" + std::to_string(threads) + " tier=" + tier);
+    }
+  }
+}
+
+TEST_F(GaEvalBitIdentity, MutationScreeningProducesAValidSurrogate) {
+  core::GaOptions options;
+  options.population = 32;
+  options.generations = 40;
+  options.restarts = 2;
+  const core::Surrogate exact = core::find_surrogate(
+      app_st_, app_smt_, weights_, spec_, 100.0, options);
+
+  options.screen_mutations = true;
+  const core::Surrogate screened = core::find_surrogate(
+      app_st_, app_smt_, weights_, spec_, 100.0, options);
+  ASSERT_FALSE(screened.terms.empty());
+  EXPECT_LE(screened.terms.size(), 6u);
+  for (const core::SurrogateTerm& term : screened.terms) {
+    EXPECT_GT(term.weight, 0.0);
+    EXPECT_NE(term.slot, core::SurrogateTerm::kNoSlot);
+  }
+  EXPECT_TRUE(std::isfinite(screened.fitness));
+  // Approximate population scoring may change the search trajectory, but
+  // the final surrogate is exact-scored and must stay in the same quality
+  // regime as the exact search.
+  EXPECT_LT(std::abs(screened.runtime_error), 0.05);
+  EXPECT_LT(screened.fitness, 20.0 * exact.fitness + 1e-9);
 }
 
 }  // namespace

@@ -334,5 +334,91 @@ TEST(MetricsReport, PrintsTablesAndHonoursFilter) {
   EXPECT_EQ(filtered.str().find("other.report_b"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Span rollups
+// ---------------------------------------------------------------------------
+
+obs::TraceEvent span_event(const std::string& name, std::uint64_t id,
+                           std::uint64_t parent, double dur_us) {
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kSpan;
+  e.name = name;
+  e.id = id;
+  e.parent = parent;
+  e.dur_us = dur_us;
+  return e;
+}
+
+TEST(SpanRollupTest, SelfTimeSubtractsDirectChildrenOnly) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event("root", 1, 0, 100.0));
+  events.push_back(span_event("child", 2, 1, 30.0));
+  events.push_back(span_event("leaf", 3, 1, 50.0));
+  events.push_back(span_event("grand", 4, 2, 10.0));  // under "child" only
+  events.push_back(span_event("child", 5, 0, 20.0));  // second instance
+  obs::TraceEvent counter;  // ignored by the rollup
+  counter.kind = obs::TraceEvent::Kind::kCounter;
+  counter.name = "ignored";
+  counter.value = 7.0;
+  events.push_back(counter);
+
+  const std::vector<SpanRollup> rollups = rollup_spans(events);
+  ASSERT_EQ(rollups.size(), 4u);
+  // Descending self-time: leaf 50, child (30-10)+20=40, root 100-80=20,
+  // grand 10.
+  EXPECT_EQ(rollups[0].name, "leaf");
+  EXPECT_DOUBLE_EQ(rollups[0].self_us, 50.0);
+  EXPECT_EQ(rollups[1].name, "child");
+  EXPECT_EQ(rollups[1].count, 2u);
+  EXPECT_DOUBLE_EQ(rollups[1].total_us, 50.0);
+  EXPECT_DOUBLE_EQ(rollups[1].self_us, 40.0);
+  EXPECT_DOUBLE_EQ(rollups[1].max_us, 30.0);
+  EXPECT_EQ(rollups[2].name, "root");
+  EXPECT_DOUBLE_EQ(rollups[2].total_us, 100.0);
+  EXPECT_DOUBLE_EQ(rollups[2].self_us, 20.0);
+  EXPECT_EQ(rollups[3].name, "grand");
+  EXPECT_DOUBLE_EQ(rollups[3].self_us, 10.0);
+}
+
+TEST(SpanRollupTest, ConcurrentChildrenClampSelfTimeAtZero) {
+  // Pool fan-out: workers' spans stitch onto the dispatching caller, so
+  // their summed wall time can exceed the parent's duration.
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event("dispatch", 1, 0, 10.0));
+  events.push_back(span_event("worker", 2, 1, 8.0));
+  events.push_back(span_event("worker", 3, 1, 8.0));
+  const std::vector<SpanRollup> rollups = rollup_spans(events);
+  ASSERT_EQ(rollups.size(), 2u);
+  EXPECT_EQ(rollups[0].name, "worker");
+  EXPECT_DOUBLE_EQ(rollups[0].self_us, 16.0);
+  EXPECT_EQ(rollups[1].name, "dispatch");
+  EXPECT_DOUBLE_EQ(rollups[1].self_us, 0.0);  // clamped, not -6
+}
+
+TEST(SpanRollupTest, PrinterRendersOneRowPerName) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event("alpha", 1, 0, 3000.0));
+  events.push_back(span_event("beta", 2, 1, 1000.0));
+  std::ostringstream os;
+  print_span_rollup(os, rollup_spans(events));
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+  EXPECT_NE(os.str().find("Self"), std::string::npos);
+}
+
+TEST(SpanRollupTest, RollsUpARealDrainedTrace) {
+  ObsGuard guard;
+  const std::vector<obs::TraceEvent> events = sample_trace();
+  const std::vector<SpanRollup> rollups = rollup_spans(events);
+  ASSERT_EQ(rollups.size(), 2u);  // counter sample ignored
+  double root_self = 0.0, child_total = 0.0;
+  for (const SpanRollup& r : rollups) {
+    if (r.name == "obs_test.export_root") root_self = r.self_us;
+    if (r.name == "obs_test.export_child") child_total = r.total_us;
+  }
+  EXPECT_GT(root_self, 0.0);
+  EXPECT_GT(child_total, 0.0);
+}
+
 }  // namespace
 }  // namespace swapp

@@ -56,6 +56,26 @@ TEST(ServerOptionsTest, QueueDepthRejectsWithOffendingTextQuoted) {
   }
 }
 
+TEST(ServerOptionsTest, CoalesceWindowAcceptsZeroAndPositive) {
+  EXPECT_EQ(server::parse_coalesce_window("0"),
+            std::chrono::milliseconds(0));
+  EXPECT_EQ(server::parse_coalesce_window("250"),
+            std::chrono::milliseconds(250));
+}
+
+TEST(ServerOptionsTest, CoalesceWindowRejectsWithOffendingTextQuoted) {
+  for (const std::string bad : {"-1", "abc", "", "1.5", "10ms"}) {
+    try {
+      server::parse_coalesce_window(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + bad + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(ServerOptionsTest, ByteSizeAcceptsSuffixes) {
   EXPECT_EQ(server::parse_byte_size("512"), 512u);
   EXPECT_EQ(server::parse_byte_size("64k"), 64u * 1024);
@@ -110,8 +130,8 @@ struct SocketPair {
 
 TEST(ProtocolTest, FrameRoundTripsIncludingEmptyPayload) {
   SocketPair pair;
-  for (const std::string payload : {std::string("hello frames"),
-                                    std::string(), std::string(5000, 'x')}) {
+  for (const std::string& payload : {std::string("hello frames"),
+                                     std::string(), std::string(5000, 'x')}) {
     server::write_frame(pair.fds[0], payload);
     const server::Frame frame = server::read_frame(pair.fds[1], 1 << 20);
     ASSERT_EQ(frame.status, server::FrameStatus::kOk);
@@ -472,6 +492,60 @@ TEST_F(ServerTest, CoalescesConcurrentClientsIntoOnePlannedRun) {
   obs::reset_metrics();
 }
 
+TEST_F(ServerTest, CoalesceWindowCatchesNearSimultaneousClients) {
+  server::ServerConfig cfg = config("window.sock");
+  // coalesce_min stays 1: only the linger window holds the drain open long
+  // enough for the second client to join the first client's run.
+  cfg.coalesce_window = std::chrono::milliseconds(2000);
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+
+  server::Response r1, r2;
+  std::thread a([&] {
+    server::Client client(cfg.socket_path);
+    r1 = client.call(lu_request(8, 16));
+  });
+  // Admit the second batch only once the first occupies the queue, so it
+  // lands squarely inside the scheduler's window.
+  ASSERT_TRUE(eventually([&] { return srv.queue_depth() == 1; }));
+  std::thread b([&] {
+    server::Client client(cfg.socket_path);
+    r2 = client.call(lu_request(16, 16));
+  });
+  a.join();
+  b.join();
+  srv.request_stop();
+  srv.wait();
+
+  ASSERT_TRUE(r1.ok) << r1.message;
+  ASSERT_TRUE(r2.ok) << r2.message;
+  EXPECT_EQ(srv.batches_run(), 1u);
+  EXPECT_EQ(srv.requests_served(), 2u);
+}
+
+TEST_F(ServerTest, ShutdownCutsTheCoalesceWindowShort) {
+  server::ServerConfig cfg = config("window-stop.sock");
+  // A window far longer than the test budget: only the shutdown wakeup can
+  // end the linger, so a prompt answer proves the cut-short path.
+  cfg.coalesce_window = std::chrono::minutes(5);
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+
+  server::Response r;
+  std::thread a([&] {
+    server::Client client(cfg.socket_path);
+    r = client.call(lu_request(8, 16));
+  });
+  ASSERT_TRUE(eventually([&] { return srv.queue_depth() == 1; }));
+  srv.request_stop();
+  srv.wait();
+  a.join();
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(srv.batches_run(), 1u);
+}
+
 TEST_F(ServerTest, DrainingServerAnswersShuttingDown) {
   server::Server srv(machine::make_power5_hydra(), config("drain.sock"),
                      cheap_setup(), &only_lu);
@@ -515,6 +589,11 @@ TEST_F(ServerTest, ConstructorRejectsBadConfiguration) {
   EXPECT_THROW(server::Server(machine::make_power5_hydra(), cfg, nullptr),
                Error);
   cfg.max_queue = 0;
+  EXPECT_THROW(server::Server(machine::make_power5_hydra(), cfg,
+                              cheap_setup()),
+               Error);
+  cfg.max_queue = 64;
+  cfg.coalesce_window = std::chrono::milliseconds(-1);
   EXPECT_THROW(server::Server(machine::make_power5_hydra(), cfg,
                               cheap_setup()),
                Error);

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/projector.h"
 #include "experiments/lab.h"
@@ -289,8 +290,14 @@ TEST_F(CacheTest, CorruptedFileIsRejectedAndRecomputed) {
 
 TEST_F(CacheTest, EvictionKeepsLiveReferencesValid) {
   service::ArtifactCache cache({}, /*capacity_per_kind=*/2);
-  const auto make = [](int occ) {
-    return [occ] {
+  // `sleep_ms` controls the observed recompute cost, which drives the
+  // eviction policy: "a" is made unambiguously the cheapest entry, so it is
+  // the victim when "c" overflows the tier.
+  const auto make = [](int occ, int sleep_ms) {
+    return [occ, sleep_ms] {
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
       core::SpecIndex index;
       index.target_machine = "t";
       index.base_occupancy = occ;
@@ -298,16 +305,47 @@ TEST_F(CacheTest, EvictionKeepsLiveReferencesValid) {
       return index;
     };
   };
-  const auto first = cache.spec_index("a", make(1));
-  cache.spec_index("b", make(2));
-  cache.spec_index("c", make(3));  // evicts the LRU entry ("a")
+  const auto first = cache.spec_index("a", make(1, 0));
+  cache.spec_index("b", make(2, 20));
+  cache.spec_index("c", make(3, 20));  // evicts the cheapest entry ("a")
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(first->base_occupancy, 1);  // held reference survives eviction
 
   // "a" is gone from the memory tier: a fresh request recomputes.
   service::ArtifactSource source = service::ArtifactSource::kMemory;
-  cache.spec_index("a", make(1), &source);
+  cache.spec_index("a", make(1, 0), &source);
   EXPECT_EQ(source, service::ArtifactSource::kComputed);
+}
+
+TEST_F(CacheTest, CostAwareEvictionSparesExpensiveEntries) {
+  service::ArtifactCache cache({}, /*capacity_per_kind=*/2);
+  const auto make = [](int occ, int sleep_ms) {
+    return [occ, sleep_ms] {
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+      core::SpecIndex index;
+      index.target_machine = "t";
+      index.base_occupancy = occ;
+      index.target_occupancy = occ;
+      return index;
+    };
+  };
+  // "slow" is the oldest entry — the one plain LRU would evict — but it is
+  // orders of magnitude costlier to recompute than the quick entries, so
+  // the cost-aware policy sacrifices the cheapest entry "quick-1" instead
+  // ("quick-2" sleeps just long enough to dominate quick-1's cost).
+  cache.spec_index("slow", make(1, 25));
+  cache.spec_index("quick-1", make(2, 0));
+  cache.spec_index("quick-2", make(3, 5));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  service::ArtifactSource source = service::ArtifactSource::kComputed;
+  cache.spec_index("slow", make(1, 25), &source);
+  EXPECT_EQ(source, service::ArtifactSource::kMemory);  // survived
+  source = service::ArtifactSource::kMemory;
+  cache.spec_index("quick-1", make(2, 0), &source);
+  EXPECT_EQ(source, service::ArtifactSource::kComputed);  // was the victim
 }
 
 TEST_F(CacheTest, DiskCapEvictsOldestFileAtWriteTime) {

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+"""Compare a fresh google-benchmark JSON run against checked-in baselines.
 
 Usage:
-    tools/check_bench.py BASELINE.json FRESH.json [--threshold 15]
+    tools/check_bench.py BASELINE.json [BASELINE2.json ...] FRESH.json \
+        [--threshold 15]
 
-The baseline is one of the artifacts/BENCH_*.json records (hand-curated
-medians); the fresh file is raw `bench_micro --benchmark_format=json` output
+Each baseline is one of the artifacts/BENCH_*.json records (hand-curated
+medians) — rows from every baseline are merged before comparison; the fresh
+file (last positional) is raw `bench_micro --benchmark_format=json` output
 with `--benchmark_repetitions=N --benchmark_report_aggregates_only=true`.
 The check fails (exit 1) if any benchmark present in both files regressed by
 more than the threshold (default 15%, sized above the shared CI container's
@@ -23,25 +25,39 @@ import argparse
 import json
 import sys
 
-# Maps baseline-record keys (artifacts/BENCH_ga_soa.json layout) to the
-# benchmark names they were measured from.  Extend when a new artifact
+# Maps baseline-record sections and keys (artifacts/BENCH_*.json layouts) to
+# the benchmark names they were measured from.  Extend when a new artifact
 # record gains rows.
-GA_SOA_ROWS = {
-    "reference": "BM_GaFitnessKernel/0",
-    "fused": "BM_GaFitnessKernel/1",
-    "soa_sparse": "BM_GaFitnessKernel/2",
-    "soa_batch": "BM_GaFitnessKernel/3",
+SECTION_ROWS = {
+    "ga_fitness_kernel_us_per_256_evals": {
+        "reference": "BM_GaFitnessKernel/0",
+        "fused": "BM_GaFitnessKernel/1",
+        "soa_sparse": "BM_GaFitnessKernel/2",
+        "soa_batch": "BM_GaFitnessKernel/3",
+    },
+    "ga_polish_us_per_768_candidates": {
+        "delta_screened": "BM_GaPolish/0",
+        "full_eval": "BM_GaPolish/1",
+    },
+    "ga_delta_kernel_us_per_256_screens": {
+        "generic": "BM_GaDeltaKernel/0",
+        "sse2": "BM_GaDeltaKernel/1",
+        "avx2": "BM_GaDeltaKernel/2",
+        "avx512": "BM_GaDeltaKernel/3",
+    },
 }
 
 
 def baseline_medians_us(baseline):
     """Extracts {benchmark name: median microseconds} from a baseline record."""
     out = {}
-    kernels = baseline.get("ga_fitness_kernel_us_per_256_evals", {})
-    for key, bench_name in GA_SOA_ROWS.items():
-        row = kernels.get(key)
-        if isinstance(row, dict) and isinstance(row.get("median"), (int, float)):
-            out[bench_name] = float(row["median"])
+    for section, rows in SECTION_ROWS.items():
+        table = baseline.get(section, {})
+        for key, bench_name in rows.items():
+            row = table.get(key)
+            if isinstance(row, dict) and isinstance(row.get("median"),
+                                                    (int, float)):
+                out[bench_name] = float(row["median"])
     search = baseline.get("ga_surrogate_search_us", {}).get("current", {})
     if isinstance(search.get("median"), (int, float)):
         out["BM_GaSurrogateSearch"] = float(search["median"])
@@ -66,19 +82,24 @@ def fresh_medians_us(fresh):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="checked-in artifacts/BENCH_*.json")
-    parser.add_argument("fresh", help="fresh bench_micro JSON output")
+    parser.add_argument("files", nargs="+", metavar="BASELINE... FRESH",
+                        help="checked-in artifacts/BENCH_*.json baselines, "
+                             "then the fresh bench_micro JSON output last")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="max allowed regression, percent (default 15)")
     args = parser.parse_args()
+    if len(args.files) < 2:
+        parser.error("need at least one baseline and the fresh run")
 
-    with open(args.baseline) as f:
-        baseline = baseline_medians_us(json.load(f))
-    with open(args.fresh) as f:
+    baseline = {}
+    for path in args.files[:-1]:
+        with open(path) as f:
+            baseline.update(baseline_medians_us(json.load(f)))
+    with open(args.files[-1]) as f:
         fresh = fresh_medians_us(json.load(f))
 
     if not baseline:
-        print("check_bench: no comparable rows in baseline", file=sys.stderr)
+        print("check_bench: no comparable rows in baselines", file=sys.stderr)
         return 1
 
     failures = []

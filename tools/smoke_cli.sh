@@ -58,7 +58,7 @@ EOF
 
 echo "== batch: warm traced rerun must match byte-for-byte =="
 "${SWAPP}" batch --requests "${WORK}/batch.req" --cache-dir "${CACHE}" \
-  --metrics "${WORK}/warm.metrics" \
+  --metrics "${WORK}/warm.metrics" --trace "${WORK}/warm.trace.jsonl" \
   > "${WORK}/warm.out" 2> "${WORK}/warm.err"
 diff -u "${WORK}/cold.out" "${WORK}/warm.out"
 grep -q "warm batch: no simulation performed" "${WORK}/warm.err"
@@ -87,6 +87,11 @@ echo "== stats: snapshot pretty-prints and filters =="
 grep -q "cache.disk_hits" "${WORK}/stats.out"
 "${SWAPP}" stats --metrics "${WORK}/warm.metrics" --filter planner. \
   | grep -q "planner.requests"
+
+echo "== stats: per-span self-time rollup from the warm JSONL trace =="
+"${SWAPP}" stats --trace "${WORK}/warm.trace.jsonl" > "${WORK}/rollup.out"
+grep -q "Self ms" "${WORK}/rollup.out"
+grep -q "service.run" "${WORK}/rollup.out"
 
 echo "== serve: daemon answers requests byte-identically to batch =="
 SOCK="${WORK}/swapp.sock"

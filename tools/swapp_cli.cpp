@@ -73,8 +73,9 @@ commands:
   batch         --requests FILE [--cache-dir DIR] [--out FILE]
   serve         --socket PATH [--cache-dir DIR] [--cache-dir-max-bytes N[k|m|g]]
                 [--max-queue N] [--max-request-bytes N[k|m|g]]
+                [--coalesce-window MS]
   request       --socket PATH --requests FILE [--out FILE]
-  stats         --metrics FILE [--filter PREFIX]
+  stats         (--metrics FILE [--filter PREFIX] | --trace FILE.jsonl)
 
 global options (before or after the command's own flags):
   --trace FILE    record a span trace of the run; a .jsonl extension writes
@@ -101,7 +102,14 @@ the disk tier; past the cap the oldest artifact files are evicted.
 `serve` runs a long-lived projection daemon on a Unix-domain socket; it owns
 the artifact cache and coalesces concurrently queued requests into one
 planned batch, so shared artifacts and GA surrogate searches are deduplicated
-across clients.  SIGINT/SIGTERM drain in-flight work before exiting.
+across clients.  --coalesce-window MS makes the scheduler linger up to MS
+milliseconds once it has work, so near-simultaneous clients land in the same
+run (0, the default, drains eagerly).  SIGINT/SIGTERM drain in-flight work
+before exiting.
+
+`stats --trace FILE.jsonl` aggregates a JSONL span trace per name: count,
+total time, and self time (total minus child-span time), so the rows sum to
+wall clock without double-counting nested spans.
 `request` sends a batch request file to a running server and prints the same
 table `swapp batch` would, byte for byte.
 
@@ -563,6 +571,10 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     config.max_request_bytes = static_cast<std::size_t>(
         server::parse_byte_size(flags.at("max-request-bytes")));
   }
+  if (flags.count("coalesce-window")) {
+    config.coalesce_window =
+        server::parse_coalesce_window(flags.at("coalesce-window"));
+  }
 
   server::Server srv(
       base, config,
@@ -632,6 +644,16 @@ int cmd_request(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_stats(const std::map<std::string, std::string>& flags) {
+  if (flags.count("trace")) {
+    SWAPP_REQUIRE(!flags.count("metrics"),
+                  "stats takes --metrics or --trace, not both");
+    const std::string path = flags.at("trace");
+    std::ifstream in(path);
+    SWAPP_REQUIRE(in.good(), "cannot open trace file '" + path + "'");
+    const std::vector<obs::TraceEvent> events = obs::read_trace_jsonl(in);
+    print_span_rollup(std::cout, rollup_spans(events));
+    return 0;
+  }
   const obs::MetricsSnapshot snapshot =
       obs::load_metrics_file(need(flags, "metrics"));
   print_metrics(std::cout, snapshot,
