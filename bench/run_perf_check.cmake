@@ -1,11 +1,12 @@
 # ctest driver for the perf_check_bench entry (see CMakeLists.txt here):
 # runs the GA benchmarks fresh with JSON output, then gates the medians
 # against the checked-in baselines via tools/check_bench.py.
-# Inputs: BENCH_MICRO, PYTHON, CHECK_SCRIPT, BASELINE, BASELINE2, OUT_JSON.
+# Inputs: BENCH_MICRO, PYTHON, CHECK_SCRIPT, BASELINE, BASELINE2, BASELINE3,
+# OUT_JSON.
 
 execute_process(
   COMMAND "${BENCH_MICRO}"
-    "--benchmark_filter=BM_GaFitnessKernel|^BM_GaSurrogateSearch$|^BM_GaPolish|^BM_GaDeltaKernel"
+    "--benchmark_filter=BM_GaFitnessKernel|^BM_GaSurrogateSearch$|^BM_GaSurrogateSearchObsSampled$|^BM_GaPolish|^BM_GaDeltaKernel"
     --benchmark_min_time=0.5
     --benchmark_repetitions=7
     --benchmark_report_aggregates_only=true
@@ -18,7 +19,7 @@ endif()
 
 execute_process(
   COMMAND "${PYTHON}" "${CHECK_SCRIPT}" "${BASELINE}" "${BASELINE2}"
-    "${OUT_JSON}"
+    "${BASELINE3}" "${OUT_JSON}"
   RESULT_VARIABLE check_rc)
 if(NOT check_rc EQUAL 0)
   message(FATAL_ERROR "check_bench.py reported a regression (rc=${check_rc})")

@@ -131,8 +131,20 @@ void for_each_line(std::istream& is, Fn&& fn) {
 
 std::ofstream open_for_write(const std::filesystem::path& path) {
   std::ofstream os(path);
-  SWAPP_REQUIRE(os.good(), "cannot open for writing: " + path.string());
+  if (!os.good()) throw FileError("cannot open for writing", path.string());
   return os;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+/// (the registry's dots, mostly) to '_' and prefix "swapp_".
+std::string prometheus_name(const std::string& name) {
+  std::string out = "swapp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
 }
 
 }  // namespace
@@ -193,6 +205,25 @@ std::vector<TraceEvent> read_trace_jsonl(std::istream& is) {
     out.push_back(parse_trace_line(line));
   });
   return out;
+}
+
+TraceReadReport read_trace_jsonl_lenient(std::istream& is,
+                                         std::ostream& warn) {
+  TraceReadReport report;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    try {
+      report.events.push_back(parse_trace_line(line));
+    } catch (const std::exception& e) {  // std::stod can throw non-swapp too
+      ++report.skipped_lines;
+      warn << "warning: trace line " << line_number << " skipped: "
+           << e.what() << "\n";
+    }
+  }
+  return report;
 }
 
 void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
@@ -256,6 +287,51 @@ MetricsSnapshot load_metrics_file(const std::filesystem::path& path) {
   std::ifstream is(path);
   SWAPP_REQUIRE(is.good(), "cannot open metrics file: " + path.string());
   return read_metrics_jsonl(is);
+}
+
+void write_metrics_prometheus(std::ostream& os,
+                              const MetricsSnapshot& snapshot) {
+  for (const CounterValue& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << round_trip(g.value) << "\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += h.buckets[b];
+      // Collapse empty interior buckets: scrapers only need the occupied
+      // boundaries plus the mandatory +Inf terminator.
+      if (h.buckets[b] == 0 && b + 1 < kHistogramBuckets) continue;
+      if (b + 1 < kHistogramBuckets) {
+        os << name << "_bucket{le=\"" << round_trip(histogram_bucket_bound(b))
+           << "\"} " << cumulative << "\n";
+      }
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum " << round_trip(h.sum) << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+}
+
+void require_writable(const std::filesystem::path& path) {
+  std::error_code ec;
+  const bool existed = std::filesystem::exists(path, ec);
+  bool writable = false;
+  {
+    // Append mode: probes writability without touching existing content.
+    std::ofstream probe(path, std::ios::app);
+    writable = probe.good();
+  }
+  if (!existed) std::filesystem::remove(path, ec);  // leave no empty file
+  if (!writable) throw FileError("cannot open for writing", path.string());
 }
 
 }  // namespace swapp::obs

@@ -35,6 +35,19 @@ void write_trace_file(const std::filesystem::path& path,
 /// swapp::InvalidArgument on malformed input.
 std::vector<TraceEvent> read_trace_jsonl(std::istream& is);
 
+/// Lenient JSONL trace reading for operator-supplied files.
+struct TraceReadReport {
+  std::vector<TraceEvent> events;
+  std::size_t skipped_lines = 0;
+};
+
+/// Like read_trace_jsonl, but a line that fails to parse — malformed, or the
+/// truncated tail of a file cut mid-write — is skipped with one warning on
+/// `warn` naming the line number and reason, instead of aborting the whole
+/// read.  `swapp stats --trace` uses this so one bad line cannot hide an
+/// otherwise fine trace.
+TraceReadReport read_trace_jsonl_lenient(std::istream& is, std::ostream& warn);
+
 void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
 void write_metrics_file(const std::filesystem::path& path,
                         const MetricsSnapshot& snapshot);
@@ -43,6 +56,21 @@ void write_metrics_file(const std::filesystem::path& path,
 /// swapp::InvalidArgument on malformed input.
 MetricsSnapshot read_metrics_jsonl(std::istream& is);
 MetricsSnapshot load_metrics_file(const std::filesystem::path& path);
+
+/// Prometheus text exposition of a snapshot (`swapp stats --prometheus`):
+/// counters as `<name>_total`, gauges plain, histograms as cumulative
+/// `<name>_bucket{le="..."}` series ending in le="+Inf" plus `_sum` and
+/// `_count`.  Metric names are prefixed "swapp_" and sanitised (every
+/// character outside [a-zA-Z0-9_] becomes '_').
+void write_metrics_prometheus(std::ostream& os,
+                              const MetricsSnapshot& snapshot);
+
+/// Probes that `path` can be opened for writing and throws swapp::FileError
+/// naming the path otherwise.  Existing content is preserved; a file created
+/// only by the probe is removed again.  CLI flags that write at process exit
+/// (--trace/--metrics/--out) call this up front, so a bad path fails before
+/// the run instead of after it.
+void require_writable(const std::filesystem::path& path);
 
 /// Escapes a string for embedding in a JSON double-quoted literal.
 std::string json_escape(const std::string& s);

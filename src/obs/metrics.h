@@ -30,6 +30,32 @@ namespace swapp::obs {
 bool metrics_enabled() noexcept;
 void set_metrics_enabled(bool on) noexcept;
 
+// --- sampling ---------------------------------------------------------------
+// Sampling is what makes metrics affordable *always on* in the daemon: each
+// recording site keeps only a `rate` fraction of its records — decided by a
+// per-thread xorshift draw against the site's atomic threshold, so the skip
+// path touches no lock and no shard — and the kept records carry weight
+// 1/rate, so snapshot counts, sums, and bucket tallies are re-inflated into
+// unbiased estimates.  Rate 1.0 (the default) bypasses the RNG entirely and
+// stays exact, so nothing changes for tests or one-shot CLI runs.
+
+/// Sets the default sample rate for every metric, in (0, 1].  Existing and
+/// future registrations both pick it up (prefix overrides win).
+void set_metrics_sampling(double rate);
+
+/// Per-metric policy: metrics whose name starts with `prefix` sample at
+/// `rate` instead of the default (longest matching prefix wins).  The daemon
+/// pins its low-frequency server./cache./planner. metrics to 1.0 this way,
+/// so operator-facing counters and latency quantiles stay exact while the
+/// hot GA/pool paths are decimated.
+void set_metrics_sampling(const std::string& prefix, double rate);
+
+/// Effective sample rate the named metric would record at.
+double metrics_sampling(const std::string& name);
+
+/// Restores rate 1.0 everywhere and drops all prefix overrides (test hook).
+void reset_metrics_sampling();
+
 /// Log2 histogram buckets: bucket i counts observations in [2^(i-1), 2^i)
 /// (bucket 0 counts values < 1).  32 buckets cover [0, ~2e9] — microsecond
 /// latencies up to half an hour.
@@ -45,6 +71,12 @@ double histogram_bucket_bound(std::size_t i) noexcept;
 // and records through thread-local shards afterwards.  Handles are cheap to
 // copy and safe to keep in function-local statics.
 
+namespace detail {
+/// Per-slot sampling cell (stable address inside the registry); handles read
+/// its atomic threshold lock-free on every record.
+struct SamplePolicy;
+}  // namespace detail
+
 class Counter {
  public:
   explicit Counter(const std::string& name);
@@ -53,6 +85,7 @@ class Counter {
 
  private:
   std::size_t id_;
+  const detail::SamplePolicy* policy_;
 };
 
 /// Gauges are last-write-wins process-wide values (pool size, batch size);
@@ -73,6 +106,7 @@ class Histogram {
 
  private:
   std::size_t id_;
+  const detail::SamplePolicy* policy_;
 };
 
 // --- snapshots --------------------------------------------------------------
@@ -96,13 +130,18 @@ struct HistogramValue {
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
-  /// Bucket-resolution quantile estimate (upper bound of the bucket the
-  /// q-quantile observation fell in); q in [0, 1].
+  /// Quantile estimate with within-bucket linear interpolation: the
+  /// q-quantile rank is located in its log2 bucket and placed linearly
+  /// between the bucket's bounds, clamped into [min, max]; q in [0, 1].
+  /// Exact for q=0 (min) and q=1 (max); within one bucket's span otherwise.
   double quantile(double q) const;
 };
 
 /// All registered metrics, shards merged, sorted by name.  Metrics that were
-/// registered but never recorded report zero values.
+/// registered but never recorded report zero values.  Under sampling, counts
+/// and bucket tallies are the rounded sums of the kept records' 1/rate
+/// weights (unbiased estimates); histogram min/max reflect only the kept
+/// observations.
 struct MetricsSnapshot {
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;

@@ -1,0 +1,108 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.h"
+
+namespace swapp::obs {
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& newer,
+                               const MetricsSnapshot& older) {
+  MetricsSnapshot out;
+
+  // Both sides are sorted by name (the registry snapshot guarantees it), so
+  // a single merge walk pairs them up.  `older` can only be missing names —
+  // registration is append-only — and a missing name deltas from zero.
+  out.counters.reserve(newer.counters.size());
+  std::size_t j = 0;
+  for (const CounterValue& c : newer.counters) {
+    while (j < older.counters.size() && older.counters[j].name < c.name) ++j;
+    std::uint64_t base = 0;
+    if (j < older.counters.size() && older.counters[j].name == c.name) {
+      base = older.counters[j].value;
+    }
+    out.counters.push_back(
+        CounterValue{c.name, c.value >= base ? c.value - base : 0});
+  }
+
+  // Gauges are last-write-wins values, not rates; the window reports the
+  // newest reading.
+  out.gauges = newer.gauges;
+
+  out.histograms.reserve(newer.histograms.size());
+  j = 0;
+  for (const HistogramValue& h : newer.histograms) {
+    while (j < older.histograms.size() && older.histograms[j].name < h.name) {
+      ++j;
+    }
+    const HistogramValue* base = nullptr;
+    if (j < older.histograms.size() && older.histograms[j].name == h.name) {
+      base = &older.histograms[j];
+    }
+    HistogramValue d;
+    d.name = h.name;
+    std::size_t first = kHistogramBuckets;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t was = base != nullptr ? base->buckets[b] : 0;
+      d.buckets[b] = h.buckets[b] >= was ? h.buckets[b] - was : 0;
+      if (d.buckets[b] > 0) {
+        first = std::min(first, b);
+        last = b;
+      }
+      d.count += d.buckets[b];
+    }
+    if (d.count > 0) {
+      d.sum = base != nullptr ? h.sum - base->sum : h.sum;
+      // The window's true extremes are unknowable from cumulative ones;
+      // estimate from the occupied bucket bounds, clamped into the
+      // cumulative range (window observations are a subset of lifetime).
+      const double lo = first == 0 ? 0.0 : histogram_bucket_bound(first - 1);
+      d.min = std::max(h.min, lo);
+      d.max = std::min(h.max, histogram_bucket_bound(last));
+      if (d.min > d.max) d.min = d.max;
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsWindow::MetricsWindow(std::size_t slots) : slots_(slots) {
+  SWAPP_REQUIRE(slots >= 1, "MetricsWindow needs at least one slot");
+}
+
+void MetricsWindow::rotate(MetricsSnapshot cumulative, double now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(Slot{now_us, std::move(cumulative)});
+  while (ring_.size() > slots_) ring_.pop_front();
+}
+
+MetricsWindow::Delta MetricsWindow::delta_over(double seconds,
+                                               const MetricsSnapshot& current,
+                                               double now_us) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Delta out;
+  if (ring_.empty()) return out;
+  // The newest entry at least `seconds` old; when the ring is younger than
+  // the horizon, the oldest entry is the best available baseline.
+  const double cutoff_us = now_us - seconds * 1e6;
+  const Slot* base = &ring_.front();
+  for (const Slot& slot : ring_) {
+    if (slot.t_us <= cutoff_us) {
+      base = &slot;
+    } else {
+      break;
+    }
+  }
+  out.seconds = std::max(0.0, (now_us - base->t_us) / 1e6);
+  out.metrics = snapshot_delta(current, base->snapshot);
+  return out;
+}
+
+std::size_t MetricsWindow::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace swapp::obs

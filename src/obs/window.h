@@ -1,0 +1,78 @@
+// Windowed metric aggregation for long-running processes.
+//
+// A `MetricsWindow` is a ring of timestamped cumulative `MetricsSnapshot`s,
+// rotated on a fixed cadence (the projection daemon ticks it once per
+// second).  Any "last N seconds" question is then the delta between the
+// *current* cumulative snapshot and the ring entry closest to N seconds ago
+// — which means a window answer reflects activity up to this instant, never
+// waits for the next rotation, and needs no per-slot merging at query time.
+// The ring's span (slots x rotation cadence) bounds how far back a query can
+// reach; older history simply falls off the end.
+//
+// Deltas of log2 histograms keep exact counts, sums, and bucket tallies
+// (they subtract), but true min/max of just the window are not recoverable
+// from cumulative extremes — they are estimated from the window's lowest and
+// highest occupied bucket bounds, clamped into the cumulative [min, max], so
+// `HistogramValue::quantile` interpolation stays sane.
+//
+// Thread safety: rotate() and delta_over() lock the ring's mutex; recording
+// threads never touch the window at all (they write to the registry shards),
+// so windowing adds zero cost to hot paths.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace swapp::obs {
+
+/// Per-name delta `newer - older` of two cumulative snapshots.  Metrics
+/// missing from `older` (registered since) count from zero; counter and
+/// bucket deltas clamp at zero so a reset_metrics between the snapshots
+/// cannot go negative.  Gauges are last-write values, so the delta carries
+/// `newer`'s reading unchanged.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& newer,
+                               const MetricsSnapshot& older);
+
+class MetricsWindow {
+ public:
+  /// A ring holding up to `slots` rotations (>= 1).
+  explicit MetricsWindow(std::size_t slots);
+
+  /// Appends one timestamped cumulative snapshot, dropping the oldest entry
+  /// past capacity.  `now_us` is the caller's clock (obs::trace_now_us), so
+  /// tests can drive synthetic time.
+  void rotate(MetricsSnapshot cumulative, double now_us);
+
+  struct Delta {
+    /// Wall time the delta actually covers — the ring may not reach the
+    /// full requested horizon (young process) or may only have an older
+    /// entry (coarse rotation), so rates must divide by this, not by the
+    /// requested seconds.
+    double seconds = 0.0;
+    MetricsSnapshot metrics;
+  };
+
+  /// Activity of roughly the last `seconds`: current minus the newest ring
+  /// entry at least that old (falling back to the oldest entry when none
+  /// is).  An empty ring yields a zero-second empty delta.
+  Delta delta_over(double seconds, const MetricsSnapshot& current,
+                   double now_us) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return slots_; }
+
+ private:
+  struct Slot {
+    double t_us = 0.0;
+    MetricsSnapshot snapshot;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t slots_;
+  std::deque<Slot> ring_;
+};
+
+}  // namespace swapp::obs

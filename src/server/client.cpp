@@ -42,11 +42,16 @@ Client::~Client() {
 
 Response Client::call(const std::string& request_payload,
                       std::size_t max_response_bytes) {
+  return decode_response(call_raw(request_payload, max_response_bytes));
+}
+
+std::string Client::call_raw(const std::string& request_payload,
+                             std::size_t max_response_bytes) {
   write_frame(fd_, request_payload);
-  const Frame frame = read_frame(fd_, max_response_bytes);
+  Frame frame = read_frame(fd_, max_response_bytes);
   switch (frame.status) {
     case FrameStatus::kOk:
-      return decode_response(frame.payload);
+      return std::move(frame.payload);
     case FrameStatus::kEof:
     case FrameStatus::kTruncated:
       throw Error("server closed the connection before answering");

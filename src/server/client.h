@@ -33,6 +33,12 @@ class Client {
   Response call(const std::string& request_payload,
                 std::size_t max_response_bytes = std::size_t{64} << 20);
 
+  /// Sends one request document and returns the raw response payload without
+  /// decoding it — the transport for answers that are not "swapp-batch-result"
+  /// documents (stats reports).  Same error behaviour as call().
+  std::string call_raw(const std::string& request_payload,
+                       std::size_t max_response_bytes = std::size_t{64} << 20);
+
   int fd() const noexcept { return fd_; }
 
  private:

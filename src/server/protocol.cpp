@@ -117,6 +117,176 @@ Response decode_response(const std::string& payload) {
   return response;
 }
 
+std::string encode_stats_request(StatsKind kind) {
+  std::ostringstream os;
+  io::RecordWriter writer(os, "swapp-stats", 1);
+  writer.row("query").field(kind == StatsKind::kHealth
+                                ? std::string("health")
+                                : std::string("stats"));
+  writer.finish();
+  return os.str();
+}
+
+StatsRequest classify_stats_request(const std::string& payload) {
+  // Cheap peek before any parsing: only a "swapp-stats" header goes down
+  // the stats path; every other payload takes the batch path (and its
+  // existing error reporting) untouched.
+  if (payload.rfind("#swapp \"swapp-stats\"", 0) != 0) return {};
+  std::istringstream in(payload);
+  io::RecordReader reader(in, "swapp-stats", 1);
+  io::Record rec;
+  while (reader.next(rec)) {
+    if (rec.tag != "query") {
+      throw InvalidArgument("unknown record in stats request: " + rec.tag);
+    }
+    if (rec.fields.empty()) {
+      throw InvalidArgument("stats query row needs: stats|health");
+    }
+    const std::string what = rec.str(0);
+    if (what == "stats") return StatsRequest{true, StatsKind::kStats};
+    if (what == "health") return StatsRequest{true, StatsKind::kHealth};
+    throw InvalidArgument("unknown stats query (use stats or health): " +
+                          what);
+  }
+  throw InvalidArgument("stats request has no query row");
+}
+
+std::string encode_stats_report(const StatsReport& report) {
+  std::ostringstream os;
+  io::RecordWriter writer(os, "swapp-stats-result", 1);
+  writer.row("server")
+      .field(report.draining ? std::string("draining") : std::string("ok"))
+      .field(report.uptime_s);
+  writer.row("queue").field(report.queue_depth).field(report.queue_capacity);
+  writer.row("inflight")
+      .field(report.inflight_batches)
+      .field(report.inflight_rows);
+  writer.row("lifetime")
+      .field(report.connections)
+      .field(report.requests)
+      .field(report.batches)
+      .field(report.busy_rejections)
+      .field(report.protocol_errors)
+      .field(report.stats_requests);
+  for (const StatsScope& scope : report.scopes) {
+    writer.row("scope").field(scope.name).field(scope.seconds);
+    for (const obs::CounterValue& c : scope.metrics.counters) {
+      writer.row("counter").field(c.name).field(c.value);
+    }
+    for (const obs::GaugeValue& g : scope.metrics.gauges) {
+      writer.row("gauge").field(g.name).field(g.value);
+    }
+    for (const obs::HistogramValue& h : scope.metrics.histograms) {
+      auto& row = writer.row("histogram")
+                      .field(h.name)
+                      .field(h.count)
+                      .field(h.sum)
+                      .field(h.min)
+                      .field(h.max);
+      for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+        row.field(h.buckets[b]);
+      }
+    }
+  }
+  writer.finish();
+  return os.str();
+}
+
+StatsReport decode_stats_report(const std::string& payload) {
+  std::istringstream in(payload);
+  io::RecordReader reader(in, "swapp-stats-result", 1);
+  StatsReport report;
+  StatsScope* scope = nullptr;
+  io::Record rec;
+  while (reader.next(rec)) {
+    if (rec.tag == "server") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("server row needs: status, uptime");
+      }
+      report.draining = rec.str(0) == "draining";
+      report.uptime_s = rec.num(1);
+      continue;
+    }
+    if (rec.tag == "queue") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("queue row needs: depth, capacity");
+      }
+      report.queue_depth = static_cast<std::uint64_t>(rec.integer(0));
+      report.queue_capacity = static_cast<std::uint64_t>(rec.integer(1));
+      continue;
+    }
+    if (rec.tag == "inflight") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("inflight row needs: batches, rows");
+      }
+      report.inflight_batches = static_cast<std::uint64_t>(rec.integer(0));
+      report.inflight_rows = static_cast<std::uint64_t>(rec.integer(1));
+      continue;
+    }
+    if (rec.tag == "lifetime") {
+      if (rec.fields.size() < 6) {
+        throw InvalidArgument(
+            "lifetime row needs: connections, requests, batches, busy, "
+            "proto_errors, stats");
+      }
+      report.connections = static_cast<std::uint64_t>(rec.integer(0));
+      report.requests = static_cast<std::uint64_t>(rec.integer(1));
+      report.batches = static_cast<std::uint64_t>(rec.integer(2));
+      report.busy_rejections = static_cast<std::uint64_t>(rec.integer(3));
+      report.protocol_errors = static_cast<std::uint64_t>(rec.integer(4));
+      report.stats_requests = static_cast<std::uint64_t>(rec.integer(5));
+      continue;
+    }
+    if (rec.tag == "scope") {
+      if (rec.fields.size() < 2) {
+        throw InvalidArgument("scope row needs: name, seconds");
+      }
+      report.scopes.push_back(StatsScope{rec.str(0), rec.num(1), {}});
+      scope = &report.scopes.back();
+      continue;
+    }
+    if (rec.tag == "counter" || rec.tag == "gauge" ||
+        rec.tag == "histogram") {
+      if (scope == nullptr) {
+        throw InvalidArgument("metric row before any scope row: " + rec.tag);
+      }
+      if (rec.tag == "counter") {
+        if (rec.fields.size() < 2) {
+          throw InvalidArgument("counter row needs: name, value");
+        }
+        scope->metrics.counters.push_back(obs::CounterValue{
+            rec.str(0), static_cast<std::uint64_t>(rec.integer(1))});
+        continue;
+      }
+      if (rec.tag == "gauge") {
+        if (rec.fields.size() < 2) {
+          throw InvalidArgument("gauge row needs: name, value");
+        }
+        scope->metrics.gauges.push_back(
+            obs::GaugeValue{rec.str(0), rec.num(1)});
+        continue;
+      }
+      if (rec.fields.size() < 5 + obs::kHistogramBuckets) {
+        throw InvalidArgument(
+            "histogram row needs: name, count, sum, min, max, 32 buckets");
+      }
+      obs::HistogramValue h;
+      h.name = rec.str(0);
+      h.count = static_cast<std::uint64_t>(rec.integer(1));
+      h.sum = rec.num(2);
+      h.min = rec.num(3);
+      h.max = rec.num(4);
+      for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+        h.buckets[b] = static_cast<std::uint64_t>(rec.integer(5 + b));
+      }
+      scope->metrics.histograms.push_back(std::move(h));
+      continue;
+    }
+    throw InvalidArgument("unknown record in stats document: " + rec.tag);
+  }
+  return report;
+}
+
 namespace {
 
 /// Reads exactly `n` bytes into `out` (which may be null to discard).

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace swapp::server {
 
 /// Typed failure classes a response can carry.
@@ -82,6 +84,77 @@ struct Response {
 std::string encode_response(const Response& response);
 /// Throws swapp::Error on a malformed document.
 Response decode_response(const std::string& payload);
+
+// --- introspection (stats / health) -----------------------------------------
+// A second request document kind rides the same framing: a "swapp-stats" v1
+// document whose single row is `query "stats"` or `query "health"`.  The
+// server answers these *inline on the connection thread* — they never enter
+// the admission queue, so introspection works even while a coalesced batch
+// occupies the scheduler, and never pauses request processing.  The answer
+// is a "swapp-stats-result" v1 document:
+//
+//   server "<ok|draining>" <uptime_s>
+//   queue <depth> <capacity>
+//   inflight <batches> <rows>
+//   lifetime <connections> <requests> <batches> <busy> <proto_errors> <stats>
+//   scope "<name>" <covered_seconds>
+//   counter "<name>" <value>
+//   gauge "<name>" <value>
+//   histogram "<name>" <count> <sum> <min> <max> <b0> ... <b31>
+//
+// counter/gauge/histogram rows attach to the most recent scope row; a
+// `health` query answers the same head rows with no scopes.  Histogram rows
+// carry all 32 log2 buckets, so the client can render quantiles and
+// Prometheus exposition without another round trip.
+
+/// What kind of introspection a request asks for.  kStats returns the full
+/// report (windowed metric scopes included); kHealth only the cheap head.
+enum class StatsKind {
+  kStats,
+  kHealth,
+};
+
+/// Encodes a "swapp-stats" v1 request document.
+std::string encode_stats_request(StatsKind kind);
+
+/// Classifies a request payload: a "swapp-stats" document yields its
+/// StatsKind, anything else (the normal "swapp-batch" path included) yields
+/// nullopt-like absence via the bool.  Throws swapp::Error on a document
+/// that *is* "swapp-stats" but malformed.
+struct StatsRequest {
+  bool is_stats = false;
+  StatsKind kind = StatsKind::kStats;
+};
+StatsRequest classify_stats_request(const std::string& payload);
+
+/// One named metrics scope of a stats report: the process lifetime or one
+/// trailing window ("1s"/"10s"/"60s"), with the wall time it actually
+/// covers.
+struct StatsScope {
+  std::string name;
+  double seconds = 0.0;
+  obs::MetricsSnapshot metrics;
+};
+
+struct StatsReport {
+  bool draining = false;
+  double uptime_s = 0.0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t inflight_batches = 0;  ///< coalesced runs executing now
+  std::uint64_t inflight_rows = 0;     ///< projection rows in those runs
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;  ///< projection rows served, lifetime
+  std::uint64_t batches = 0;   ///< coalesced runs, lifetime
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t stats_requests = 0;
+  std::vector<StatsScope> scopes;  ///< empty for a health answer
+};
+
+std::string encode_stats_report(const StatsReport& report);
+/// Throws swapp::Error on a malformed document.
+StatsReport decode_stats_report(const std::string& payload);
 
 // --- framing ----------------------------------------------------------------
 

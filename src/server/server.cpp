@@ -18,6 +18,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "server/options.h"
 #include "support/error.h"
 
@@ -75,6 +76,23 @@ struct Server::Impl {
   std::thread acceptor;
   std::thread scheduler;
 
+  // --- live telemetry -------------------------------------------------------
+  // The ticker is the scheduler's telemetry companion: the scheduler itself
+  // can block for minutes inside a coalesced run, so a dedicated thread
+  // rotates the stats window on the configured cadence regardless.  Stats
+  // queries are answered inline on connection threads (never queued), so
+  // introspection cannot pause request processing.
+  obs::MetricsWindow window{config.stats_window_slots};
+  std::thread ticker;
+  std::mutex ticker_mutex;
+  std::condition_variable ticker_cv;
+  bool ticker_stop = false;
+  double start_us = 0.0;
+
+  std::atomic<std::uint64_t> inflight_batches{0};
+  std::atomic<std::uint64_t> inflight_rows{0};
+  std::atomic<std::uint64_t> stats_requests{0};
+
   /// Connection registry: the entry owns the fd; the thread only uses it.
   struct Conn {
     std::thread thread;
@@ -95,6 +113,8 @@ struct Server::Impl {
   Response handle_payload(const std::string& payload);
   void scheduler_loop();
   void run_batch(std::vector<Item> items);
+  void ticker_loop();
+  StatsReport build_stats(StatsKind kind);
 };
 
 void Server::Impl::acceptor_loop() {
@@ -169,6 +189,26 @@ void Server::Impl::serve_connection(int fd) {
             "request frame exceeds " +
                 std::to_string(config.max_request_bytes) + " bytes");
       } else {
+        // Introspection requests are answered right here on the connection
+        // thread — they bypass the admission queue entirely, so a stats
+        // probe works even while a coalesced run occupies the scheduler.
+        StatsRequest stats{};
+        try {
+          stats = classify_stats_request(frame.payload);
+        } catch (const Error& e) {
+          ++proto_errors;
+          SWAPP_COUNT("server.bad_requests", 1);
+          write_frame(fd,
+                      encode_response(Response::failure(
+                          ErrorCode::kBadRequest, e.what())));
+          continue;
+        }
+        if (stats.is_stats) {
+          ++stats_requests;
+          SWAPP_COUNT("server.stats_requests", 1);
+          write_frame(fd, encode_stats_report(build_stats(stats.kind)));
+          continue;
+        }
         response = handle_payload(frame.payload);
       }
       write_frame(fd, encode_response(response));
@@ -249,6 +289,7 @@ void Server::Impl::scheduler_loop() {
         if (stop_requested) return;  // fully drained
         continue;
       }
+      const double woke_us = obs::trace_now_us();
       if (config.coalesce_window.count() > 0 && !stop_requested) {
         // Linger so near-simultaneous clients join this run.  Only
         // shutdown cuts the window short; further arrivals simply ride
@@ -257,6 +298,10 @@ void Server::Impl::scheduler_loop() {
         cv.wait_for(lock, config.coalesce_window,
                     [&] { return stop_requested; });
       }
+      // How long the scheduler held work back for coalescing — near zero
+      // with the default eager drain, up to the window otherwise.
+      SWAPP_OBSERVE("server.coalesce_linger_us",
+                    obs::trace_now_us() - woke_us);
       // Everything queued right now becomes one coalesced run; batches
       // arriving during the run pile up for the next one.
       while (!queue.empty()) {
@@ -279,6 +324,10 @@ void Server::Impl::run_batch(std::vector<Item> items) {
   for (const Item& item : items) {
     all_rows.insert(all_rows.end(), item.rows.begin(), item.rows.end());
   }
+  // In-flight state is what a stats probe reads while this run executes —
+  // it must be set before the run and cleared after the promises resolve.
+  inflight_batches.store(1);
+  inflight_rows.store(all_rows.size());
 
   try {
     // Targets in first-appearance order over the coalesced rows — the same
@@ -305,8 +354,10 @@ void Server::Impl::run_batch(std::vector<Item> items) {
       }
       slices.push_back(std::move(batch));
     }
+    const double run_start_us = obs::trace_now_us();
     const service::ProjectionService::CoalescedReport report =
         svc.run_coalesced(slices);
+    SWAPP_OBSERVE("server.run_us", obs::trace_now_us() - run_start_us);
 
     std::vector<PhaseRow> phases;
     for (const service::ProjectionService::PhaseTime& p :
@@ -318,31 +369,98 @@ void Server::Impl::run_batch(std::vector<Item> items) {
          report.combined.artifacts) {
       artifacts.push_back(ArtifactRow{note.name, to_string(note.source)});
     }
+    // All accounting lands BEFORE any promise resolves: a client that just
+    // received its answer may immediately probe the stats endpoint, and it
+    // must see this run counted and no longer in flight.
+    std::vector<Response> responses(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
-      Response response;
-      response.ok = true;
+      responses[i].ok = true;
       for (const core::ProjectionResult& r : report.slices[i]) {
-        response.results.push_back(ResultRow{r.app, r.target, r.cores,
-                                             r.compute.target_compute,
-                                             r.comm.target_total(),
-                                             r.total_target()});
+        responses[i].results.push_back(ResultRow{r.app, r.target, r.cores,
+                                                 r.compute.target_compute,
+                                                 r.comm.target_total(),
+                                                 r.total_target()});
       }
-      response.phases = phases;
-      response.artifacts = artifacts;
+      responses[i].phases = phases;
+      responses[i].artifacts = artifacts;
       served += report.slices[i].size();
-      items[i].promise.set_value(std::move(response));
+      // End-to-end request latency: admission to answered, per client batch.
+      SWAPP_OBSERVE("server.request_us",
+                    obs::trace_now_us() - items[i].enqueued_us);
     }
     ++batches;
     SWAPP_COUNT("server.batches", 1);
     SWAPP_COUNT("server.requests", all_rows.size());
+    inflight_rows.store(0);
+    inflight_batches.store(0);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      items[i].promise.set_value(std::move(responses[i]));
+    }
   } catch (const std::exception& e) {
     // Admission-time validation keeps this to genuine execution failures
     // (e.g. a thread count no profile matches); every rider of the poisoned
     // run gets the same typed error.
     SWAPP_COUNT("server.failed_batches", 1);
+    for (const Item& item : items) {
+      SWAPP_OBSERVE("server.request_us",
+                    obs::trace_now_us() - item.enqueued_us);
+    }
+    inflight_rows.store(0);
+    inflight_batches.store(0);
     const Response failure = Response::failure(ErrorCode::kInternal, e.what());
     for (Item& item : items) item.promise.set_value(failure);
   }
+}
+
+void Server::Impl::ticker_loop() {
+  std::unique_lock<std::mutex> lock(ticker_mutex);
+  while (!ticker_stop) {
+    ticker_cv.wait_for(lock, config.stats_slot, [&] { return ticker_stop; });
+    if (ticker_stop) return;
+    // Snapshotting outside the lock would let wait() race past a rotation;
+    // rotation is cheap (one registry sweep) so holding it is fine.
+    window.rotate(obs::metrics_snapshot(), obs::trace_now_us());
+  }
+}
+
+StatsReport Server::Impl::build_stats(StatsKind kind) {
+  StatsReport report;
+  const double now_us = obs::trace_now_us();
+  report.draining = stopping.load();
+  report.uptime_s = start_us > 0.0 ? (now_us - start_us) / 1e6 : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    report.queue_depth = queue.size();
+  }
+  report.queue_capacity = config.max_queue;
+  report.inflight_batches = inflight_batches.load();
+  report.inflight_rows = inflight_rows.load();
+  report.connections = accepted.load();
+  report.requests = served.load();
+  report.batches = batches.load();
+  report.busy_rejections = busy.load();
+  report.protocol_errors = proto_errors.load();
+  report.stats_requests = stats_requests.load();
+  if (kind == StatsKind::kHealth) return report;
+
+  // Window scopes diff the *current* snapshot against ring entries, so the
+  // answer includes activity up to this instant — a probe right after a
+  // burst sees it without waiting for the next rotation.
+  obs::MetricsSnapshot life = obs::metrics_snapshot();
+  for (const double seconds : {1.0, 10.0, 60.0}) {
+    obs::MetricsWindow::Delta d = window.delta_over(seconds, life, now_us);
+    StatsScope scope;
+    scope.name = std::to_string(static_cast<int>(seconds)) + "s";
+    scope.seconds = d.seconds;
+    scope.metrics = std::move(d.metrics);
+    report.scopes.push_back(std::move(scope));
+  }
+  StatsScope lifetime;
+  lifetime.name = "lifetime";
+  lifetime.seconds = report.uptime_s;
+  lifetime.metrics = std::move(life);
+  report.scopes.push_back(std::move(lifetime));
+  return report;
 }
 
 Server::Server(machine::Machine base, ServerConfig config, ServiceSetup setup,
@@ -406,6 +524,11 @@ void Server::start() {
   if (::pipe2(s.wake_fd, O_CLOEXEC) != 0) throw_errno("pipe2");
 
   s.started.store(true);
+  s.start_us = obs::trace_now_us();
+  // Seed the window so the very first stats probe has a baseline to diff
+  // against, then let the ticker rotate on the configured cadence.
+  s.window.rotate(obs::metrics_snapshot(), s.start_us);
+  s.ticker = std::thread([&s] { s.ticker_loop(); });
   s.scheduler = std::thread([&s] { s.scheduler_loop(); });
   s.acceptor = std::thread([&s] { s.acceptor_loop(); });
 }
@@ -434,6 +557,12 @@ void Server::wait() {
   if (s.waited) return;
   if (s.acceptor.joinable()) s.acceptor.join();
   if (s.scheduler.joinable()) s.scheduler.join();
+  {
+    std::lock_guard<std::mutex> lock(s.ticker_mutex);
+    s.ticker_stop = true;
+  }
+  s.ticker_cv.notify_all();
+  if (s.ticker.joinable()) s.ticker.join();
   // Every admitted promise is now fulfilled, but a reader that just received
   // its future result may not have written the response yet.  Shut down only
   // the read side: a reader parked in recv wakes with EOF and exits, while an
@@ -474,6 +603,10 @@ std::uint64_t Server::busy_rejections() const noexcept {
 }
 std::uint64_t Server::protocol_errors() const noexcept {
   return impl_->proto_errors.load();
+}
+
+StatsReport Server::stats_report(StatsKind kind) {
+  return impl_->build_stats(kind);
 }
 
 }  // namespace swapp::server

@@ -64,6 +64,13 @@ struct ServerConfig {
   /// latency ceiling, not a floor: shutdown cuts it short, and 0 — the
   /// default — preserves the eager drain.
   std::chrono::milliseconds coalesce_window{0};
+  /// Stats window geometry: a telemetry ticker thread snapshots the metrics
+  /// registry every `stats_slot` into a ring of `stats_window_slots`
+  /// entries (default 60 x 1s), so the stats endpoint can answer "last
+  /// 1s/10s/60s" rates and latency quantiles, not just lifetime totals.
+  /// Tests shrink the slot to drive rotation fast.
+  std::size_t stats_window_slots = 60;
+  std::chrono::milliseconds stats_slot{1000};
   /// Per-batch service configuration.  `shared_cache` is overwritten by the
   /// server with its resident cache; cache_dir/cache_capacity/
   /// cache_dir_max_bytes configure that resident cache instead.
@@ -121,6 +128,12 @@ class Server {
   std::uint64_t batches_run() const noexcept;      ///< coalesced runs
   std::uint64_t busy_rejections() const noexcept;
   std::uint64_t protocol_errors() const noexcept;
+
+  /// The report a `query "stats"` (full) or `query "health"` request gets:
+  /// uptime, queue and in-flight state, lifetime counters, and (full only)
+  /// the lifetime metrics snapshot plus 1s/10s/60s window scopes.  Built
+  /// without touching the scheduler, so it is also a direct test surface.
+  StatsReport stats_report(StatsKind kind);
 
  private:
   struct Impl;

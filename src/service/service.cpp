@@ -181,11 +181,13 @@ ProjectionService::BatchReport ProjectionService::run(
   end_phase("projection");
   report.cache = cache_->stats();
   // Surface the phase breakdown in the metrics snapshot ("service.phase_s.
-  // <phase>" gauges), so machine-readable exports (--metrics, the server's
-  // response protocol) carry per-phase wall-clock without parsing stderr.
+  // <phase>" gauges for the latest run, "service.phase_us.<phase>" histograms
+  // across runs), so machine-readable exports (--metrics, the server's stats
+  // endpoint) carry per-phase wall-clock without parsing stderr.
   if (obs::metrics_enabled()) {
     for (const PhaseTime& p : report.phases) {
       obs::Gauge("service.phase_s." + p.phase).set(p.seconds);
+      obs::Histogram("service.phase_us." + p.phase).observe(p.seconds * 1e6);
     }
   }
   return report;

@@ -36,6 +36,20 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a file cannot be opened or created.  Carries the offending
+/// path as data (not just prose), so callers can react to *which* file
+/// failed — the CLI uses this to reject a bad --trace/--metrics/--out path
+/// before any work happens instead of after all of it.
+class FileError : public Error {
+ public:
+  FileError(const std::string& what, std::string path)
+      : Error(what + ": " + path), path_(std::move(path)) {}
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& message);

@@ -3,7 +3,11 @@
 // JSONL/Chrome exporters' round trips.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -13,6 +17,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "support/error.h"
 #include "support/obs_report.h"
 #include "support/parallel.h"
@@ -31,6 +36,7 @@ struct ObsGuard {
   static void reset() {
     obs::set_metrics_enabled(false);
     obs::set_tracing_enabled(false);
+    obs::reset_metrics_sampling();
     obs::reset_metrics();
     obs::drain_trace();
   }
@@ -418,6 +424,413 @@ TEST(SpanRollupTest, RollsUpARealDrainedTrace) {
   }
   EXPECT_GT(root_self, 0.0);
   EXPECT_GT(child_total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSampling, SampledCounterReinflatesToExpectedTotal) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(0.25);
+  constexpr int kN = 40000;
+  const obs::Counter counter("obs_test.sampled_counter");
+  for (int i = 0; i < kN; ++i) counter.increment();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.sampled_counter"), nullptr);
+  // Binomial(40000, 0.25) re-inflated by 4: stddev of the estimate is
+  // 4*sqrt(n*p*(1-p)) ~ 346, so 5 sigma ~ 1733 — test at 5%.
+  const double value =
+      static_cast<double>(snap.counter("obs_test.sampled_counter")->value);
+  EXPECT_NEAR(value, kN, kN * 0.05);
+  EXPECT_NE(static_cast<std::uint64_t>(value), 0u);
+}
+
+TEST(MetricsSampling, PrefixRuleKeepsOperatorMetricsExact) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(0.125);
+  obs::set_metrics_sampling("server.", 1.0);
+  EXPECT_DOUBLE_EQ(obs::metrics_sampling("server.queue_wait_us"), 1.0);
+  EXPECT_DOUBLE_EQ(obs::metrics_sampling("planner.dedup"), 0.125);
+
+  constexpr int kN = 5000;
+  const obs::Counter exact("server.sampling_exact");
+  const obs::Counter sampled("hot.sampling_decimated");
+  for (int i = 0; i < kN; ++i) {
+    exact.increment();
+    sampled.increment();
+  }
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("server.sampling_exact"), nullptr);
+  EXPECT_EQ(snap.counter("server.sampling_exact")->value,
+            static_cast<std::uint64_t>(kN));  // exact, not statistical
+  ASSERT_NE(snap.counter("hot.sampling_decimated"), nullptr);
+  EXPECT_NEAR(
+      static_cast<double>(snap.counter("hot.sampling_decimated")->value), kN,
+      kN * 0.15);
+}
+
+TEST(MetricsSampling, SampledHistogramReinflatesCountAndSum) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(0.5);
+  constexpr int kN = 20000;
+  const obs::Histogram hist("obs_test.sampled_hist");
+  for (int i = 0; i < kN; ++i) hist.observe(100.0);
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const obs::HistogramValue* h = snap.histogram("obs_test.sampled_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(static_cast<double>(h->count), kN, kN * 0.05);
+  EXPECT_NEAR(h->sum, 100.0 * kN, 100.0 * kN * 0.05);
+  // min/max come from genuinely sampled values, never inflated.
+  EXPECT_DOUBLE_EQ(h->min, 100.0);
+  EXPECT_DOUBLE_EQ(h->max, 100.0);
+  // The snapshot count is the sum of the (rounded) buckets, so quantile
+  // ranks always land inside a bucket.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(h->count, bucket_total);
+}
+
+TEST(MetricsSampling, RateOneStaysExactAfterRuntimeRateChanges) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(0.25);
+  obs::set_metrics_sampling(1.0);  // back to exact before recording
+  constexpr int kN = 1000;
+  const obs::Counter counter("obs_test.rate_flip");
+  for (int i = 0; i < kN; ++i) counter.increment();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.rate_flip"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.rate_flip")->value,
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(MetricsSampling, RejectsRatesOutsideZeroOne) {
+  ObsGuard guard;
+  EXPECT_THROW(obs::set_metrics_sampling(0.0), InvalidArgument);
+  EXPECT_THROW(obs::set_metrics_sampling(1.5), InvalidArgument);
+  EXPECT_THROW(obs::set_metrics_sampling(-0.25), InvalidArgument);
+  EXPECT_THROW(obs::set_metrics_sampling("", 0.5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Interpolated quantiles
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesWithinABucketAgainstExactQuantiles) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  // 1024 uniform values covering bucket [1024, 2048): the exact quantile of
+  // the data is q -> 1024 + q*1024, and linear interpolation inside the
+  // bucket should land within one step of it.
+  const obs::Histogram hist("obs_test.quantile_uniform");
+  for (int v = 1024; v < 2048; ++v) hist.observe(static_cast<double>(v));
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const obs::HistogramValue* h = snap.histogram("obs_test.quantile_uniform");
+  ASSERT_NE(h, nullptr);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = 1024.0 + q * 1024.0;
+    EXPECT_NEAR(h->quantile(q), exact, 16.0) << "q=" << q;
+  }
+  // The endpoints are exact, not bucket bounds.
+  EXPECT_DOUBLE_EQ(h->quantile(0.0), 1024.0);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 2047.0);
+}
+
+TEST(HistogramQuantile, BimodalDistributionSplitsAcrossBuckets) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  const obs::Histogram hist("obs_test.quantile_bimodal");
+  for (int i = 0; i < 100; ++i) hist.observe(10.0);    // bucket [8, 16)
+  for (int i = 0; i < 100; ++i) hist.observe(700.0);   // bucket [512, 1024)
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const obs::HistogramValue* h = snap.histogram("obs_test.quantile_bimodal");
+  ASSERT_NE(h, nullptr);
+  // p25 lives in the low mode, p75 in the high one; both inside their
+  // bucket's bounds and clamped into [min, max].
+  const double p25 = h->quantile(0.25);
+  EXPECT_GE(p25, 10.0);  // clamped at the observed min
+  EXPECT_LT(p25, 16.0);
+  const double p75 = h->quantile(0.75);
+  EXPECT_GE(p75, 512.0);
+  EXPECT_LE(p75, 700.0);  // clamped at the observed max
+  EXPECT_LT(h->quantile(0.25), h->quantile(0.75));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot deltas and the metrics window
+// ---------------------------------------------------------------------------
+
+TEST(MetricsWindow, SnapshotDeltaSubtractsCountersHistogramsKeepsGauges) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.delta_count", 3);
+  SWAPP_OBSERVE("obs_test.delta_hist", 50.0);
+  SWAPP_GAUGE_SET("obs_test.delta_gauge", 1.0);
+  const obs::MetricsSnapshot older = obs::metrics_snapshot();
+  SWAPP_COUNT("obs_test.delta_count", 2);
+  SWAPP_OBSERVE("obs_test.delta_hist", 200.0);
+  SWAPP_OBSERVE("obs_test.delta_hist", 210.0);
+  SWAPP_GAUGE_SET("obs_test.delta_gauge", 9.0);
+  SWAPP_COUNT("obs_test.delta_new", 7);  // born after `older`
+  const obs::MetricsSnapshot newer = obs::metrics_snapshot();
+
+  const obs::MetricsSnapshot d = obs::snapshot_delta(newer, older);
+  ASSERT_NE(d.counter("obs_test.delta_count"), nullptr);
+  EXPECT_EQ(d.counter("obs_test.delta_count")->value, 2u);
+  ASSERT_NE(d.counter("obs_test.delta_new"), nullptr);
+  EXPECT_EQ(d.counter("obs_test.delta_new")->value, 7u);  // full value
+  ASSERT_NE(d.gauge("obs_test.delta_gauge"), nullptr);
+  EXPECT_DOUBLE_EQ(d.gauge("obs_test.delta_gauge")->value, 9.0);  // newest
+  const obs::HistogramValue* h = d.histogram("obs_test.delta_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);  // only the two observations after `older`
+  EXPECT_DOUBLE_EQ(h->sum, 410.0);
+  // The window's min/max are bucket-bound estimates clamped into the
+  // cumulative range: both deltas landed in [128, 256).
+  EXPECT_GE(h->min, 50.0);
+  EXPECT_LE(h->max, 256.0);
+  EXPECT_LE(h->min, h->max);
+}
+
+TEST(MetricsWindow, DeltaOverPicksTheSlotCoveringTheAskedSpan) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::MetricsWindow window(8);
+  const obs::Counter counter("obs_test.window_count");
+
+  // Synthetic clock: one rotation per "second", 5 increments per second.
+  double now_us = 0.0;
+  window.rotate(obs::metrics_snapshot(), now_us);
+  for (int second = 1; second <= 5; ++second) {
+    for (int i = 0; i < 5; ++i) counter.increment();
+    now_us = second * 1e6;
+    window.rotate(obs::metrics_snapshot(), now_us);
+  }
+  const obs::MetricsSnapshot current = obs::metrics_snapshot();
+
+  const obs::MetricsWindow::Delta last2 =
+      window.delta_over(2.0, current, now_us);
+  EXPECT_NEAR(last2.seconds, 2.0, 1e-9);
+  ASSERT_NE(last2.metrics.counter("obs_test.window_count"), nullptr);
+  EXPECT_EQ(last2.metrics.counter("obs_test.window_count")->value, 10u);
+
+  // Asking for more history than the ring holds falls back to the oldest
+  // entry and reports the span it actually covers.
+  const obs::MetricsWindow::Delta all =
+      window.delta_over(60.0, current, now_us);
+  EXPECT_NEAR(all.seconds, 5.0, 1e-9);
+  ASSERT_NE(all.metrics.counter("obs_test.window_count"), nullptr);
+  EXPECT_EQ(all.metrics.counter("obs_test.window_count")->value, 25u);
+}
+
+TEST(MetricsWindow, RingEvictsOldestPastCapacity) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::MetricsWindow window(3);
+  EXPECT_EQ(window.capacity(), 3u);
+  const obs::Counter counter("obs_test.window_evict");
+  for (int second = 0; second < 10; ++second) {
+    counter.increment();
+    window.rotate(obs::metrics_snapshot(), second * 1e6);
+  }
+  EXPECT_EQ(window.size(), 3u);
+  // Oldest surviving slot is t=7s with 8 increments recorded; the ring can
+  // answer at most the last two seconds of history.
+  const obs::MetricsSnapshot current = obs::metrics_snapshot();
+  const obs::MetricsWindow::Delta all =
+      window.delta_over(60.0, current, 9e6);
+  EXPECT_NEAR(all.seconds, 2.0, 1e-9);
+  ASSERT_NE(all.metrics.counter("obs_test.window_evict"), nullptr);
+  EXPECT_EQ(all.metrics.counter("obs_test.window_evict")->value, 2u);
+}
+
+TEST(MetricsWindow, EmptyWindowAnswersZeroDelta) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::MetricsWindow window(4);
+  const obs::MetricsWindow::Delta d =
+      window.delta_over(10.0, obs::metrics_snapshot(), 1e6);
+  EXPECT_DOUBLE_EQ(d.seconds, 0.0);
+  EXPECT_TRUE(d.metrics.counters.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent snapshotting (primary targets of tools/check_tsan.sh)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsConcurrency, SnapshotRacesRecordersWithoutLosingFinalTotals) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  const obs::Counter counter("obs_test.race_count");
+  const obs::Histogram hist("obs_test.race_hist");
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    // Snapshots taken mid-recording see arbitrary partial totals; they must
+    // merely be internally consistent and race-free.
+    while (!stop.load()) {
+      const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+      const obs::HistogramValue* h = snap.histogram("obs_test.race_hist");
+      if (h != nullptr) {
+        std::uint64_t bucket_total = 0;
+        for (const std::uint64_t b : h->buckets) bucket_total += b;
+        EXPECT_EQ(h->count, bucket_total);
+      }
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.increment();
+        hist.observe(static_cast<double>(i % 1024));
+      }
+    });
+  }
+  for (std::thread& t : recorders) t.join();
+  stop.store(true);
+  snapshotter.join();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.race_count"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.race_count")->value,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  ASSERT_NE(snap.histogram("obs_test.race_hist"), nullptr);
+  EXPECT_EQ(snap.histogram("obs_test.race_hist")->count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsConcurrency, WindowRotationRacesRecording) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::MetricsWindow window(16);
+  const obs::Counter counter("obs_test.race_window");
+  std::atomic<bool> stop{false};
+  std::thread rotator([&] {
+    double now_us = 0.0;
+    while (!stop.load()) {
+      now_us += 1e4;
+      window.rotate(obs::metrics_snapshot(), now_us);
+      const obs::MetricsWindow::Delta d =
+          window.delta_over(0.01, obs::metrics_snapshot(), now_us);
+      EXPECT_GE(d.seconds, 0.0);
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) counter.increment();
+    });
+  }
+  for (std::thread& t : recorders) t.join();
+  stop.store(true);
+  rotator.join();
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  ASSERT_NE(snap.counter("obs_test.race_window"), nullptr);
+  EXPECT_EQ(snap.counter("obs_test.race_window")->value, 80000u);
+}
+
+// ---------------------------------------------------------------------------
+// Lenient trace reading, writability probes, Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, LenientReaderSkipsMalformedLinesWithWarnings) {
+  std::istringstream is(
+      "{\"name\":\"good\",\"ph\":\"X\",\"ts\":1.0,\"dur\":2.0,"
+      "\"tid\":1,\"args\":{\"id\":1,\"parent\":0}}\n"
+      "this line is not json\n"
+      "{\"name\":\"bad_phase\",\"ph\":\"Q\",\"ts\":1.0,\"tid\":1}\n"
+      "{\"name\":\"also_good\",\"ph\":\"X\",\"ts\":5.0,\"dur\":1.0,"
+      "\"tid\":2,\"args\":{\"id\":2,\"parent\":0}}\n");
+  std::ostringstream warn;
+  const obs::TraceReadReport report = obs::read_trace_jsonl_lenient(is, warn);
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_EQ(report.events[0].name, "good");
+  EXPECT_EQ(report.events[1].name, "also_good");
+  EXPECT_EQ(report.skipped_lines, 2u);
+  // The warnings name the offending lines.
+  EXPECT_NE(warn.str().find("line 2"), std::string::npos);
+  EXPECT_NE(warn.str().find("line 3"), std::string::npos);
+  EXPECT_EQ(warn.str().find("line 1"), std::string::npos);
+}
+
+TEST(TraceExport, LenientReaderHandlesEmptyInput) {
+  std::istringstream is("");
+  std::ostringstream warn;
+  const obs::TraceReadReport report = obs::read_trace_jsonl_lenient(is, warn);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_EQ(report.skipped_lines, 0u);
+  EXPECT_TRUE(warn.str().empty());
+}
+
+TEST(FileErrors, RequireWritableThrowsTypedErrorWithOffendingPath) {
+  const std::string bad = "/nonexistent-swapp-dir/out.json";
+  try {
+    obs::require_writable(bad);
+    FAIL() << "accepted an unwritable path";
+  } catch (const FileError& e) {
+    EXPECT_EQ(e.path(), bad);
+    EXPECT_NE(std::string(e.what()).find(bad), std::string::npos);
+  }
+}
+
+TEST(FileErrors, RequireWritableLeavesNoFileBehindAndKeepsContent) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "swapp-obs-test-writable";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path fresh = dir / "fresh.json";
+  std::filesystem::remove(fresh);
+  obs::require_writable(fresh);
+  EXPECT_FALSE(std::filesystem::exists(fresh));  // probe left nothing
+  const std::filesystem::path existing = dir / "existing.json";
+  {
+    std::ofstream os(existing);
+    os << "precious";
+  }
+  obs::require_writable(existing);
+  std::ifstream is(existing);
+  std::string content;
+  std::getline(is, content);
+  EXPECT_EQ(content, "precious");  // probe did not truncate
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileErrors, WriteTraceFileThrowsFileErrorForBadPath) {
+  try {
+    obs::write_trace_file("/nonexistent-swapp-dir/trace.jsonl", {});
+    FAIL() << "accepted an unwritable path";
+  } catch (const FileError& e) {
+    EXPECT_EQ(e.path(), "/nonexistent-swapp-dir/trace.jsonl");
+  }
+}
+
+TEST(MetricsExport, PrometheusExpositionCarriesAllKinds) {
+  ObsGuard guard;
+  obs::set_metrics_enabled(true);
+  SWAPP_COUNT("obs_test.prom_count", 11);
+  SWAPP_GAUGE_SET("obs_test.prom_gauge", 2.5);
+  for (int i = 0; i < 10; ++i) SWAPP_OBSERVE("obs_test.prom_hist", 100.0);
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os, obs::metrics_snapshot());
+  const std::string text = os.str();
+  // Names are sanitized (dots to underscores) and prefixed.
+  EXPECT_NE(text.find("swapp_obs_test_prom_count_total 11"),
+            std::string::npos);
+  EXPECT_NE(text.find("swapp_obs_test_prom_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("swapp_obs_test_prom_hist_bucket{le=\"128\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("swapp_obs_test_prom_hist_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("swapp_obs_test_prom_hist_sum 1000"),
+            std::string::npos);
+  EXPECT_NE(text.find("swapp_obs_test_prom_hist_count 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE swapp_obs_test_prom_hist histogram"),
+            std::string::npos);
 }
 
 }  // namespace

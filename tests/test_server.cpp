@@ -230,10 +230,12 @@ bool eventually(Predicate done) {
 class ServerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // Keyed by pid, not gtest's random seed: ctest -j runs every test in its
+    // own process with the default seed 0, and suites sharing one directory
+    // remove_all each other's live sockets.
     dir_ = new std::filesystem::path(
         std::filesystem::temp_directory_path() /
-        ("swapp-server-test-" +
-         std::to_string(::testing::UnitTest::GetInstance()->random_seed())));
+        ("swapp-server-test-" + std::to_string(::getpid())));
     std::filesystem::remove_all(*dir_);
     std::filesystem::create_directories(*dir_);
   }
@@ -582,6 +584,172 @@ TEST_F(ServerTest, LiveSocketIsRefusedStaleSocketIsReplaced) {
   EXPECT_TRUE(client.call(lu_request(8, 16)).ok);
   third.request_stop();
   third.wait();
+}
+
+// --- stats / health introspection -------------------------------------------
+
+TEST(StatsProtocolTest, ReportEncodeDecodeRoundTripsEveryField) {
+  server::StatsReport report;
+  report.draining = true;
+  report.uptime_s = 12.5;
+  report.queue_depth = 3;
+  report.queue_capacity = 64;
+  report.inflight_batches = 1;
+  report.inflight_rows = 7;
+  report.connections = 11;
+  report.requests = 42;
+  report.batches = 9;
+  report.busy_rejections = 2;
+  report.protocol_errors = 1;
+  report.stats_requests = 5;
+  server::StatsScope scope;
+  scope.name = "10s";
+  scope.seconds = 9.75;
+  scope.metrics.counters.push_back(obs::CounterValue{"server.requests", 42});
+  scope.metrics.gauges.push_back(obs::GaugeValue{"server.queue_depth", 3.0});
+  obs::HistogramValue h;
+  h.name = "server.request_us";
+  h.count = 10;
+  h.sum = 1000.0;
+  h.min = 50.0;
+  h.max = 200.0;
+  h.buckets[7] = 10;
+  scope.metrics.histograms.push_back(h);
+  report.scopes.push_back(scope);
+
+  const server::StatsReport back =
+      server::decode_stats_report(server::encode_stats_report(report));
+  EXPECT_EQ(back.draining, true);
+  EXPECT_DOUBLE_EQ(back.uptime_s, 12.5);
+  EXPECT_EQ(back.queue_depth, 3u);
+  EXPECT_EQ(back.queue_capacity, 64u);
+  EXPECT_EQ(back.inflight_batches, 1u);
+  EXPECT_EQ(back.inflight_rows, 7u);
+  EXPECT_EQ(back.connections, 11u);
+  EXPECT_EQ(back.requests, 42u);
+  EXPECT_EQ(back.batches, 9u);
+  EXPECT_EQ(back.busy_rejections, 2u);
+  EXPECT_EQ(back.protocol_errors, 1u);
+  EXPECT_EQ(back.stats_requests, 5u);
+  ASSERT_EQ(back.scopes.size(), 1u);
+  EXPECT_EQ(back.scopes[0].name, "10s");
+  EXPECT_DOUBLE_EQ(back.scopes[0].seconds, 9.75);
+  ASSERT_EQ(back.scopes[0].metrics.counters.size(), 1u);
+  EXPECT_EQ(back.scopes[0].metrics.counters[0].value, 42u);
+  ASSERT_EQ(back.scopes[0].metrics.histograms.size(), 1u);
+  EXPECT_EQ(back.scopes[0].metrics.histograms[0].buckets, h.buckets);
+  EXPECT_DOUBLE_EQ(back.scopes[0].metrics.histograms[0].sum, 1000.0);
+}
+
+TEST(StatsProtocolTest, ClassifierSeparatesStatsFromBatchAndRejectsMalformed) {
+  const server::StatsRequest stats = server::classify_stats_request(
+      server::encode_stats_request(server::StatsKind::kStats));
+  EXPECT_TRUE(stats.is_stats);
+  EXPECT_EQ(stats.kind, server::StatsKind::kStats);
+  const server::StatsRequest health = server::classify_stats_request(
+      server::encode_stats_request(server::StatsKind::kHealth));
+  EXPECT_TRUE(health.is_stats);
+  EXPECT_EQ(health.kind, server::StatsKind::kHealth);
+
+  // A batch document (or garbage) is simply "not a stats request".
+  EXPECT_FALSE(server::classify_stats_request("#swapp \"swapp-batch\" v1\n")
+                   .is_stats);
+  EXPECT_FALSE(server::classify_stats_request("garbage").is_stats);
+  // But a document that *claims* to be swapp-stats must be well-formed.
+  EXPECT_THROW(
+      server::classify_stats_request("#swapp \"swapp-stats\" v1\nbogus\n"),
+      Error);
+}
+
+TEST_F(ServerTest, StatsEndpointReportsQueueInflightAndWindowedLatency) {
+  // A tiny slot keeps the ticker rotating fast enough that the 1s window
+  // demonstrably covers the request served below.
+  server::ServerConfig cfg = config("stats.sock");
+  cfg.stats_slot = std::chrono::milliseconds(50);
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  // Sampled always-on recording, exactly as `swapp serve` configures it.
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(1.0 / 64.0);
+  obs::set_metrics_sampling("server.", 1.0);
+  srv.start();
+
+  // Cold probe before any work: sane head, empty-but-present window scopes.
+  const server::StatsReport cold = srv.stats_report(server::StatsKind::kStats);
+  EXPECT_FALSE(cold.draining);
+  EXPECT_GE(cold.uptime_s, 0.0);
+  EXPECT_EQ(cold.queue_depth, 0u);
+  EXPECT_EQ(cold.queue_capacity, cfg.max_queue);
+  EXPECT_EQ(cold.inflight_batches, 0u);
+  ASSERT_EQ(cold.scopes.size(), 4u);
+  EXPECT_EQ(cold.scopes[0].name, "1s");
+  EXPECT_EQ(cold.scopes[1].name, "10s");
+  EXPECT_EQ(cold.scopes[2].name, "60s");
+  EXPECT_EQ(cold.scopes[3].name, "lifetime");
+
+  {
+    server::Client client(*dir_ / "stats.sock");
+    ASSERT_TRUE(client.call(lu_request(8, 16)).ok);
+    // The stats answer travels the wire like any other response, but is
+    // served inline on the connection thread.
+    const server::StatsReport live = server::decode_stats_report(
+        client.call_raw(server::encode_stats_request(
+            server::StatsKind::kStats)));
+    EXPECT_EQ(live.requests, 1u);
+    EXPECT_EQ(live.batches, 1u);
+    EXPECT_EQ(live.inflight_batches, 0u);
+    EXPECT_EQ(live.stats_requests, 1u);
+    ASSERT_EQ(live.scopes.size(), 4u);
+    const server::StatsScope& lifetime = live.scopes.back();
+    const obs::HistogramValue* request_us =
+        lifetime.metrics.histogram("server.request_us");
+    ASSERT_NE(request_us, nullptr);
+    EXPECT_EQ(request_us->count, 1u);
+    EXPECT_GT(request_us->quantile(0.5), 0.0);
+    EXPECT_LE(request_us->quantile(0.5), request_us->quantile(0.99));
+    // The request just ran, so the trailing 1s window must show it too —
+    // scopes diff against the live snapshot, not the last rotation.
+    const obs::HistogramValue* windowed =
+        live.scopes[0].metrics.histogram("server.request_us");
+    ASSERT_NE(windowed, nullptr);
+    EXPECT_EQ(windowed->count, 1u);
+
+    // Health: same head, no metric scopes.
+    const server::StatsReport health = server::decode_stats_report(
+        client.call_raw(server::encode_stats_request(
+            server::StatsKind::kHealth)));
+    EXPECT_EQ(health.requests, 1u);
+    EXPECT_GE(health.stats_requests, 1u);
+    EXPECT_TRUE(health.scopes.empty());
+  }
+  srv.request_stop();
+  srv.wait();
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics_sampling();
+  obs::reset_metrics();
+}
+
+TEST_F(ServerTest, StatsRequestsBypassTheAdmissionQueue) {
+  // Fill the scheduler with a linger window so the queue stays occupied,
+  // then show a stats probe answers while the batch is still pending.
+  server::ServerConfig cfg = config("stats-busy.sock");
+  cfg.coalesce_min = 2;  // scheduler waits for a second batch that never comes
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu);
+  srv.start();
+  std::thread rider([&] {
+    server::Client client(*dir_ / "stats-busy.sock");
+    (void)client.call(lu_request(8, 16));
+  });
+  // Wait until the batch is queued (the scheduler is holding out for more).
+  ASSERT_TRUE(eventually([&] { return srv.queue_depth() == 1; }));
+  server::Client probe(*dir_ / "stats-busy.sock");
+  const server::StatsReport report = server::decode_stats_report(
+      probe.call_raw(server::encode_stats_request(server::StatsKind::kStats)));
+  EXPECT_EQ(report.queue_depth, 1u);  // answered while work sat queued
+  srv.request_stop();  // drain cuts coalesce_min short and serves the rider
+  rider.join();
+  srv.wait();
 }
 
 TEST_F(ServerTest, ConstructorRejectsBadConfiguration) {

@@ -61,6 +61,10 @@ def baseline_medians_us(baseline):
     search = baseline.get("ga_surrogate_search_us", {}).get("current", {})
     if isinstance(search.get("median"), (int, float)):
         out["BM_GaSurrogateSearch"] = float(search["median"])
+    sampled = baseline.get("ga_surrogate_search_sampled_us", {}).get(
+        "sampled_always_on", {})
+    if isinstance(sampled.get("median"), (int, float)):
+        out["BM_GaSurrogateSearchObsSampled"] = float(sampled["median"])
     return out
 
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the observability and server test suites under
+# UndefinedBehaviorSanitizer and runs them directly.  The always-on sampled
+# metrics path does integer-threshold sampling (shifted 64-bit RNG draws
+# against a rate scaled by 2^53) and count re-inflation via double weights,
+# and the stats endpoint decodes length-prefixed frames from the wire —
+# exactly the arithmetic and parsing UBSan is good at catching (shift
+# overflow, float-to-int conversion out of range, misaligned loads).
+# Usage: tools/check_ubsan.sh [extra gtest args passed to both binaries].
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-ubsan"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DSWAPP_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)" --target test_obs test_server
+
+"${BUILD}/tests/test_obs" "$@"
+"${BUILD}/tests/test_server" "$@"

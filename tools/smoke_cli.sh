@@ -103,6 +103,14 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -S "${SOCK}" ]] || { echo "server socket never appeared" >&2; exit 1; }
+
+echo "== stats: cold daemon probe reports an empty queue =="
+"${SWAPP}" stats --socket "${SOCK}" > "${WORK}/stats-cold.out"
+grep -q "Server status: ok" "${WORK}/stats-cold.out"
+grep -qE "queue depth +\| 0 / [0-9]+" "${WORK}/stats-cold.out"
+"${SWAPP}" stats --socket "${SOCK}" --health > "${WORK}/health.out"
+grep -q "Server status: ok" "${WORK}/health.out"
+
 # Cold and warm served runs must both match the standalone batch table.
 "${SWAPP}" request --socket "${SOCK}" --requests "${WORK}/batch.req" \
   > "${WORK}/served-cold.out" 2> "${WORK}/served-cold.err"
@@ -115,6 +123,35 @@ diff -u "${WORK}/cold.out" "${WORK}/served-warm.out"
 # (phase timings legitimately differ between runs).
 diff -u <(grep '^result ' "${WORK}/cold.doc") \
         <(grep '^result ' "${WORK}/served.doc")
+
+echo "== stats: warm daemon probe carries request latency and counters =="
+"${SWAPP}" stats --socket "${SOCK}" > "${WORK}/stats-warm.out"
+grep -qE "requests served +\| [1-9]" "${WORK}/stats-warm.out"
+grep -qE "inflight batches +\| 0" "${WORK}/stats-warm.out"
+grep -q "server.request_us" "${WORK}/stats-warm.out"
+grep -q "server.run_us" "${WORK}/stats-warm.out"
+python3 - "${WORK}/stats-warm.out" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+# request wall time must be positive and admission wait <= full request time
+# (the request spends its whole life >= its queue wait).
+rows = {}
+for line in text.splitlines():
+    m = re.match(r"\| (server\.\w+)\s*\|\s*(\d+)\s*\|\s*([0-9.e+-]+)", line)
+    if m:
+        rows[m.group(1)] = (int(m.group(2)), float(m.group(3)))
+assert rows["server.request_us"][0] >= 2, f"latency rows: {rows}"
+assert rows["server.request_us"][1] > 0, f"latency rows: {rows}"
+print(f"stats ok: {rows['server.request_us'][0]} requests, "
+      f"mean {rows['server.request_us'][1]:.0f}us")
+EOF
+
+echo "== stats: prometheus exposition lists server head and histograms =="
+"${SWAPP}" stats --socket "${SOCK}" --prometheus > "${WORK}/stats.prom"
+grep -q "^swapp_server_up 1" "${WORK}/stats.prom"
+grep -qE "^swapp_server_queue_depth [0-9]+" "${WORK}/stats.prom"
+grep -qE "^swapp_server_requests_total [1-9]" "${WORK}/stats.prom"
+grep -q 'swapp_server_request_us_bucket{le="+Inf"}' "${WORK}/stats.prom"
 
 echo "== serve: SIGTERM drains gracefully and flushes metrics =="
 kill -TERM "${SERVE_PID}"

@@ -23,6 +23,7 @@
 //   swapp batch --requests batch.req --cache-dir .swapp-cache
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -73,9 +74,10 @@ commands:
   batch         --requests FILE [--cache-dir DIR] [--out FILE]
   serve         --socket PATH [--cache-dir DIR] [--cache-dir-max-bytes N[k|m|g]]
                 [--max-queue N] [--max-request-bytes N[k|m|g]]
-                [--coalesce-window MS]
+                [--coalesce-window MS] [--metrics-sampling RATE]
   request       --socket PATH --requests FILE [--out FILE]
-  stats         (--metrics FILE [--filter PREFIX] | --trace FILE.jsonl)
+  stats         (--metrics FILE [--filter PREFIX] | --trace FILE.jsonl |
+                 --socket PATH [--watch SECS] [--health] [--prometheus])
 
 global options (before or after the command's own flags):
   --trace FILE    record a span trace of the run; a .jsonl extension writes
@@ -105,11 +107,20 @@ planned batch, so shared artifacts and GA surrogate searches are deduplicated
 across clients.  --coalesce-window MS makes the scheduler linger up to MS
 milliseconds once it has work, so near-simultaneous clients land in the same
 run (0, the default, drains eagerly).  SIGINT/SIGTERM drain in-flight work
-before exiting.
+before exiting.  Metrics recording stays on for the daemon's whole life:
+hot-path metrics are sampled (1-in-64 by default; --metrics-sampling RATE
+overrides, 1 records everything) with counts re-inflated on snapshot, while
+the operator-facing server./service./cache./planner. metrics stay exact.
 
+`stats --socket PATH` queries a running server's introspection endpoint:
+uptime, queue depth, in-flight work, and per-request latency quantiles over
+the last 1s/10s/60s windows plus the process lifetime.  --watch SECS repeats
+the query every SECS seconds; --health asks only for the cheap liveness head;
+--prometheus prints Prometheus text exposition instead of tables.
 `stats --trace FILE.jsonl` aggregates a JSONL span trace per name: count,
 total time, and self time (total minus child-span time), so the rows sum to
-wall clock without double-counting nested spans.
+wall clock without double-counting nested spans.  Malformed lines are
+skipped with a per-line warning.
 `request` sends a batch request file to a running server and prints the same
 table `swapp batch` would, byte for byte.
 
@@ -127,6 +138,10 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
     key = key.substr(2);
+    if (key == "health" || key == "prometheus") {  // valueless switches
+      flags[key] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage("flag --" + key + " needs a value");
     flags[key] = argv[++i];
   }
@@ -443,7 +458,7 @@ void print_batch_table(const std::vector<BatchTableRow>& rows) {
 void write_result_document(const std::string& path,
                            const server::Response& response) {
   std::ofstream out(path);
-  if (!out) usage("cannot open output file: " + path);
+  if (!out) throw FileError("cannot open output file for writing", path);
   out << server::encode_response(response);
   std::cerr << "wrote " << path << "\n";
 }
@@ -460,6 +475,9 @@ std::vector<service::BatchRow> read_batch_file(const std::string& path) {
 
 int cmd_batch(const std::map<std::string, std::string>& flags) {
   const machine::Machine base = machine::make_power5_hydra();
+  // Probe --out before the (possibly expensive) run: an unwritable path
+  // should fail in milliseconds, not after minutes of simulation.
+  if (flags.count("out")) obs::require_writable(flags.at("out"));
   const std::vector<service::BatchRow> rows =
       read_batch_file(need(flags, "requests"));
 
@@ -576,6 +594,19 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         server::parse_coalesce_window(flags.at("coalesce-window"));
   }
 
+  // The daemon's metrics are always on: sampling bounds the hot-path cost
+  // (1-in-64 by default, counts re-inflated on snapshot), while the
+  // operator-facing prefixes stay exact — queue depths, cache hit rates,
+  // and request-latency quantiles must not be statistical estimates.
+  obs::set_metrics_enabled(true);
+  obs::set_metrics_sampling(
+      flags.count("metrics-sampling")
+          ? server::parse_sampling_rate(flags.at("metrics-sampling"))
+          : 1.0 / 64.0);
+  for (const char* prefix : {"server.", "service.", "cache.", "planner."}) {
+    obs::set_metrics_sampling(prefix, 1.0);
+  }
+
   server::Server srv(
       base, config,
       [base](service::ProjectionService& svc,
@@ -606,6 +637,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_request(const std::map<std::string, std::string>& flags) {
+  if (flags.count("out")) obs::require_writable(flags.at("out"));
   const std::vector<service::BatchRow> rows =
       read_batch_file(need(flags, "requests"));
   // Re-encode rather than forwarding the file verbatim: the wire payload is
@@ -643,15 +675,162 @@ int cmd_request(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// --- stats rendering --------------------------------------------------------
+
+/// The head table every stats/health answer carries: liveness, queue and
+/// in-flight state, lifetime counters.
+void print_stats_head(std::ostream& os, const server::StatsReport& r) {
+  TextTable table({"Field", "Value"});
+  table.set_title(std::string("Server status: ") +
+                  (r.draining ? "draining" : "ok"));
+  table.add_row({"uptime s", TextTable::num(r.uptime_s, 1)});
+  table.add_row({"queue depth", std::to_string(r.queue_depth) + " / " +
+                                    std::to_string(r.queue_capacity)});
+  table.add_row({"inflight batches", std::to_string(r.inflight_batches)});
+  table.add_row({"inflight rows", std::to_string(r.inflight_rows)});
+  table.add_row({"connections", std::to_string(r.connections)});
+  table.add_row({"requests served", std::to_string(r.requests)});
+  table.add_row({"batches run", std::to_string(r.batches)});
+  table.add_row({"busy rejections", std::to_string(r.busy_rejections)});
+  table.add_row({"protocol errors", std::to_string(r.protocol_errors)});
+  table.add_row({"stats requests", std::to_string(r.stats_requests)});
+  table.print(os);
+}
+
+/// One trailing window, compact: per-second counter rates and latency
+/// quantiles.  Zero-activity metrics are dropped — a quiet window prints
+/// nothing but its title line.
+void print_stats_scope(std::ostream& os, const server::StatsScope& scope) {
+  os << "\nwindow " << scope.name << " (covering "
+     << TextTable::num(scope.seconds, 1) << "s)\n";
+  const double seconds = scope.seconds > 0.0 ? scope.seconds : 1.0;
+  TextTable counters({"Counter", "Delta", "Rate/s"});
+  bool any_counter = false;
+  for (const obs::CounterValue& c : scope.metrics.counters) {
+    if (c.value == 0) continue;
+    any_counter = true;
+    counters.add_row({c.name, std::to_string(c.value),
+                      TextTable::num(static_cast<double>(c.value) / seconds,
+                                     2)});
+  }
+  if (any_counter) counters.print(os);
+  TextTable hist({"Histogram", "Count", "Mean", "p50", "p99", "Max"});
+  bool any_hist = false;
+  for (const obs::HistogramValue& h : scope.metrics.histograms) {
+    if (h.count == 0) continue;
+    any_hist = true;
+    hist.add_row({h.name, std::to_string(h.count),
+                  TextTable::num(h.sum / static_cast<double>(h.count), 1),
+                  TextTable::num(h.quantile(0.5), 1),
+                  TextTable::num(h.quantile(0.99), 1),
+                  TextTable::num(h.max, 1)});
+  }
+  if (any_hist) hist.print(os);
+}
+
+void print_stats_report(std::ostream& os, const server::StatsReport& r) {
+  print_stats_head(os, r);
+  for (const server::StatsScope& scope : r.scopes) {
+    if (scope.name == "lifetime") {
+      os << "\nlifetime metrics\n";
+      print_metrics(os, scope.metrics);
+    } else {
+      print_stats_scope(os, scope);
+    }
+  }
+}
+
+/// Prometheus text exposition: the server head as swapp_server_* series,
+/// then the lifetime snapshot (scrapers derive windows themselves).
+void print_stats_prometheus(std::ostream& os, const server::StatsReport& r) {
+  const auto gauge = [&os](const std::string& name, const std::string& v) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+  };
+  const auto counter = [&os](const std::string& name, std::uint64_t v) {
+    os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  };
+  gauge("swapp_server_up", r.draining ? "0" : "1");
+  gauge("swapp_server_uptime_seconds", TextTable::num(r.uptime_s, 3));
+  gauge("swapp_server_queue_depth", std::to_string(r.queue_depth));
+  gauge("swapp_server_queue_capacity", std::to_string(r.queue_capacity));
+  gauge("swapp_server_inflight_batches", std::to_string(r.inflight_batches));
+  gauge("swapp_server_inflight_rows", std::to_string(r.inflight_rows));
+  counter("swapp_server_connections_total", r.connections);
+  counter("swapp_server_requests_total", r.requests);
+  counter("swapp_server_batches_total", r.batches);
+  counter("swapp_server_busy_rejections_total", r.busy_rejections);
+  counter("swapp_server_protocol_errors_total", r.protocol_errors);
+  counter("swapp_server_stats_requests_total", r.stats_requests);
+  for (const server::StatsScope& scope : r.scopes) {
+    if (scope.name != "lifetime") continue;
+    // The head already exported these as authoritative swapp_server_* series;
+    // re-emitting the obs counters of the same name would produce duplicate
+    // series, which scrapers reject.
+    obs::MetricsSnapshot metrics = scope.metrics;
+    metrics.counters.erase(
+        std::remove_if(metrics.counters.begin(), metrics.counters.end(),
+                       [](const obs::CounterValue& c) {
+                         return c.name == "server.requests" ||
+                                c.name == "server.batches" ||
+                                c.name == "server.stats_requests";
+                       }),
+        metrics.counters.end());
+    obs::write_metrics_prometheus(os, metrics);
+  }
+}
+
+int cmd_stats_live(const std::map<std::string, std::string>& flags) {
+  const std::string socket = flags.at("socket");
+  const unsigned watch = flags.count("watch")
+                             ? server::parse_watch_seconds(flags.at("watch"))
+                             : 0;
+  const std::string request = server::encode_stats_request(
+      flags.count("health") ? server::StatsKind::kHealth
+                            : server::StatsKind::kStats);
+  while (true) {
+    // Reconnect per round: a watch loop then survives a server restart the
+    // same way a fresh invocation would.
+    server::Client client(socket);
+    const server::StatsReport report =
+        server::decode_stats_report(client.call_raw(request));
+    if (flags.count("prometheus")) {
+      print_stats_prometheus(std::cout, report);
+    } else {
+      print_stats_report(std::cout, report);
+    }
+    if (watch == 0) break;
+    std::cout << "\n" << std::flush;
+    ::sleep(watch);
+  }
+  return 0;
+}
+
 int cmd_stats(const std::map<std::string, std::string>& flags) {
+  if (flags.count("socket")) {
+    SWAPP_REQUIRE(!flags.count("metrics") && !flags.count("trace"),
+                  "stats takes --socket, --metrics, or --trace, not several");
+    return cmd_stats_live(flags);
+  }
   if (flags.count("trace")) {
     SWAPP_REQUIRE(!flags.count("metrics"),
                   "stats takes --metrics or --trace, not both");
     const std::string path = flags.at("trace");
     std::ifstream in(path);
     SWAPP_REQUIRE(in.good(), "cannot open trace file '" + path + "'");
-    const std::vector<obs::TraceEvent> events = obs::read_trace_jsonl(in);
-    print_span_rollup(std::cout, rollup_spans(events));
+    // Lenient read: a corrupted line (half-written flush, truncation) warns
+    // and skips, so one bad record does not hide the rest of the trace.
+    const obs::TraceReadReport report =
+        obs::read_trace_jsonl_lenient(in, std::cerr);
+    if (report.skipped_lines > 0) {
+      std::cerr << "warning: skipped " << report.skipped_lines
+                << " malformed line(s) of '" << path << "'\n";
+    }
+    if (report.events.empty()) {
+      std::cerr << "trace file '" << path
+                << "' contains no events; nothing to aggregate\n";
+      return 0;
+    }
+    print_span_rollup(std::cout, rollup_spans(report.events));
     return 0;
   }
   const obs::MetricsSnapshot snapshot =
@@ -702,6 +881,10 @@ int main(int argc, char** argv) {
       trace_path = take_flag(flags, "trace");
       metrics_path = take_flag(flags, "metrics");
     }
+    // Probe writability up front: a typo'd --trace/--metrics path should
+    // fail before the run, not throw away its recording afterwards.
+    if (!trace_path.empty()) obs::require_writable(trace_path);
+    if (!metrics_path.empty()) obs::require_writable(metrics_path);
     if (!trace_path.empty()) obs::set_tracing_enabled(true);
     if (!metrics_path.empty()) obs::set_metrics_enabled(true);
     const int rc = dispatch(command, flags);
