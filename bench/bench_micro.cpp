@@ -16,8 +16,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
+#include "service/artifact_cache.h"
 #include "spec/suite.h"
 #include "support/interp.h"
+#include "sweep/runner.h"
+#include "sweep/sweep.h"
 #include "support/parallel.h"
 #include "workload/compute_model.h"
 
@@ -505,6 +508,68 @@ void BM_ImbMeasurement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ImbMeasurement);
+
+// --- Sweep factoring ---------------------------------------------------------
+// A five-point comm-only bandwidth sweep (LU/C at 8 tasks, reference 16).
+// Arg = 1 runs it through SweepRunner, whose planner factors the points into
+// one SPEC-library target, one GA search, and per-class IMB databases.
+// Arg = 0 is the naive expansion the planner replaces: every point issued as
+// its own single-point sweep against a fresh runner, paying its own library,
+// search, and measurements.  Both paths start from empty memory-only caches
+// each iteration (cold artifacts are the cost being factored) and share one
+// pre-collected application profile, so the ratio isolates the planner.
+
+void configure_sweep_runner(sweep::SweepRunner& runner) {
+  const machine::Machine base = machine::make_power5_hydra();
+  runner.set_spec_collector(
+      [](const machine::Machine& b, const std::vector<machine::Machine>& t,
+         const std::vector<int>& counts) {
+        return experiments::collect_spec_library(b, t, counts);
+      });
+  runner.set_imb_collector([](const machine::Machine& m) {
+    return imb::measure_database(m, {8, 16, 32}, {512, 16_KiB, 256_KiB});
+  });
+  runner.add_app("LU/C",
+                 service::describe_app_inputs("LU-MZ.C", base, 1, {4, 8, 16},
+                                              {4, 8, 16}),
+                 [] { return batch_lu_data(); });
+}
+
+void BM_SweepFanout(benchmark::State& state) {
+  (void)batch_lu_data();  // profile the app outside the timed region
+  const machine::Machine base = machine::make_power5_hydra();
+  const machine::Machine target = machine::make_power6_575();
+  sweep::SweepSpec spec;
+  spec.app = "LU/C";
+  spec.target = target.name;
+  spec.tasks = 8;
+  spec.reference = 16;
+  spec.options.compute.surrogate_reference_cores = 16;
+  spec.axes.push_back({"network.link_bandwidth_gbs", sweep::AxisMode::kScale,
+                       {0.25, 0.5, 1.0, 2.0, 4.0}});
+  const bool factored = state.range(0) == 1;
+  for (auto _ : state) {
+    double total = 0.0;
+    if (factored) {
+      sweep::SweepRunner runner(base, {target}, {});
+      configure_sweep_runner(runner);
+      for (const core::ProjectionResult& r : runner.run(spec).results) {
+        total += r.total_target();
+      }
+    } else {
+      for (const double scale : spec.axes[0].values) {
+        sweep::SweepSpec one = spec;
+        one.axes[0].values = {scale};
+        sweep::SweepRunner runner(base, {target}, {});
+        configure_sweep_runner(runner);
+        total += runner.run(one).results[0].total_target();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_SweepFanout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -14,8 +14,8 @@ namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-/// Canonical key of the compute options that shape a surrogate search —
-/// requests agree on it iff a shared search is valid between them.
+}  // namespace
+
 std::string compute_options_key(const ComputeProjectionOptions& o) {
   std::ostringstream ss;
   ss.precision(17);
@@ -26,9 +26,6 @@ std::string compute_options_key(const ComputeProjectionOptions& o) {
   return ss.str();
 }
 
-/// Rescales a reference-count compute projection to task count `ck`: the
-/// CCSM anchor at `ck` replaces the reference anchor, and the surrogate's
-/// weights (and hence its Eq. 2 target runtime) scale by the same γ factor.
 ComputeProjection rescale_reference(const ComputeProjection& at_reference,
                                     const AppBaseData& app, int reference_ck,
                                     int ck) {
@@ -46,8 +43,6 @@ ComputeProjection rescale_reference(const ComputeProjection& at_reference,
   out.gamma = ccsm.gamma(reference_ck, ck);
   return out;
 }
-
-}  // namespace
 
 Projector::Projector(machine::Machine base, SpecLibrary spec,
                      imb::ImbDatabase base_imb)

@@ -66,6 +66,21 @@ struct ProjectionRequest {
   ProjectionOptions options;
 };
 
+/// Canonical key of the compute options that shape a surrogate search —
+/// requests agree on it iff a shared search is valid between them.  Used by
+/// the batch planner and the sweep planner to key shared-search artifacts.
+std::string compute_options_key(const ComputeProjectionOptions& options);
+
+/// Rescales a reference-count compute projection to task count `ck`: the
+/// CCSM anchor at `ck` replaces the reference anchor, and the surrogate's
+/// weights (and hence its Eq. 2 target runtime) scale by the same γ factor.
+/// This is the exact function `project` applies when
+/// `surrogate_reference_cores` is pinned — exposed so the sweep executor can
+/// ride one search across core-count points bit-identically.
+ComputeProjection rescale_reference(const ComputeProjection& at_reference,
+                                    const AppBaseData& app, int reference_ck,
+                                    int ck);
+
 class Projector {
  public:
   Projector(machine::Machine base, SpecLibrary spec, imb::ImbDatabase base_imb);

@@ -14,6 +14,7 @@ namespace {
 constexpr int kImbVersion = 1;
 constexpr int kSpecVersion = 1;
 constexpr int kAppVersion = 1;
+constexpr int kSurrogateVersion = 1;
 
 // --- PmuCounters as a flat field list (order is part of the format) ---------
 
@@ -318,6 +319,84 @@ core::AppBaseData read_app_data(std::istream& is) {
 }
 
 // ---------------------------------------------------------------------------
+// ComputeProjection
+// ---------------------------------------------------------------------------
+
+void write_compute_projection(std::ostream& os,
+                              const core::ComputeProjection& p) {
+  RecordWriter w(os, "swapp-surrogate", kSurrogateVersion);
+  w.row("anchor")
+      .field(p.target_compute)
+      .field(p.base_compute)
+      .field(p.hyper_scaling_cores)
+      .field(p.gamma)
+      .field(p.extrapolated_counters ? 1 : 0);
+  w.row("fit")
+      .field(p.surrogate.fitness)
+      .field(p.surrogate.metric_distance)
+      .field(p.surrogate.runtime_error);
+  for (const core::SurrogateTerm& t : p.surrogate.terms) {
+    // kNoSlot is serialised as -1 (slot is a size_t in memory).
+    const std::int64_t slot =
+        t.slot == core::SurrogateTerm::kNoSlot
+            ? -1
+            : static_cast<std::int64_t>(t.slot);
+    w.row("term").field(t.benchmark).field(t.weight).field(slot);
+  }
+  auto weights_row = [&w](const std::string& tag,
+                          const core::GroupWeights& weights) {
+    w.row(tag);
+    for (const double v : weights.weight) w.field(v);
+  };
+  weights_row("base-weights", p.base_weights);
+  weights_row("adjusted-weights", p.adjusted_weights);
+}
+
+core::ComputeProjection read_compute_projection(std::istream& is) {
+  RecordReader reader(is, "swapp-surrogate", kSurrogateVersion);
+  core::ComputeProjection p;
+  bool have_anchor = false;
+  auto read_weights = [](const Record& rec, core::GroupWeights& weights) {
+    SWAPP_REQUIRE(rec.fields.size() == machine::kMetricGroupCount,
+                  "surrogate weights row has wrong arity");
+    for (std::size_t i = 0; i < machine::kMetricGroupCount; ++i) {
+      weights.weight[i] = rec.num(i);
+    }
+  };
+  Record r;
+  while (reader.next(r)) {
+    if (r.tag == "anchor") {
+      p.target_compute = r.num(0);
+      p.base_compute = r.num(1);
+      p.hyper_scaling_cores = r.num(2);
+      p.gamma = r.num(3);
+      p.extrapolated_counters = r.integer(4) != 0;
+      have_anchor = true;
+    } else if (r.tag == "fit") {
+      p.surrogate.fitness = r.num(0);
+      p.surrogate.metric_distance = r.num(1);
+      p.surrogate.runtime_error = r.num(2);
+    } else if (r.tag == "term") {
+      core::SurrogateTerm t;
+      t.benchmark = r.str(0);
+      t.weight = r.num(1);
+      const std::int64_t slot = r.integer(2);
+      t.slot = slot < 0 ? core::SurrogateTerm::kNoSlot
+                        : static_cast<std::size_t>(slot);
+      p.surrogate.terms.push_back(std::move(t));
+    } else if (r.tag == "base-weights") {
+      read_weights(r, p.base_weights);
+    } else if (r.tag == "adjusted-weights") {
+      read_weights(r, p.adjusted_weights);
+    } else {
+      throw InvalidArgument("unknown swapp-surrogate record: " + r.tag);
+    }
+  }
+  SWAPP_REQUIRE(have_anchor, "swapp-surrogate file has no anchor record");
+  return p;
+}
+
+// ---------------------------------------------------------------------------
 // File helpers
 // ---------------------------------------------------------------------------
 
@@ -368,6 +447,18 @@ void save_app_data(const std::filesystem::path& path,
 
 core::AppBaseData load_app_data(const std::filesystem::path& path) {
   return load_file(path, [](std::istream& is) { return read_app_data(is); });
+}
+
+void save_compute_projection(const std::filesystem::path& path,
+                             const core::ComputeProjection& p) {
+  save_file(path,
+            [&](std::ostream& os) { write_compute_projection(os, p); });
+}
+
+core::ComputeProjection load_compute_projection(
+    const std::filesystem::path& path) {
+  return load_file(path,
+                   [](std::istream& is) { return read_compute_projection(is); });
 }
 
 }  // namespace swapp::io

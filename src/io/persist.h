@@ -6,9 +6,12 @@
 // application team once and projected onto many candidates.  These functions
 // store each artifact as a versioned, line-oriented text file (io/record.h):
 //
-//   * imb::ImbDatabase    — the Eq. 3 parameter tables per machine;
-//   * core::SpecLibrary   — SPEC-style runtimes/counters per occupancy;
-//   * core::AppBaseData   — application MPI profiles + counters.
+//   * imb::ImbDatabase         — the Eq. 3 parameter tables per machine;
+//   * core::SpecLibrary        — SPEC-style runtimes/counters per occupancy;
+//   * core::AppBaseData        — application MPI profiles + counters;
+//   * core::ComputeProjection  — a finished GA surrogate search (anchors,
+//                                terms, weights), so warm caches can replay
+//                                projections without re-running the GA.
 //
 // Round-tripping is exact up to double formatting (which uses round-trip
 // precision), so saved and freshly-measured databases project identically.
@@ -17,6 +20,7 @@
 #include <filesystem>
 #include <iosfwd>
 
+#include "core/compute_projection.h"
 #include "core/profiles.h"
 #include "imb/suite.h"
 
@@ -32,6 +36,10 @@ core::SpecLibrary read_spec_library(std::istream& is);
 void write_app_data(std::ostream& os, const core::AppBaseData& data);
 core::AppBaseData read_app_data(std::istream& is);
 
+void write_compute_projection(std::ostream& os,
+                              const core::ComputeProjection& p);
+core::ComputeProjection read_compute_projection(std::istream& is);
+
 // --- files -----------------------------------------------------------------
 void save_imb_database(const std::filesystem::path& path,
                        const imb::ImbDatabase& db);
@@ -44,5 +52,10 @@ core::SpecLibrary load_spec_library(const std::filesystem::path& path);
 void save_app_data(const std::filesystem::path& path,
                    const core::AppBaseData& data);
 core::AppBaseData load_app_data(const std::filesystem::path& path);
+
+void save_compute_projection(const std::filesystem::path& path,
+                             const core::ComputeProjection& p);
+core::ComputeProjection load_compute_projection(
+    const std::filesystem::path& path);
 
 }  // namespace swapp::io

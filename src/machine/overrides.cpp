@@ -1,0 +1,448 @@
+#include "machine/overrides.h"
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "support/error.h"
+
+namespace swapp::machine {
+namespace {
+
+// Accessor pair for one registry field.  Setters receive the validated
+// resolved value; cache/memory setters rebuild the hierarchy because
+// CacheHierarchy only exposes const views of its configuration.
+struct FieldImpl {
+  OverrideField meta;
+  std::function<double(const Machine&)> get;
+  std::function<void(Machine&, double)> set;
+};
+
+constexpr double kUs = 1e-6;
+constexpr double kNs = 1e-9;
+constexpr double kKiB = 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+const CacheLevelConfig& cache_level(const Machine& m, const std::string& name) {
+  for (const auto& level : m.caches.levels()) {
+    if (level.name == name) return level;
+  }
+  throw InvalidArgument("machine \"" + m.name + "\" has no cache level " +
+                        name);
+}
+
+void mutate_cache_level(Machine& m, const std::string& name,
+                        const std::function<void(CacheLevelConfig&)>& fn) {
+  std::vector<CacheLevelConfig> levels = m.caches.levels();
+  MemoryConfig memory = m.caches.memory();
+  bool found = false;
+  for (auto& level : levels) {
+    if (level.name == name) {
+      fn(level);
+      found = true;
+    }
+  }
+  if (!found) {
+    throw InvalidArgument("machine \"" + m.name + "\" has no cache level " +
+                          name);
+  }
+  m.caches = CacheHierarchy(std::move(levels), memory);
+}
+
+void mutate_memory(Machine& m, const std::function<void(MemoryConfig&)>& fn) {
+  std::vector<CacheLevelConfig> levels = m.caches.levels();
+  MemoryConfig memory = m.caches.memory();
+  fn(memory);
+  m.caches = CacheHierarchy(std::move(levels), memory);
+}
+
+FieldImpl processor_field(std::string name, bool integral, double lo,
+                          double hi, double ProcessorConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kCompute, integral, lo, hi},
+      [member](const Machine& m) { return m.processor.*member; },
+      [member](Machine& m, double v) { m.processor.*member = v; },
+  };
+}
+
+FieldImpl processor_int_field(std::string name, double lo, double hi,
+                              int ProcessorConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kCompute, true, lo, hi},
+      [member](const Machine& m) {
+        return static_cast<double>(m.processor.*member);
+      },
+      [member](Machine& m, double v) {
+        m.processor.*member = static_cast<int>(v);
+      },
+  };
+}
+
+FieldImpl cache_field(const std::string& level) {
+  return {
+      {"cache." + level + ".capacity_kib", OverrideSide::kCompute, false, 1.0,
+       1048576.0},
+      [level](const Machine& m) {
+        return static_cast<double>(cache_level(m, level).capacity) / kKiB;
+      },
+      [level](Machine& m, double v) {
+        mutate_cache_level(m, level, [v](CacheLevelConfig& c) {
+          c.capacity = static_cast<Bytes>(std::llround(v * kKiB));
+        });
+      },
+  };
+}
+
+FieldImpl cache_latency_field(const std::string& level) {
+  return {
+      {"cache." + level + ".latency_cycles", OverrideSide::kCompute, false,
+       1.0, 10000.0},
+      [level](const Machine& m) { return cache_level(m, level).latency_cycles; },
+      [level](Machine& m, double v) {
+        mutate_cache_level(m, level,
+                           [v](CacheLevelConfig& c) { c.latency_cycles = v; });
+      },
+  };
+}
+
+FieldImpl memory_field(std::string name, double lo, double hi,
+                       double MemoryConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kCompute, false, lo, hi},
+      [member](const Machine& m) { return m.caches.memory().*member; },
+      [member](Machine& m, double v) {
+        mutate_memory(m, [member, v](MemoryConfig& mem) { mem.*member = v; });
+      },
+  };
+}
+
+FieldImpl network_field(std::string name, double lo, double hi, double scale,
+                        Seconds net::NetworkConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kComm, false, lo, hi},
+      [member, scale](const Machine& m) { return m.network.*member / scale; },
+      [member, scale](Machine& m, double v) { m.network.*member = v * scale; },
+  };
+}
+
+FieldImpl network_double_field(std::string name, double lo, double hi,
+                               double net::NetworkConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kComm, false, lo, hi},
+      [member](const Machine& m) { return m.network.*member; },
+      [member](Machine& m, double v) { m.network.*member = v; },
+  };
+}
+
+FieldImpl mpi_seconds_field(std::string name, double lo, double hi,
+                            Seconds MpiLibraryConfig::* member) {
+  return {
+      {std::move(name), OverrideSide::kComm, false, lo, hi},
+      [member](const Machine& m) { return m.mpi.*member / kUs; },
+      [member](Machine& m, double v) { m.mpi.*member = v * kUs; },
+  };
+}
+
+std::vector<FieldImpl> build_registry() {
+  std::vector<FieldImpl> fields;
+
+  // Processor microarchitecture (compute side).
+  fields.push_back(processor_field("processor.frequency_ghz", false, 0.1,
+                                   100.0, &ProcessorConfig::frequency_ghz));
+  fields.push_back(processor_int_field("processor.issue_width", 1.0, 32.0,
+                                       &ProcessorConfig::issue_width));
+  fields.push_back(processor_field("processor.fp_latency_cycles", false, 1.0,
+                                   100.0, &ProcessorConfig::fp_latency_cycles));
+  fields.push_back(processor_field("processor.fp_per_cycle", false, 0.1, 64.0,
+                                   &ProcessorConfig::fp_per_cycle));
+  fields.push_back(processor_field("processor.simd_width", false, 1.0, 64.0,
+                                   &ProcessorConfig::simd_width));
+  fields.push_back(
+      processor_field("processor.branch_penalty_cycles", false, 0.0, 100.0,
+                      &ProcessorConfig::branch_penalty_cycles));
+  fields.push_back(
+      processor_field("processor.predictor_strength", false, 0.0, 1.0,
+                      &ProcessorConfig::predictor_strength));
+  fields.push_back(processor_field("processor.ooo_window_factor", false, 0.0,
+                                   1.0, &ProcessorConfig::ooo_window_factor));
+  fields.push_back(
+      processor_int_field("processor.max_outstanding_misses", 1.0, 1024.0,
+                          &ProcessorConfig::max_outstanding_misses));
+  fields.push_back(processor_field("processor.prefetch_strength", false, 0.0,
+                                   1.0, &ProcessorConfig::prefetch_strength));
+  fields.push_back(processor_int_field("processor.smt_ways", 1.0, 8.0,
+                                       &ProcessorConfig::smt_ways));
+  fields.push_back(
+      processor_field("processor.smt_issue_efficiency", false, 0.05, 1.0,
+                      &ProcessorConfig::smt_issue_efficiency));
+
+  // Cache hierarchy and memory system (compute side).
+  for (const char* level : {"L1", "L2", "L3"}) {
+    fields.push_back(cache_field(level));
+    fields.push_back(cache_latency_field(level));
+  }
+  fields.push_back(memory_field("memory.latency_cycles", 1.0, 10000.0,
+                                &MemoryConfig::latency_cycles));
+  fields.push_back(memory_field("memory.remote_latency_cycles", 1.0, 20000.0,
+                                &MemoryConfig::remote_latency_cycles));
+  fields.push_back(memory_field("memory.node_bandwidth_gbs", 0.1, 10000.0,
+                                &MemoryConfig::node_bandwidth_gbs));
+  fields.push_back({
+      {"memory_per_core_gib", OverrideSide::kCompute, false, 0.0625, 1024.0},
+      [](const Machine& m) {
+        return static_cast<double>(m.memory_per_core) / kGiB;
+      },
+      [](Machine& m, double v) {
+        m.memory_per_core = static_cast<Bytes>(std::llround(v * kGiB));
+      },
+  });
+
+  // Node geometry and noise feed both pipelines: occupancy shapes the SPEC
+  // runs and the MPI rank placement; jitter perturbs compute phases and the
+  // wait-time simulation alike.
+  fields.push_back({
+      {"cores_per_node", OverrideSide::kBoth, true, 1.0, 4096.0},
+      [](const Machine& m) { return static_cast<double>(m.cores_per_node); },
+      [](Machine& m, double v) { m.cores_per_node = static_cast<int>(v); },
+  });
+  fields.push_back({
+      {"os_jitter", OverrideSide::kBoth, false, 0.0, 0.5},
+      [](const Machine& m) { return m.os_jitter; },
+      [](Machine& m, double v) { m.os_jitter = v; },
+  });
+
+  // Interconnect (comm side).
+  fields.push_back(network_double_field("network.link_bandwidth_gbs", 0.01,
+                                        10000.0,
+                                        &net::NetworkConfig::link_bandwidth_gbs));
+  fields.push_back(network_field("network.base_latency_us", 0.001, 10000.0,
+                                 kUs, &net::NetworkConfig::base_latency));
+  fields.push_back(network_field("network.per_hop_latency_ns", 0.0, 1000000.0,
+                                 kNs, &net::NetworkConfig::per_hop_latency));
+  fields.push_back(
+      network_double_field("network.intra_node_bandwidth_gbs", 0.01, 10000.0,
+                           &net::NetworkConfig::intra_node_bandwidth_gbs));
+  fields.push_back(network_field("network.intra_node_latency_us", 0.001,
+                                 1000.0, kUs,
+                                 &net::NetworkConfig::intra_node_latency));
+  fields.push_back(
+      network_double_field("network.contention_factor", 1.0, 100.0,
+                           &net::NetworkConfig::contention_factor));
+
+  // MPI library (comm side).
+  fields.push_back(mpi_seconds_field("mpi.send_overhead_us", 0.0, 1000.0,
+                                     &MpiLibraryConfig::send_overhead));
+  fields.push_back(mpi_seconds_field("mpi.recv_overhead_us", 0.0, 1000.0,
+                                     &MpiLibraryConfig::recv_overhead));
+  fields.push_back(
+      mpi_seconds_field("mpi.nonblocking_post_overhead_us", 0.0, 1000.0,
+                        &MpiLibraryConfig::nonblocking_post_overhead));
+  fields.push_back({
+      {"mpi.eager_threshold_kib", OverrideSide::kComm, false, 0.0, 1048576.0},
+      [](const Machine& m) {
+        return static_cast<double>(m.mpi.eager_threshold) / kKiB;
+      },
+      [](Machine& m, double v) {
+        m.mpi.eager_threshold = static_cast<Bytes>(std::llround(v * kKiB));
+      },
+  });
+  fields.push_back(mpi_seconds_field("mpi.rendezvous_overhead_us", 0.0, 1000.0,
+                                     &MpiLibraryConfig::rendezvous_overhead));
+  fields.push_back({
+      {"mpi.reduction_bandwidth_gbs", OverrideSide::kComm, false, 0.01,
+       10000.0},
+      [](const Machine& m) { return m.mpi.reduction_bandwidth_gbs; },
+      [](Machine& m, double v) { m.mpi.reduction_bandwidth_gbs = v; },
+  });
+
+  return fields;
+}
+
+const std::vector<FieldImpl>& registry() {
+  static const std::vector<FieldImpl> fields = build_registry();
+  return fields;
+}
+
+const FieldImpl& field_impl(const std::string& name) {
+  for (const auto& field : registry()) {
+    if (field.meta.name == name) return field;
+  }
+  throw InvalidArgument("unknown override field: " + name +
+                        " (see machine::override_fields)");
+}
+
+// The canonical descriptions below print every model parameter at full
+// precision, one per line, so byte equality is configuration equality.
+class ConfigWriter {
+ public:
+  ConfigWriter() { os_ << std::setprecision(17); }
+
+  ConfigWriter& line(const std::string& key, double value) {
+    os_ << key << '=' << value << '\n';
+    return *this;
+  }
+  ConfigWriter& line(const std::string& key, const std::string& value) {
+    os_ << key << '=' << value << '\n';
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string to_string(OverrideKind kind) {
+  return kind == OverrideKind::kSet ? "set" : "scale";
+}
+
+std::string to_string(OverrideSide side) {
+  switch (side) {
+    case OverrideSide::kCompute: return "compute";
+    case OverrideSide::kComm: return "comm";
+    case OverrideSide::kBoth: return "both";
+  }
+  return "?";
+}
+
+const std::vector<OverrideField>& override_fields() {
+  static const std::vector<OverrideField> fields = [] {
+    std::vector<OverrideField> out;
+    out.reserve(registry().size());
+    for (const auto& field : registry()) out.push_back(field.meta);
+    return out;
+  }();
+  return fields;
+}
+
+const OverrideField& override_field(const std::string& name) {
+  return field_impl(name).meta;
+}
+
+double read_field(const Machine& m, const std::string& field) {
+  return field_impl(field).get(m);
+}
+
+Machine apply_overrides(const Machine& m,
+                        const std::vector<Override>& overrides) {
+  Machine out = m;
+  for (const Override& o : overrides) {
+    const FieldImpl& field = field_impl(o.field);
+    if (!std::isfinite(o.value)) {
+      throw InvalidArgument("override " + o.field + ": value must be finite");
+    }
+    double resolved = o.kind == OverrideKind::kSet ? o.value
+                                                   : field.get(out) * o.value;
+    if (field.meta.integral) resolved = std::round(resolved);
+    if (!(resolved >= field.meta.min_value &&
+          resolved <= field.meta.max_value)) {
+      std::ostringstream msg;
+      msg << std::setprecision(17) << "override " << o.field << ": resolved "
+          << "value " << resolved << " outside [" << field.meta.min_value
+          << ", " << field.meta.max_value << "]";
+      throw InvalidArgument(msg.str());
+    }
+    field.set(out, resolved);
+  }
+  return out;
+}
+
+std::string describe_compute_side(const Machine& m) {
+  ConfigWriter w;
+  const ProcessorConfig& p = m.processor;
+  w.line("processor.frequency_ghz", p.frequency_ghz)
+      .line("processor.issue_width", p.issue_width)
+      .line("processor.fp_latency_cycles", p.fp_latency_cycles)
+      .line("processor.fp_per_cycle", p.fp_per_cycle)
+      .line("processor.simd_width", p.simd_width)
+      .line("processor.branch_penalty_cycles", p.branch_penalty_cycles)
+      .line("processor.predictor_strength", p.predictor_strength)
+      .line("processor.ooo_window_factor", p.ooo_window_factor)
+      .line("processor.max_outstanding_misses", p.max_outstanding_misses)
+      .line("processor.prefetch_strength", p.prefetch_strength)
+      .line("processor.smt_ways", p.smt_ways)
+      .line("processor.smt_issue_efficiency", p.smt_issue_efficiency)
+      .line("processor.tlb_entries", p.tlb_entries)
+      .line("processor.page_bytes", static_cast<double>(p.page_bytes))
+      .line("processor.tlb_penalty_cycles", p.tlb_penalty_cycles)
+      .line("processor.has_erat", p.has_erat ? 1.0 : 0.0)
+      .line("processor.erat_entries", p.erat_entries)
+      .line("processor.erat_penalty_cycles", p.erat_penalty_cycles)
+      .line("processor.has_slb", p.has_slb ? 1.0 : 0.0)
+      .line("processor.slb_penalty_cycles", p.slb_penalty_cycles);
+  for (const auto& level : m.caches.levels()) {
+    const std::string prefix = "cache." + level.name;
+    w.line(prefix + ".capacity", static_cast<double>(level.capacity))
+        .line(prefix + ".shared_by_cores", level.shared_by_cores)
+        .line(prefix + ".latency_cycles", level.latency_cycles)
+        .line(prefix + ".line_bytes", static_cast<double>(level.line_bytes));
+  }
+  const MemoryConfig& mem = m.caches.memory();
+  w.line("memory.latency_cycles", mem.latency_cycles)
+      .line("memory.remote_latency_cycles", mem.remote_latency_cycles)
+      .line("memory.node_bandwidth_gbs", mem.node_bandwidth_gbs)
+      .line("memory.sockets", mem.sockets)
+      .line("memory_per_core", static_cast<double>(m.memory_per_core))
+      .line("cores_per_node", m.cores_per_node)
+      .line("os_jitter", m.os_jitter);
+  return w.str();
+}
+
+std::string describe_comm_side(const Machine& m) {
+  ConfigWriter w;
+  const net::NetworkConfig& n = m.network;
+  w.line("network.kind", net::to_string(n.kind))
+      .line("network.link_bandwidth_gbs", n.link_bandwidth_gbs)
+      .line("network.base_latency", n.base_latency)
+      .line("network.per_hop_latency", n.per_hop_latency)
+      .line("network.fat_tree_radix", n.fat_tree_radix)
+      .line("network.torus_dims", std::to_string(n.torus_dims[0]) + "x" +
+                                      std::to_string(n.torus_dims[1]) + "x" +
+                                      std::to_string(n.torus_dims[2]))
+      .line("network.has_collective_tree", n.has_collective_tree ? 1.0 : 0.0)
+      .line("network.tree_per_hop_latency", n.tree_per_hop_latency)
+      .line("network.tree_bandwidth_gbs", n.tree_bandwidth_gbs)
+      .line("network.intra_node_bandwidth_gbs", n.intra_node_bandwidth_gbs)
+      .line("network.intra_node_latency", n.intra_node_latency)
+      .line("network.contention_factor", n.contention_factor);
+  const MpiLibraryConfig& mpi = m.mpi;
+  w.line("mpi.send_overhead", mpi.send_overhead)
+      .line("mpi.recv_overhead", mpi.recv_overhead)
+      .line("mpi.nonblocking_post_overhead", mpi.nonblocking_post_overhead)
+      .line("mpi.eager_threshold", static_cast<double>(mpi.eager_threshold))
+      .line("mpi.rendezvous_overhead", mpi.rendezvous_overhead)
+      .line("mpi.reduction_bandwidth_gbs", mpi.reduction_bandwidth_gbs)
+      .line("mpi.use_collective_tree", mpi.use_collective_tree ? 1.0 : 0.0)
+      .line("cores_per_node", m.cores_per_node)
+      .line("os_jitter", m.os_jitter);
+  return w.str();
+}
+
+std::string describe_machine_config(const Machine& m) {
+  ConfigWriter w;
+  w.line("total_cores", m.total_cores);
+  return "#compute\n" + describe_compute_side(m) + "#comm\n" +
+         describe_comm_side(m) + w.str();
+}
+
+std::string config_fingerprint(const Machine& m) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0')
+     << fnv1a(describe_machine_config(m));
+  return os.str();
+}
+
+}  // namespace swapp::machine

@@ -1,0 +1,98 @@
+// What-if mutations over machine models.
+//
+// `swapp sweep` explores hypothetical targets by perturbing a known machine
+// configuration one field at a time (paper §5 projects onto machines the user
+// cannot run on; a sweep simply enumerates many of them).  This header is the
+// mutation API: a registry of overridable fields — each with a stable name,
+// inclusive bounds, and a projection-side classification — plus
+// `apply_overrides`, which returns a mutated copy under strict validation
+// (unknown field names and out-of-range resolved values throw
+// InvalidArgument; nothing is silently clamped).
+//
+// The side classification is what makes delta-aware sweep planning possible:
+// the compute projection (SPEC suite runs, ACSM/CCSM, the GA surrogate
+// search) reads only kCompute/kBoth fields, and the communication projection
+// (IMB tables, the MPI simulation) reads only kComm/kBoth fields.  Two
+// machines with equal `describe_compute_side` strings are therefore
+// interchangeable for the compute pipeline, and likewise for
+// `describe_comm_side` and the comm pipeline — the sweep planner keys its
+// equivalence classes on exactly these strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace swapp::machine {
+
+/// How an override combines with the field's current value.
+enum class OverrideKind {
+  kSet,    ///< replace the value
+  kScale,  ///< multiply the current value
+};
+
+std::string to_string(OverrideKind kind);
+
+/// Which projection pipeline a field feeds.
+enum class OverrideSide {
+  kCompute,  ///< SPEC collection + compute projection only
+  kComm,     ///< IMB collection + communication projection only
+  kBoth,     ///< read by both (node geometry, OS noise)
+};
+
+std::string to_string(OverrideSide side);
+
+/// One requested mutation: `field` names a registry entry, `value` is either
+/// the new value (kSet) or the multiplier (kScale).
+struct Override {
+  std::string field;
+  OverrideKind kind = OverrideKind::kSet;
+  double value = 1.0;
+};
+
+/// Registry metadata for one overridable field.
+struct OverrideField {
+  std::string name;   ///< e.g. "memory.node_bandwidth_gbs"
+  OverrideSide side = OverrideSide::kCompute;
+  bool integral = false;  ///< resolved value is rounded to nearest integer
+  double min_value = 0.0;  ///< inclusive bounds on the resolved value
+  double max_value = 0.0;
+};
+
+/// All overridable fields, in registry (documentation) order.
+const std::vector<OverrideField>& override_fields();
+
+/// Registry lookup; throws InvalidArgument naming the unknown field.
+const OverrideField& override_field(const std::string& name);
+
+/// Reads the current value of a registry field from `m` (the value kScale
+/// multiplies).  Throws InvalidArgument for unknown fields or when the
+/// machine lacks the addressed cache level.
+double read_field(const Machine& m, const std::string& field);
+
+/// Returns a copy of `m` with the overrides applied in order (later entries
+/// compose with earlier ones).  Each resolved value is validated against the
+/// registry bounds; integral fields are rounded to the nearest integer before
+/// validation.  The name is left untouched — callers that need distinct
+/// cache identities rename via `config_fingerprint`.
+Machine apply_overrides(const Machine& m, const std::vector<Override>& overrides);
+
+/// Canonical serialisation of every field the compute pipeline reads:
+/// processor microarchitecture, cache hierarchy, memory system,
+/// memory_per_core, cores_per_node, os_jitter.  Excludes the name.
+std::string describe_compute_side(const Machine& m);
+
+/// Canonical serialisation of every field the communication pipeline reads:
+/// network, MPI library, cores_per_node, os_jitter.  Excludes the name.
+std::string describe_comm_side(const Machine& m);
+
+/// Both sides plus total_cores — the full configuration, name excluded.
+std::string describe_machine_config(const Machine& m);
+
+/// Stable 16-hex-digit FNV-1a fingerprint of describe_machine_config(m).
+/// Sweep expansion appends this to variant machine names so name-keyed
+/// artifact caches distinguish every distinct configuration.
+std::string config_fingerprint(const Machine& m);
+
+}  // namespace swapp::machine

@@ -151,6 +151,12 @@ StatsRequest classify_stats_request(const std::string& payload) {
   throw InvalidArgument("stats request has no query row");
 }
 
+bool is_sweep_request(const std::string& payload) {
+  // The closing quote plus separating space keep "swapp-sweep-result"
+  // documents (which a client may echo back by mistake) off the sweep path.
+  return payload.rfind("#swapp \"swapp-sweep\" ", 0) == 0;
+}
+
 std::string encode_stats_report(const StatsReport& report) {
   std::ostringstream os;
   io::RecordWriter writer(os, "swapp-stats-result", 1);

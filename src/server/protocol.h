@@ -127,6 +127,20 @@ struct StatsRequest {
 };
 StatsRequest classify_stats_request(const std::string& payload);
 
+// --- sweeps -----------------------------------------------------------------
+// A third request document kind rides the same framing: a "swapp-sweep" v1
+// sweep specification (sweep/sweep.h) — byte-for-byte the `swapp sweep
+// --spec` file.  Sweeps pass through the same admission queue as batches and
+// execute in scheduler turns against the resident cache, so a sweep and the
+// batches it coalesces with share spec libraries, IMB databases, profiles,
+// and persisted surrogates.  The answer is a "swapp-sweep-result" v1
+// document (sweep/result.h), or a plain error response on failure — clients
+// sniff with sweep::is_sweep_result.
+
+/// True iff `payload` carries a "swapp-sweep" request document.  The probe
+/// requires the closing quote, so "swapp-sweep-result" payloads never match.
+bool is_sweep_request(const std::string& payload);
+
 /// One named metrics scope of a stats report: the process lifetime or one
 /// trailing window ("1s"/"10s"/"60s"), with the wall time it actually
 /// covers.

@@ -39,11 +39,13 @@ void fill_unix_address(sockaddr_un& addr, const std::string& path) {
 }  // namespace
 
 struct Server::Impl {
-  Impl(machine::Machine b, ServerConfig c, ServiceSetup s, RowValidator v)
+  Impl(machine::Machine b, ServerConfig c, ServiceSetup s, RowValidator v,
+       SweepSetup ss)
       : base(std::move(b)),
         config(std::move(c)),
         setup(std::move(s)),
         validate(std::move(v)),
+        sweep_setup(std::move(ss)),
         cache(std::make_shared<service::ArtifactCache>(
             config.service.cache_dir, config.service.cache_capacity,
             config.service.cache_dir_max_bytes)) {}
@@ -52,6 +54,7 @@ struct Server::Impl {
   ServerConfig config;
   ServiceSetup setup;
   RowValidator validate;
+  SweepSetup sweep_setup;
   std::shared_ptr<service::ArtifactCache> cache;
 
   int listen_fd = -1;
@@ -60,11 +63,15 @@ struct Server::Impl {
   std::atomic<bool> stopping{false};
   bool waited = false;
 
-  /// One admitted client batch: its rows plus the promise the scheduler
-  /// fulfils with the response.
+  /// One admitted request: a client batch (rows) or a sweep (spec), plus
+  /// the promise the scheduler fulfils with the *encoded* response payload —
+  /// batches resolve to a "swapp-batch-result" document, sweeps to a
+  /// "swapp-sweep-result" document, failures of either to an error response.
   struct Item {
+    bool is_sweep = false;
     std::vector<service::BatchRow> rows;
-    std::promise<Response> promise;
+    sweep::SweepSpec spec;  ///< meaningful when is_sweep
+    std::promise<std::string> promise;
     double enqueued_us = 0.0;
   };
 
@@ -110,9 +117,11 @@ struct Server::Impl {
 
   void acceptor_loop();
   void serve_connection(int fd);
-  Response handle_payload(const std::string& payload);
+  std::string handle_payload(const std::string& payload);
+  std::string admit(Item item);  ///< queue + wait for the scheduler's answer
   void scheduler_loop();
   void run_batch(std::vector<Item> items);
+  void run_sweep(Item item);
   void ticker_loop();
   StatsReport build_stats(StatsKind kind);
 };
@@ -180,14 +189,14 @@ void Server::Impl::serve_connection(int fd) {
         break;
       }
       SWAPP_SPAN("server.request");
-      Response response;
+      std::string answer;
       if (frame.status == FrameStatus::kOversized) {
         ++proto_errors;
         SWAPP_COUNT("server.oversized_frames", 1);
-        response = Response::failure(
+        answer = encode_response(Response::failure(
             ErrorCode::kOversized,
             "request frame exceeds " +
-                std::to_string(config.max_request_bytes) + " bytes");
+                std::to_string(config.max_request_bytes) + " bytes"));
       } else {
         // Introspection requests are answered right here on the connection
         // thread — they bypass the admission queue entirely, so a stats
@@ -209,9 +218,9 @@ void Server::Impl::serve_connection(int fd) {
           write_frame(fd, encode_stats_report(build_stats(stats.kind)));
           continue;
         }
-        response = handle_payload(frame.payload);
+        answer = handle_payload(frame.payload);
       }
-      write_frame(fd, encode_response(response));
+      write_frame(fd, answer);
     }
   } catch (const std::exception&) {
     // A hard socket error (peer gone mid-write) ends this conversation;
@@ -220,52 +229,90 @@ void Server::Impl::serve_connection(int fd) {
   ::shutdown(fd, SHUT_RDWR);  // the registry entry owns and closes the fd
 }
 
-Response Server::Impl::handle_payload(const std::string& payload) {
+std::string Server::Impl::handle_payload(const std::string& payload) {
   // Parse and validate on the connection thread, so a malformed or
-  // unsatisfiable batch is rejected without ever occupying the admission
+  // unsatisfiable request is rejected without ever occupying the admission
   // queue — and without poisoning the coalesced run other clients ride in.
-  std::vector<service::BatchRow> rows;
+  Item item;
   try {
-    std::istringstream in(payload);
-    rows = service::read_batch_requests(in);
-    for (const service::BatchRow& row : rows) {
-      machine::machine_by_name(row.target);  // throws NotFound when unknown
-      if (row.tasks < 1) {
-        throw InvalidArgument("request needs tasks >= 1, got " +
-                              std::to_string(row.tasks));
+    if (is_sweep_request(payload)) {
+      if (!sweep_setup) {
+        throw InvalidArgument("this server does not serve sweeps");
       }
-      if (row.threads < 1) {
-        throw InvalidArgument("request needs threads >= 1, got " +
-                              std::to_string(row.threads));
+      std::istringstream in(payload);
+      item.spec = sweep::read_sweep_spec(in);
+      item.is_sweep = true;
+      const machine::Machine target =
+          machine::machine_by_name(item.spec.target);
+      // Cap on the multiplicities alone, BEFORE expanding — a typo'd range
+      // axis must fail fast, not enumerate a billion machines first.
+      const std::size_t points = sweep::point_count(item.spec);
+      if (points > config.max_sweep_points) {
+        throw InvalidArgument(
+            "sweep expands to " + std::to_string(points) +
+            " points, over the server cap of " +
+            std::to_string(config.max_sweep_points));
       }
       if (validate) {
-        const std::string message = validate(row);
-        if (!message.empty()) throw InvalidArgument(message);
+        // Validate every expanded point as the batch row it amounts to, so
+        // app-shape checks (profiled task counts, known apps) apply to
+        // sweeps exactly as they do to batches.
+        for (const sweep::SweepPoint& point :
+             sweep::expand(item.spec, target)) {
+          service::BatchRow row;
+          row.app = item.spec.app;
+          row.target = item.spec.target;
+          row.tasks = point.tasks;
+          row.threads = item.spec.threads;
+          const std::string message = validate(row);
+          if (!message.empty()) throw InvalidArgument(message);
+        }
+      }
+    } else {
+      std::istringstream in(payload);
+      item.rows = service::read_batch_requests(in);
+      for (const service::BatchRow& row : item.rows) {
+        machine::machine_by_name(row.target);  // throws NotFound when unknown
+        if (row.tasks < 1) {
+          throw InvalidArgument("request needs tasks >= 1, got " +
+                                std::to_string(row.tasks));
+        }
+        if (row.threads < 1) {
+          throw InvalidArgument("request needs threads >= 1, got " +
+                                std::to_string(row.threads));
+        }
+        if (validate) {
+          const std::string message = validate(row);
+          if (!message.empty()) throw InvalidArgument(message);
+        }
       }
     }
   } catch (const Error& e) {
     ++proto_errors;
     SWAPP_COUNT("server.bad_requests", 1);
-    return Response::failure(ErrorCode::kBadRequest, e.what());
+    return encode_response(
+        Response::failure(ErrorCode::kBadRequest, e.what()));
   }
+  return admit(std::move(item));
+}
 
-  std::future<Response> pending;
+std::string Server::Impl::admit(Item item) {
+  std::future<std::string> pending;
   {
     std::lock_guard<std::mutex> lock(mutex);
     if (stop_requested) {
-      return Response::failure(ErrorCode::kShuttingDown,
-                               "server is draining and accepts no new work");
+      return encode_response(
+          Response::failure(ErrorCode::kShuttingDown,
+                            "server is draining and accepts no new work"));
     }
     if (queue.size() >= config.max_queue) {
       ++busy;
       SWAPP_COUNT("server.busy_rejections", 1);
-      return Response::failure(
+      return encode_response(Response::failure(
           ErrorCode::kBusy, "admission queue is full (" +
                                 std::to_string(config.max_queue) +
-                                " pending batches); retry later");
+                                " pending batches); retry later"));
     }
-    Item item;
-    item.rows = std::move(rows);
     item.enqueued_us = obs::trace_now_us();
     pending = item.promise.get_future();
     queue.push_back(std::move(item));
@@ -310,7 +357,17 @@ void Server::Impl::scheduler_loop() {
       }
       SWAPP_GAUGE_SET("server.queue_depth", 0.0);
     }
-    run_batch(std::move(items));
+    // One drain = one scheduler turn: the batches coalesce into a single
+    // run, then each sweep executes against the same resident cache (so it
+    // reuses whatever the batches just materialised, and vice versa next
+    // turn).
+    std::vector<Item> batch_items;
+    std::vector<Item> sweep_items;
+    for (Item& item : items) {
+      (item.is_sweep ? sweep_items : batch_items).push_back(std::move(item));
+    }
+    if (!batch_items.empty()) run_batch(std::move(batch_items));
+    for (Item& item : sweep_items) run_sweep(std::move(item));
   }
 }
 
@@ -394,7 +451,7 @@ void Server::Impl::run_batch(std::vector<Item> items) {
     inflight_rows.store(0);
     inflight_batches.store(0);
     for (std::size_t i = 0; i < items.size(); ++i) {
-      items[i].promise.set_value(std::move(responses[i]));
+      items[i].promise.set_value(encode_response(responses[i]));
     }
   } catch (const std::exception& e) {
     // Admission-time validation keeps this to genuine execution failures
@@ -407,8 +464,51 @@ void Server::Impl::run_batch(std::vector<Item> items) {
     }
     inflight_rows.store(0);
     inflight_batches.store(0);
-    const Response failure = Response::failure(ErrorCode::kInternal, e.what());
+    const std::string failure =
+        encode_response(Response::failure(ErrorCode::kInternal, e.what()));
     for (Item& item : items) item.promise.set_value(failure);
+  }
+}
+
+void Server::Impl::run_sweep(Item item) {
+  SWAPP_SPAN("server.sweep");
+  SWAPP_OBSERVE("server.queue_wait_us",
+                obs::trace_now_us() - item.enqueued_us);
+  inflight_batches.store(1);
+  inflight_rows.store(sweep::point_count(item.spec));
+  try {
+    sweep::SweepConfig sweep_config;
+    sweep_config.shared_cache = cache;
+    sweep_config.max_points = config.max_sweep_points;
+    sweep::SweepRunner runner(
+        base, {machine::machine_by_name(item.spec.target)}, sweep_config);
+    sweep_setup(runner, item.spec);
+    const double run_start_us = obs::trace_now_us();
+    const sweep::SweepRunner::SweepReport report = runner.run(item.spec);
+    SWAPP_OBSERVE("server.run_us", obs::trace_now_us() - run_start_us);
+    std::ostringstream os;
+    sweep::write_sweep_result(os,
+                              sweep::make_sweep_result(item.spec, report));
+    // Accounting mirrors run_batch: a sweep is one coalesced-run turn whose
+    // rows are its points, and it lands before the promise resolves.
+    served += report.points.size();
+    ++batches;
+    SWAPP_COUNT("server.batches", 1);
+    SWAPP_COUNT("server.requests", report.points.size());
+    SWAPP_COUNT("server.sweeps", 1);
+    inflight_rows.store(0);
+    inflight_batches.store(0);
+    SWAPP_OBSERVE("server.request_us",
+                  obs::trace_now_us() - item.enqueued_us);
+    item.promise.set_value(os.str());
+  } catch (const std::exception& e) {
+    SWAPP_COUNT("server.failed_batches", 1);
+    SWAPP_OBSERVE("server.request_us",
+                  obs::trace_now_us() - item.enqueued_us);
+    inflight_rows.store(0);
+    inflight_batches.store(0);
+    item.promise.set_value(encode_response(
+        Response::failure(ErrorCode::kInternal, e.what())));
   }
 }
 
@@ -464,14 +564,15 @@ StatsReport Server::Impl::build_stats(StatsKind kind) {
 }
 
 Server::Server(machine::Machine base, ServerConfig config, ServiceSetup setup,
-               RowValidator validate) {
+               RowValidator validate, SweepSetup sweep_setup) {
   SWAPP_REQUIRE(setup != nullptr, "server needs a service setup callback");
   SWAPP_REQUIRE(config.max_queue >= 1, "max_queue must be >= 1");
   SWAPP_REQUIRE(config.coalesce_min >= 1, "coalesce_min must be >= 1");
   SWAPP_REQUIRE(config.coalesce_window.count() >= 0,
                 "coalesce_window must be non-negative");
   impl_ = std::make_unique<Impl>(std::move(base), std::move(config),
-                                 std::move(setup), std::move(validate));
+                                 std::move(setup), std::move(validate),
+                                 std::move(sweep_setup));
 }
 
 Server::~Server() {

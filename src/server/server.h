@@ -20,7 +20,11 @@
 // All runs share one resident `ArtifactCache` (ServiceConfig::shared_cache),
 // making the daemon the single process that touches the cache directory —
 // concurrent clients can no longer redundantly recompute an artifact the way
-// concurrent `swapp batch` processes can.
+// concurrent `swapp batch` processes can.  "swapp-sweep" requests ride the
+// same admission queue and execute in scheduler turns through a per-request
+// `sweep::SweepRunner` against that same resident cache, so a sweep shares
+// spec libraries, IMB databases, app profiles, and persisted surrogates with
+// the ordinary batches around it.
 //
 // Shutdown is graceful by construction: a byte written to `shutdown_fd()`
 // (async-signal-safe, exactly what the CLI's SIGINT/SIGTERM handler does)
@@ -43,6 +47,7 @@
 #include "server/protocol.h"
 #include "service/batch_format.h"
 #include "service/service.h"
+#include "sweep/runner.h"
 
 namespace swapp::server {
 
@@ -64,6 +69,10 @@ struct ServerConfig {
   /// latency ceiling, not a floor: shutdown cuts it short, and 0 — the
   /// default — preserves the eager drain.
   std::chrono::milliseconds coalesce_window{0};
+  /// Hard cap on a served sweep's expanded point count; specs beyond it are
+  /// rejected at admission as `bad-request` (checked on the multiplicities
+  /// alone, before any expansion).
+  std::size_t max_sweep_points = 512;
   /// Stats window geometry: a telemetry ticker thread snapshots the metrics
   /// registry every `stats_slot` into a ring of `stats_window_slots`
   /// entries (default 60 x 1s), so the stats endpoint can answer "last
@@ -90,9 +99,15 @@ class Server {
   /// resolved against the machine registry first, so validators only need
   /// app-shape checks.
   using RowValidator = std::function<std::string(const service::BatchRow&)>;
+  /// Configures one freshly-built SweepRunner for an admitted "swapp-sweep"
+  /// request: install collectors and register the app the spec names.  Runs
+  /// on the scheduler thread, once per served sweep.  When absent, sweep
+  /// requests are rejected as `bad-request`.
+  using SweepSetup = std::function<void(sweep::SweepRunner&,
+                                        const sweep::SweepSpec&)>;
 
   Server(machine::Machine base, ServerConfig config, ServiceSetup setup,
-         RowValidator validate = nullptr);
+         RowValidator validate = nullptr, SweepSetup sweep_setup = nullptr);
   ~Server();
 
   Server(const Server&) = delete;

@@ -1,6 +1,12 @@
 #include "service/artifact_cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <exception>
 #include <list>
 #include <map>
@@ -128,25 +134,37 @@ struct Store {
     std::shared_ptr<const T> value;
     double cost_us = 0.0;      ///< observed load/recompute cost
     std::uintmax_t bytes = 1;  ///< disk footprint; 1 for memory-only kinds
+    double touched_us = 0.0;   ///< last hit/insert time (age-decay input)
   };
   std::map<std::uint64_t, Entry> entries;
   std::list<std::uint64_t> recency;  ///< front = most recently used
 };
 
 template <typename T>
-void touch(Store<T>& store, std::uint64_t key) {
+void touch(Store<T>& store, std::uint64_t key, double now_us) {
   store.recency.remove(key);
   store.recency.push_front(key);
+  const auto it = store.entries.find(key);
+  if (it != store.entries.end()) it->second.touched_us = now_us;
 }
 
-/// Picks the eviction victim: lowest cost-per-byte, walking the recency
-/// list back-to-front so the least recently used entry wins ties (strict
-/// `<` keeps the first candidate seen — the older one — on equal scores).
+/// Picks the eviction victim: lowest age-decayed cost-per-byte, walking the
+/// recency list back-to-front so the least recently used entry wins ties
+/// (strict `<` keeps the first candidate seen — the older one — on equal
+/// scores).  The decay halves an entry's score per `half_life_us` without a
+/// hit, so a once-expensive artifact a long-lived daemon never touches again
+/// eventually loses to entries that stay warm; 0 disables decay.
 template <typename T>
-std::uint64_t pick_victim(const Store<T>& store) {
-  const auto score_of = [&store](std::uint64_t key) {
+std::uint64_t pick_victim(const Store<T>& store, double now_us,
+                          double half_life_us) {
+  const auto score_of = [&](std::uint64_t key) {
     const auto& e = store.entries.at(key);
-    return e.cost_us / static_cast<double>(e.bytes == 0 ? 1 : e.bytes);
+    double score = e.cost_us / static_cast<double>(e.bytes == 0 ? 1 : e.bytes);
+    if (half_life_us > 0.0) {
+      const double age_us = std::max(0.0, now_us - e.touched_us);
+      score *= std::exp2(-age_us / half_life_us);
+    }
+    return score;
   };
   std::uint64_t victim = store.recency.back();
   double best = score_of(victim);
@@ -161,11 +179,45 @@ std::uint64_t pick_victim(const Store<T>& store) {
   return victim;
 }
 
+/// RAII flock over `path`: serialises the compute-and-save window of one
+/// artifact key across processes sharing a cache directory.  Lock files are
+/// tiny, live beside the artifacts (`.lock` extension, so the disk-cap
+/// enforcement never evicts them), and are left in place — flock state dies
+/// with the fd, not the file.  Failure to create or lock degrades to the
+/// old unlocked behaviour (duplicated work, never corruption: artifact
+/// writes stay atomic via write-then-rename).
+class FileLock {
+ public:
+  /// Returns true (and records whether the lock was contended in `waited`)
+  /// when the exclusive lock is held on return.
+  bool acquire(const std::filesystem::path& path, bool* waited) {
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) return false;
+    if (::flock(fd_, LOCK_EX | LOCK_NB) == 0) return true;
+    if (waited) *waited = true;
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+      }
+    }
+    return true;
+  }
+  ~FileLock() {
+    if (fd_ >= 0) ::close(fd_);  // releases the flock
+  }
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 struct ArtifactCache::Impl {
   std::size_t capacity = 16;
   std::uintmax_t max_disk_bytes = 0;  ///< 0 = unbounded disk tier
+  double half_life_us = 1800.0 * 1e6;  ///< eviction-score age decay
   mutable std::mutex mutex;
   CacheStats stats;
 
@@ -175,7 +227,9 @@ struct ArtifactCache::Impl {
                                 &io::load_spec_library};
   Store<core::AppBaseData> app{"app", &io::save_app_data, &io::load_app_data};
   Store<core::SpecIndex> index{"spec-index"};
-  Store<core::ComputeProjection> surrogate{"surrogate"};
+  Store<core::ComputeProjection> surrogate{"surrogate",
+                                           &io::save_compute_projection,
+                                           &io::load_compute_projection};
 
   template <typename T>
   std::filesystem::path path_of(const Store<T>& store,
@@ -258,7 +312,7 @@ struct ArtifactCache::Impl {
       const auto it = store.entries.find(key);
       if (it != store.entries.end()) {
         ++stats.memory_hits;
-        touch(store, key);
+        touch(store, key, obs::trace_now_us());
         if (source) *source = ArtifactSource::kMemory;
         SWAPP_COUNT("cache.memory_hits", 1);
         observe_lookup(store, started_us);
@@ -267,55 +321,70 @@ struct ArtifactCache::Impl {
     }
 
     // Miss path runs unlocked: disk loads and make() are slow, and a
-    // duplicated computation under a rare same-key race is still the same
-    // pure function of the key.  The cost clock runs regardless of whether
-    // metrics are enabled: the eviction policy feeds on it.
+    // duplicated computation under a rare same-key in-process race is still
+    // the same pure function of the key.  The cost clock runs regardless of
+    // whether metrics are enabled: the eviction policy feeds on it.
     std::shared_ptr<const T> value;
     ArtifactSource from = ArtifactSource::kComputed;
     const bool on_disk = store.load != nullptr && !dir.empty();
     bool corrupt = false;
+    bool lock_waited = false;
     double cost_us = 0.0;
     std::uintmax_t bytes = 1;
-    if (on_disk) {
-      const std::filesystem::path file = path_of(store, dir, key);
+    const auto try_load = [&](const std::filesystem::path& file) {
       std::error_code ec;
-      if (std::filesystem::exists(file, ec)) {
-        const double load_started_us = obs::trace_now_us();
-        try {
-          value = std::make_shared<const T>(store.load(file));
-          from = ArtifactSource::kDisk;
-          cost_us = obs::trace_now_us() - load_started_us;
-          const std::uintmax_t size = std::filesystem::file_size(file, ec);
-          if (!ec && size > 0) bytes = size;
-        } catch (const std::exception&) {
-          corrupt = true;  // rejected: recompute and overwrite below
-        }
+      if (!std::filesystem::exists(file, ec)) return;
+      const double load_started_us = obs::trace_now_us();
+      try {
+        value = std::make_shared<const T>(store.load(file));
+        from = ArtifactSource::kDisk;
+        corrupt = false;
+        cost_us = obs::trace_now_us() - load_started_us;
+        const std::uintmax_t size = std::filesystem::file_size(file, ec);
+        if (!ec && size > 0) bytes = size;
+      } catch (const std::exception&) {
+        corrupt = true;  // rejected: recompute and overwrite below
       }
-    }
+    };
+    if (on_disk) try_load(path_of(store, dir, key));
     std::size_t disk_evicted = 0;
     if (!value) {
-      const double make_started_us = obs::trace_now_us();
-      value = std::make_shared<const T>(make());
-      cost_us = obs::trace_now_us() - make_started_us;
-      if (obs::metrics_enabled()) {
-        obs::Histogram("cache.recompute_cost_us." + store.kind)
-            .observe(cost_us);
-      }
+      // The compute-and-save window is serialised across processes by a
+      // per-key lock file; whoever loses the race re-probes the disk and
+      // usually finds the winner's artifact instead of recomputing it.
+      FileLock process_lock;
+      bool relock_probe = false;
       if (on_disk) {
         std::error_code ec;
         std::filesystem::create_directories(dir, ec);
-        // Write-then-rename so a crashed writer never leaves a torn file
-        // under the final name.
-        const std::filesystem::path file = path_of(store, dir, key);
-        const std::filesystem::path tmp = file.string() + ".tmp";
-        try {
-          store.save(tmp, *value);
-          std::filesystem::rename(tmp, file);
-          const std::uintmax_t size = std::filesystem::file_size(file, ec);
-          if (!ec && size > 0) bytes = size;
-          disk_evicted = enforce_disk_cap(dir, file);
-        } catch (const std::exception&) {
-          std::filesystem::remove(tmp, ec);  // cache write is best-effort
+        const std::filesystem::path lock_path =
+            dir / (store.kind + "-" + fingerprint_hex(key) + ".lock");
+        relock_probe = process_lock.acquire(lock_path, &lock_waited);
+        if (relock_probe && lock_waited) try_load(path_of(store, dir, key));
+      }
+      if (!value) {
+        const double make_started_us = obs::trace_now_us();
+        value = std::make_shared<const T>(make());
+        cost_us = obs::trace_now_us() - make_started_us;
+        if (obs::metrics_enabled()) {
+          obs::Histogram("cache.recompute_cost_us." + store.kind)
+              .observe(cost_us);
+        }
+        if (on_disk) {
+          std::error_code ec;
+          // Write-then-rename so a crashed writer never leaves a torn file
+          // under the final name.
+          const std::filesystem::path file = path_of(store, dir, key);
+          const std::filesystem::path tmp = file.string() + ".tmp";
+          try {
+            store.save(tmp, *value);
+            std::filesystem::rename(tmp, file);
+            const std::uintmax_t size = std::filesystem::file_size(file, ec);
+            if (!ec && size > 0) bytes = size;
+            disk_evicted = enforce_disk_cap(dir, file);
+          } catch (const std::exception&) {
+            std::filesystem::remove(tmp, ec);  // cache write is best-effort
+          }
         }
       }
     }
@@ -324,6 +393,10 @@ struct ArtifactCache::Impl {
     if (disk_evicted > 0) {
       stats.disk_evictions += disk_evicted;
       SWAPP_COUNT("cache.disk_evictions", disk_evicted);
+    }
+    if (lock_waited) {
+      ++stats.lock_waits;
+      SWAPP_COUNT("cache.lock_waits", 1);
     }
     if (corrupt) {
       ++stats.corrupt_files;
@@ -336,20 +409,21 @@ struct ArtifactCache::Impl {
       ++stats.misses;
       SWAPP_COUNT("cache.misses", 1);
     }
+    const double now_us = obs::trace_now_us();
     const auto [it, inserted] = store.entries.emplace(
-        key, typename Store<T>::Entry{value, cost_us, bytes});
+        key, typename Store<T>::Entry{value, cost_us, bytes, now_us});
     if (!inserted) {
       // Same-key race: another thread inserted first.  Keep its value (ours
       // is identical) but refresh the cost observation.
       it->second.cost_us = cost_us;
       it->second.bytes = bytes;
     }
-    touch(store, key);
+    touch(store, key, now_us);
     // Grab the winning pointer before evicting: the fresh entry is a legal
     // victim if it is the cheapest per byte, and erasing it invalidates it.
     std::shared_ptr<const T> result = it->second.value;
     while (store.entries.size() > capacity) {
-      const std::uint64_t victim = pick_victim(store);
+      const std::uint64_t victim = pick_victim(store, now_us, half_life_us);
       store.recency.remove(victim);
       store.entries.erase(victim);
       ++stats.evictions;
@@ -411,6 +485,25 @@ ArtifactCache::surrogate_projection(
 CacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->stats;
+}
+
+void ArtifactCache::set_eviction_half_life(Seconds half_life) {
+  SWAPP_REQUIRE(half_life >= 0.0, "eviction half-life must be >= 0");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->half_life_us = half_life * 1e6;
+}
+
+void ArtifactCache::debug_age_entries(Seconds seconds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const double delta_us = seconds * 1e6;
+  const auto age = [delta_us](auto& store) {
+    for (auto& [key, entry] : store.entries) entry.touched_us -= delta_us;
+  };
+  age(impl_->imb);
+  age(impl_->spec);
+  age(impl_->app);
+  age(impl_->index);
+  age(impl_->surrogate);
 }
 
 }  // namespace swapp::service

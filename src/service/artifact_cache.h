@@ -7,10 +7,17 @@
 // description (serialised with io/record so the key survives formatting
 // churn), keeps a bounded in-memory tier per kind, and, when a cache
 // directory is configured, persists the kinds io/persist can round-trip
-// (IMB databases, spec libraries, app profiles) so a later process can skip
-// simulation entirely.  Derived artifacts (spec indexes, surrogate
-// projections) are cheap to rebuild relative to their inputs and stay
+// (IMB databases, spec libraries, app profiles, surrogate projections) so a
+// later process can skip simulation — and the GA search — entirely.  Spec
+// indexes are cheap to rebuild relative to their inputs and stay
 // memory-only.
+//
+// Cross-process coordination: persistent-kind misses are serialised through
+// a per-key flock lock file, so concurrent standalone processes sharing one
+// cache directory compute each artifact once instead of racing (the loser
+// of the race re-probes the disk after acquiring the lock and finds the
+// winner's file).  The resident daemon is unaffected — it already owns its
+// directory, so its locks are always uncontended.
 //
 // Correctness stance: values are returned as shared_ptr-to-const, so an
 // entry evicted while in use stays alive for its holders; a corrupted or
@@ -44,6 +51,7 @@ struct CacheStats {
   std::size_t evictions = 0;   ///< memory-tier cost-aware evictions
   std::size_t corrupt_files = 0;  ///< disk entries rejected and recomputed
   std::size_t disk_evictions = 0;  ///< files removed to honour the byte cap
+  std::size_t lock_waits = 0;  ///< misses that blocked on another process
 };
 
 /// 64-bit FNV-1a over a canonical input description.
@@ -105,11 +113,17 @@ class ArtifactCache {
       const std::function<core::AppBaseData()>& make,
       ArtifactSource* source = nullptr);
 
-  /// Memory-only kinds (derived artifacts).
+  /// Memory-only kind (derived artifact, cheap to rebuild from its library).
   std::shared_ptr<const core::SpecIndex> spec_index(
       const std::string& canonical_inputs,
       const std::function<core::SpecIndex()>& make,
       ArtifactSource* source = nullptr);
+
+  /// Persistent: a finished GA search is the single most expensive artifact
+  /// per byte the pipeline produces, so warm processes replay it from disk.
+  /// The canonical inputs MUST describe everything the search consumed —
+  /// including the spec-library inputs — or a stale surrogate could pair
+  /// with a different library.
   std::shared_ptr<const core::ComputeProjection> surrogate_projection(
       const std::string& canonical_inputs,
       const std::function<core::ComputeProjection()>& make,
@@ -120,6 +134,16 @@ class ArtifactCache {
   }
   bool persistent() const noexcept { return !cache_dir_.empty(); }
   CacheStats stats() const;
+
+  /// Half-life (seconds) of the age decay applied to the memory-tier
+  /// eviction score: an entry's cost-per-byte halves for every half-life it
+  /// goes untouched, so a long-lived daemon cannot pin a once-expensive
+  /// artifact forever.  0 disables decay.  Default: 30 minutes.
+  void set_eviction_half_life(Seconds half_life);
+
+  /// Test seam: ages every resident entry by `seconds` without sleeping
+  /// (subtracts from the last-touch stamps, deterministically).
+  void debug_age_entries(Seconds seconds);
 
  private:
   struct Impl;

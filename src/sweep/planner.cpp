@@ -1,0 +1,100 @@
+#include "sweep/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "machine/overrides.h"
+#include "support/error.h"
+
+namespace swapp::sweep {
+namespace {
+
+/// Groups points by a canonical side description, first-appearance order.
+std::vector<SweepPlan::Class> classify(
+    const std::vector<SweepPoint>& points, const std::string& original_key,
+    const std::function<std::string(const machine::Machine&)>& describe,
+    std::vector<std::size_t>& class_of) {
+  std::vector<SweepPlan::Class> classes;
+  std::map<std::string, std::size_t> slots;
+  class_of.resize(points.size());
+  for (const SweepPoint& point : points) {
+    const std::string key = describe(point.machine);
+    const auto [it, inserted] = slots.emplace(key, classes.size());
+    if (inserted) {
+      SweepPlan::Class c;
+      c.key = key;
+      c.rep = point.index;
+      c.matches_original = key == original_key;
+      classes.push_back(std::move(c));
+    }
+    classes[it->second].members.push_back(point.index);
+    class_of[point.index] = it->second;
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::string SweepPlan::describe() const {
+  std::ostringstream os;
+  os << points << (points == 1 ? " point -> " : " points -> ")
+     << compute_classes.size() << " spec target"
+     << (compute_classes.size() == 1 ? "" : "s") << ", " << searches.size()
+     << " GA search" << (searches.size() == 1 ? "" : "es") << ", "
+     << comm_classes.size() << " imb database"
+     << (comm_classes.size() == 1 ? "" : "s") << " (naive: "
+     << naive_spec_targets << "/" << naive_searches << "/"
+     << naive_imb_databases << ")";
+  return os.str();
+}
+
+SweepPlan plan_sweep(const SweepSpec& spec, const machine::Machine& target,
+                     const std::vector<SweepPoint>& points) {
+  SWAPP_REQUIRE(!points.empty(), "plan_sweep: no points");
+  SweepPlan plan;
+  plan.points = points.size();
+  plan.naive_searches = points.size();
+  plan.naive_spec_targets = points.size();
+  plan.naive_imb_databases = points.size();
+
+  std::vector<std::size_t> compute_class_of;
+  plan.compute_classes =
+      classify(points, machine::describe_compute_side(target),
+               machine::describe_compute_side, compute_class_of);
+  plan.comm_classes =
+      classify(points, machine::describe_comm_side(target),
+               machine::describe_comm_side, plan.comm_class_of);
+
+  // One search per (compute class, search count): the reference pins the
+  // count when set, so task-count-only variation collapses into one class.
+  plan.search_of.resize(points.size());
+  std::map<std::pair<std::size_t, int>, std::size_t> search_slots;
+  for (const SweepPoint& point : points) {
+    const int search_ck = spec.reference > 0 ? spec.reference : point.tasks;
+    const std::pair<std::size_t, int> key{compute_class_of[point.index],
+                                          search_ck};
+    const auto [it, inserted] = search_slots.emplace(key, plan.searches.size());
+    if (inserted) {
+      plan.searches.push_back(SweepPlan::Search{key.first, key.second, {}});
+    }
+    plan.searches[it->second].members.push_back(point.index);
+    plan.search_of[point.index] = it->second;
+  }
+
+  // Task-count grid for the shared library, as hardware-thread demands
+  // (tasks × threads, matching service::plan_batch): every projected count
+  // plus the search counts (a pinned reference may not equal any point's).
+  std::set<int> counts;
+  for (const SweepPoint& point : points) {
+    counts.insert(point.tasks * spec.threads);
+  }
+  if (spec.reference > 0) counts.insert(spec.reference * spec.threads);
+  plan.task_counts.assign(counts.begin(), counts.end());
+  return plan;
+}
+
+}  // namespace swapp::sweep

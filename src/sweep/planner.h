@@ -1,0 +1,81 @@
+// Delta-aware sweep planning: factor an expanded point set into the minimal
+// shared work, the way service/planner.h factors a batch of requests.
+//
+// The factoring rests on the side classification of machine::overrides:
+// the compute pipeline (SPEC collection, ACSM/CCSM, the GA surrogate
+// search) reads only compute-side fields and the comm pipeline (IMB tables,
+// the MPI simulation) reads only comm-side fields.  So:
+//
+//   * one SPEC-library target per distinct compute-side configuration
+//     (points that only vary comm parameters share it);
+//   * one GA surrogate search per (compute configuration, search count)
+//     class — the search count is the pinned reference when the spec sets
+//     one, else the point's task count, so task-count-only points ride the
+//     existing surrogate_reference_cores γ-rescale off one search;
+//   * one IMB database per distinct comm-side configuration.
+//
+// The naive cost a sweep replaces — issuing every point as its own batch
+// request against its own variant machine — is one spec target, one search,
+// and one IMB measurement per point; the plan reports both sides so callers
+// (and tests) can assert the sharing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "sweep/sweep.h"
+
+namespace swapp::sweep {
+
+struct SweepPlan {
+  /// Points that share one entry, first-appearance order; `rep` is the
+  /// index (into the expanded point vector) of the class representative.
+  struct Class {
+    std::string key;  ///< canonical side description the class shares
+    std::size_t rep = 0;
+    std::vector<std::size_t> members;
+    /// True iff the class's side configuration equals the unmodified
+    /// target's — its representative keeps the original machine name, so
+    /// artifacts are shared with ordinary batch runs.
+    bool matches_original = false;
+  };
+
+  /// One GA surrogate search: a compute class at one search count.
+  struct Search {
+    std::size_t compute_class = 0;
+    int search_ck = 0;
+    std::vector<std::size_t> members;
+  };
+
+  std::size_t points = 0;
+  std::vector<Class> compute_classes;  ///< one spec-library target each
+  std::vector<Class> comm_classes;     ///< one IMB database each
+  std::vector<Search> searches;        ///< one GA search each
+
+  /// Task-count grid the shared SPEC library must cover: the ascending union
+  /// of every point's hardware-thread demand (tasks × threads) and the
+  /// reference demand — the same convention as service::BatchPlan.
+  std::vector<int> task_counts;
+
+  /// What the same points cost as independent single-request batches.
+  std::size_t naive_searches = 0;      ///< == points
+  std::size_t naive_spec_targets = 0;  ///< == points
+  std::size_t naive_imb_databases = 0; ///< == points
+
+  /// For each point, the index of its comm class / search (same order as
+  /// the expanded points).
+  std::vector<std::size_t> comm_class_of;
+  std::vector<std::size_t> search_of;
+
+  /// Human-readable factoring summary (one line), e.g.
+  /// "6 points -> 1 spec target, 1 search, 3 imb databases (naive: 6/6/6)".
+  std::string describe() const;
+};
+
+/// Plans the expanded `points` of `spec` against the unmodified `target`.
+SweepPlan plan_sweep(const SweepSpec& spec, const machine::Machine& target,
+                     const std::vector<SweepPoint>& points);
+
+}  // namespace swapp::sweep

@@ -1,0 +1,119 @@
+#include "sweep/result.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/record.h"
+#include "support/error.h"
+
+namespace swapp::sweep {
+namespace {
+
+constexpr int kResultVersion = 1;
+
+}  // namespace
+
+void write_sweep_result(std::ostream& os, const SweepResultDoc& doc) {
+  io::RecordWriter w(os, "swapp-sweep-result", kResultVersion);
+  w.row("sweep")
+      .field(doc.app)
+      .field(doc.target)
+      .field(doc.tasks)
+      .field(doc.threads)
+      .field(doc.reference)
+      .field(static_cast<std::uint64_t>(doc.points));
+  w.row("plan")
+      .field(static_cast<std::uint64_t>(doc.compute_classes))
+      .field(static_cast<std::uint64_t>(doc.comm_classes))
+      .field(static_cast<std::uint64_t>(doc.searches))
+      .field(static_cast<std::uint64_t>(doc.naive_spec_targets))
+      .field(static_cast<std::uint64_t>(doc.naive_searches))
+      .field(static_cast<std::uint64_t>(doc.naive_imb_databases));
+  for (const SweepResultDoc::AxisRow& axis : doc.axes) {
+    w.row("axis").field(axis.field).field(axis.mode).field(
+        static_cast<std::uint64_t>(axis.count));
+  }
+  for (const SweepResultDoc::PointRow& row : doc.rows) {
+    w.row("point")
+        .field(static_cast<std::uint64_t>(row.index))
+        .field(row.machine)
+        .field(row.tasks)
+        .field(row.compute_s)
+        .field(row.comm_s)
+        .field(row.total_s);
+    for (const Coordinate& coord : row.coords) {
+      w.row("coord")
+          .field(static_cast<std::uint64_t>(row.index))
+          .field(coord.field)
+          .field(coord.value);
+    }
+  }
+  for (const SweepResultDoc::PhaseRow& phase : doc.phases) {
+    w.row("phase").field(phase.phase).field(phase.seconds);
+  }
+  for (const SweepResultDoc::ArtifactRow& artifact : doc.artifacts) {
+    w.row("artifact").field(artifact.name).field(artifact.source);
+  }
+}
+
+SweepResultDoc read_sweep_result(std::istream& is) {
+  io::RecordReader reader(is, "swapp-sweep-result", kResultVersion);
+  SweepResultDoc doc;
+  bool have_header = false;
+  io::Record r;
+  while (reader.next(r)) {
+    if (r.tag == "sweep") {
+      doc.app = r.str(0);
+      doc.target = r.str(1);
+      doc.tasks = static_cast<int>(r.integer(2));
+      doc.threads = static_cast<int>(r.integer(3));
+      doc.reference = static_cast<int>(r.integer(4));
+      doc.points = static_cast<std::size_t>(r.integer(5));
+      have_header = true;
+    } else if (r.tag == "plan") {
+      doc.compute_classes = static_cast<std::size_t>(r.integer(0));
+      doc.comm_classes = static_cast<std::size_t>(r.integer(1));
+      doc.searches = static_cast<std::size_t>(r.integer(2));
+      doc.naive_spec_targets = static_cast<std::size_t>(r.integer(3));
+      doc.naive_searches = static_cast<std::size_t>(r.integer(4));
+      doc.naive_imb_databases = static_cast<std::size_t>(r.integer(5));
+    } else if (r.tag == "axis") {
+      doc.axes.push_back(
+          {r.str(0), r.str(1), static_cast<std::size_t>(r.integer(2))});
+    } else if (r.tag == "point") {
+      SweepResultDoc::PointRow row;
+      row.index = static_cast<std::size_t>(r.integer(0));
+      row.machine = r.str(1);
+      row.tasks = static_cast<int>(r.integer(2));
+      row.compute_s = r.num(3);
+      row.comm_s = r.num(4);
+      row.total_s = r.num(5);
+      doc.rows.push_back(std::move(row));
+    } else if (r.tag == "coord") {
+      const auto index = static_cast<std::size_t>(r.integer(0));
+      const auto it = std::find_if(
+          doc.rows.begin(), doc.rows.end(),
+          [index](const SweepResultDoc::PointRow& row) {
+            return row.index == index;
+          });
+      if (it == doc.rows.end()) {
+        throw InvalidArgument("sweep result coord row precedes its point");
+      }
+      it->coords.push_back({r.str(1), r.num(2)});
+    } else if (r.tag == "phase") {
+      doc.phases.push_back({r.str(0), r.num(1)});
+    } else if (r.tag == "artifact") {
+      doc.artifacts.push_back({r.str(0), r.str(1)});
+    } else {
+      throw InvalidArgument("unknown sweep result record: " + r.tag);
+    }
+  }
+  SWAPP_REQUIRE(have_header, "sweep result document has no sweep row");
+  return doc;
+}
+
+bool is_sweep_result(const std::string& payload) {
+  return payload.rfind("#swapp \"swapp-sweep-result\"", 0) == 0;
+}
+
+}  // namespace swapp::sweep

@@ -1,0 +1,89 @@
+// The machine-readable sweep result ("swapp-sweep-result" v1).
+//
+// One document carries everything a client needs to plot sensitivity or
+// Pareto curves without re-deriving anything: the sweep header, the
+// planner's shared-vs-naive factoring, one row per point (machine name,
+// task count, compute/comm/total projected seconds) with its resolved
+// design-space coordinates, plus the phase breakdown and artifact
+// provenance of the run.  Doubles round-trip exactly (io/record), so a
+// decoded document renders byte-identically to the run that produced it —
+// the served and standalone sweep paths print from this structure.
+//
+//   #swapp "swapp-sweep-result" 1
+//   sweep "LU/C" "IBM POWER6 575" 8 1 0 6
+//   plan 1 3 1 6 6 6
+//   axis "network.link_bandwidth_gbs" "scale" 3
+//   point 0 "IBM POWER6 575~4f..." 8 1.94 0.61 2.55
+//   coord 0 "network.link_bandwidth_gbs" 0.9
+//   phase "projection" 0.41
+//   artifact "imb database (IBM POWER6 575)" "computed"
+//
+// plan fields: compute_classes comm_classes searches naive_spec naive_search
+// naive_imb.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace swapp::sweep {
+
+struct SweepResultDoc {
+  // Header (mirrors the spec's base row) plus the expanded point count.
+  std::string app;
+  std::string target;
+  int tasks = 0;
+  int threads = 1;
+  int reference = 0;
+  std::size_t points = 0;
+
+  // Planner factoring.
+  std::size_t compute_classes = 0;
+  std::size_t comm_classes = 0;
+  std::size_t searches = 0;
+  std::size_t naive_spec_targets = 0;
+  std::size_t naive_searches = 0;
+  std::size_t naive_imb_databases = 0;
+
+  struct AxisRow {
+    std::string field;
+    std::string mode;
+    std::size_t count = 0;
+  };
+  std::vector<AxisRow> axes;
+
+  struct PointRow {
+    std::size_t index = 0;
+    std::string machine;  ///< variant name (original name for identity)
+    int tasks = 0;
+    double compute_s = 0.0;
+    double comm_s = 0.0;
+    double total_s = 0.0;
+    std::vector<Coordinate> coords;
+  };
+  std::vector<PointRow> rows;  ///< ascending by index
+
+  struct PhaseRow {
+    std::string phase;
+    double seconds = 0.0;
+  };
+  std::vector<PhaseRow> phases;
+
+  struct ArtifactRow {
+    std::string name;
+    std::string source;
+  };
+  std::vector<ArtifactRow> artifacts;
+};
+
+void write_sweep_result(std::ostream& os, const SweepResultDoc& doc);
+SweepResultDoc read_sweep_result(std::istream& is);
+
+/// Header sniff: does `payload` carry a "swapp-sweep-result" document?
+/// (Clients use it to tell a served sweep answer from an error response.)
+bool is_sweep_result(const std::string& payload);
+
+}  // namespace swapp::sweep

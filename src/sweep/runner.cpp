@@ -1,0 +1,393 @@
+#include "sweep/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "io/persist.h"
+#include "io/record.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/parallel.h"
+
+namespace swapp::sweep {
+namespace {
+
+/// Canonical machine for a compute class: the class's compute-side fields
+/// with the original target's comm side.  Every member of the class maps to
+/// the same representative, so artifact keys are independent of member
+/// order; a class matching the original IS the original (name included),
+/// sharing its artifacts with ordinary batch runs.
+machine::Machine spec_representative(const machine::Machine& member,
+                                     const machine::Machine& original,
+                                     bool matches_original) {
+  if (matches_original) return original;
+  machine::Machine rep = member;
+  rep.network = original.network;
+  rep.mpi = original.mpi;
+  rep.name = original.name + "~c" + machine::config_fingerprint(rep);
+  return rep;
+}
+
+/// Canonical machine for a comm class: comm side kept, compute side reset.
+machine::Machine imb_representative(const machine::Machine& member,
+                                    const machine::Machine& original,
+                                    bool matches_original) {
+  if (matches_original) return original;
+  machine::Machine rep = member;
+  rep.processor = original.processor;
+  rep.caches = original.caches;
+  rep.memory_per_core = original.memory_per_core;
+  rep.name = original.name + "~m" + machine::config_fingerprint(rep);
+  return rep;
+}
+
+/// Cache-key material identifying the application a surrogate was searched
+/// for.  Collector-backed apps use their registered canonical inputs;
+/// file-backed profiles are content-addressed (the file bypassed collection,
+/// so its registration carries no input description).
+std::string app_key_material(const std::string& canonical,
+                             const core::AppBaseData& data) {
+  if (!canonical.empty()) return canonical;
+  std::ostringstream os;
+  io::write_app_data(os, data);
+  return "app-content:" +
+         service::fingerprint_hex(service::fingerprint(os.str()));
+}
+
+}  // namespace
+
+bool SweepRunner::SweepReport::warm() const {
+  for (const ArtifactNote& note : artifacts) {
+    if (note.source == service::ArtifactSource::kComputed) return false;
+  }
+  return true;
+}
+
+SweepRunner::SweepRunner(machine::Machine base,
+                         std::vector<machine::Machine> targets,
+                         SweepConfig config)
+    : base_(std::move(base)),
+      targets_(std::move(targets)),
+      config_(std::move(config)),
+      cache_(config_.shared_cache
+                 ? config_.shared_cache
+                 : std::make_shared<service::ArtifactCache>(
+                       config_.cache_dir, config_.cache_capacity,
+                       config_.cache_dir_max_bytes)),
+      collect_imb_([](const machine::Machine& m) {
+        return imb::measure_database(m);
+      }) {
+  SWAPP_REQUIRE(!targets_.empty(), "sweep runner needs at least one target");
+  for (const machine::Machine& t : targets_) {
+    targets_by_name_.emplace(t.name, t);
+  }
+}
+
+void SweepRunner::set_spec_collector(SpecCollector collect) {
+  collect_spec_ = std::move(collect);
+}
+
+void SweepRunner::set_imb_collector(ImbCollector collect) {
+  SWAPP_REQUIRE(collect != nullptr, "IMB collector must be callable");
+  collect_imb_ = std::move(collect);
+}
+
+void SweepRunner::add_app(const std::string& name, std::string canonical_inputs,
+                          AppCollector collect) {
+  SWAPP_REQUIRE(collect != nullptr, "app collector must be callable");
+  apps_[name] =
+      AppEntry{std::move(canonical_inputs), std::move(collect), nullptr};
+}
+
+void SweepRunner::add_app_file(const std::string& name,
+                               const std::filesystem::path& path) {
+  apps_[name] = AppEntry{
+      {}, nullptr, std::make_shared<const core::AppBaseData>(
+                       io::load_app_data(path))};
+}
+
+bool SweepRunner::has_app(const std::string& name) const {
+  return apps_.find(name) != apps_.end();
+}
+
+SweepRunner::SweepReport SweepRunner::run(const SweepSpec& spec,
+                                          const PointCallback& on_point) {
+  SWAPP_SPAN("sweep.run");
+  SWAPP_REQUIRE(collect_spec_ != nullptr,
+                "spec collector not set (see set_spec_collector)");
+  SWAPP_REQUIRE(spec.options.decouple_components,
+                "sweep requires decoupled components (the delta-aware plan "
+                "factors the pipelines along that seam)");
+  SWAPP_REQUIRE(
+      spec.options.compute.surrogate_reference_cores == spec.reference,
+      "sweep options disagree with the spec's reference count");
+  if (!has_app(spec.app)) throw NotFound("app not registered: " + spec.app);
+  const auto target_it = targets_by_name_.find(spec.target);
+  if (target_it == targets_by_name_.end()) {
+    throw NotFound("target not configured: " + spec.target);
+  }
+  const machine::Machine& original = target_it->second;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point phase_start = Clock::now();
+  SweepReport report;
+  const auto end_phase = [&](const char* phase) {
+    const Clock::time_point now = Clock::now();
+    report.phases.push_back(PhaseTime{
+        phase, std::chrono::duration<double>(now - phase_start).count()});
+    phase_start = now;
+  };
+
+  // --- Expand and plan -------------------------------------------------------
+  report.points = expand(spec, original);
+  if (report.points.size() > config_.max_points) {
+    std::ostringstream os;
+    os << "sweep expands to " << report.points.size()
+       << " points, over the cap of " << config_.max_points;
+    throw InvalidArgument(os.str());
+  }
+  report.plan = plan_sweep(spec, original, report.points);
+  SWAPP_COUNT("sweep.points", report.points.size());
+  end_phase("plan");
+
+  // --- One SPEC library per compute class ------------------------------------
+  std::vector<machine::Machine> spec_reps;
+  spec_reps.reserve(report.plan.compute_classes.size());
+  for (const SweepPlan::Class& c : report.plan.compute_classes) {
+    spec_reps.push_back(spec_representative(report.points[c.rep].machine,
+                                            original, c.matches_original));
+  }
+  struct SpecGet {
+    std::string lib_key;
+    std::shared_ptr<const core::SpecLibrary> lib;
+    service::ArtifactSource source = service::ArtifactSource::kComputed;
+  };
+  std::vector<SpecGet> spec_gets;
+  {
+    SWAPP_SPAN("sweep.spec_libraries");
+    spec_gets = parallel_map(spec_reps, [&](const machine::Machine& rep) {
+      SpecGet got;
+      got.lib_key = service::describe_spec_inputs(base_, {rep},
+                                                  report.plan.task_counts);
+      got.lib = cache_->spec_library(
+          got.lib_key,
+          [&] { return collect_spec_(base_, {rep}, report.plan.task_counts); },
+          &got.source);
+      return got;
+    });
+  }
+  for (std::size_t i = 0; i < spec_reps.size(); ++i) {
+    report.artifacts.push_back(ArtifactNote{
+        "spec library (" + spec_reps[i].name + ")", spec_gets[i].source});
+  }
+  end_phase("spec-libraries");
+
+  // --- IMB databases: the base once, then one per comm class -----------------
+  struct ImbGet {
+    std::string name;
+    std::shared_ptr<const imb::ImbDatabase> db;
+    service::ArtifactSource source = service::ArtifactSource::kComputed;
+  };
+  std::vector<machine::Machine> imb_machines;
+  imb_machines.push_back(base_);
+  for (const SweepPlan::Class& c : report.plan.comm_classes) {
+    imb_machines.push_back(imb_representative(report.points[c.rep].machine,
+                                              original, c.matches_original));
+  }
+  std::vector<ImbGet> imb_gets;
+  {
+    SWAPP_SPAN("sweep.imb_databases");
+    imb_gets = parallel_map(
+        imb_machines, [&](const machine::Machine& m) {
+          ImbGet got;
+          got.name = m.name;
+          got.db = cache_->imb_database(
+              service::describe_imb_inputs(m, imb::default_core_counts(),
+                                           imb::default_message_sizes()),
+              [&] { return collect_imb_(m); }, &got.source);
+          return got;
+        });
+  }
+  for (const ImbGet& got : imb_gets) {
+    report.artifacts.push_back(
+        ArtifactNote{"IMB database (" + got.name + ")", got.source});
+  }
+  end_phase("imb-databases");
+
+  // --- The application's base profile ----------------------------------------
+  const AppEntry& entry = apps_.at(spec.app);
+  std::shared_ptr<const core::AppBaseData> app;
+  {
+    SWAPP_SPAN("sweep.app_profile");
+    service::ArtifactSource source = service::ArtifactSource::kComputed;
+    if (entry.fixed) {
+      app = entry.fixed;
+      source = service::ArtifactSource::kMemory;
+    } else {
+      app = cache_->app_data(entry.canonical, entry.collect, &source);
+    }
+    report.artifacts.push_back(
+        ArtifactNote{"app profile (" + spec.app + ")", source});
+  }
+  SWAPP_REQUIRE(app->threads_per_rank == spec.threads,
+                "sweep thread count does not match the profile of " +
+                    spec.app);
+  end_phase("app-profile");
+
+  // --- Projection: one GA search per search class, then every point ----------
+  const std::string app_material = app_key_material(entry.canonical, *app);
+  std::atomic<std::size_t> searches_run{0};
+  struct SearchGet {
+    std::shared_ptr<const core::ComputeProjection> surrogate;
+    service::ArtifactSource source = service::ArtifactSource::kComputed;
+    std::string label;
+  };
+  std::vector<SearchGet> search_gets;
+  {
+    SWAPP_SPAN("sweep.searches");
+    search_gets = parallel_map(
+        report.plan.searches, [&](const SweepPlan::Search& s) {
+          const SpecGet& lib = spec_gets[s.compute_class];
+          const std::string& rep_name = spec_reps[s.compute_class].name;
+          SWAPP_REQUIRE(lib.lib->targets.count(rep_name) != 0,
+                        "collected library has no target: " + rep_name);
+          const int demand = s.search_ck * spec.threads;
+          const int base_occ = core::SpecLibrary::occupancy_for(
+              demand, base_.cores_per_node);
+          const int target_occ = core::SpecLibrary::occupancy_for(
+              demand, lib.lib->targets.at(rep_name).cores_per_node);
+          const std::shared_ptr<const core::SpecIndex> index =
+              cache_->spec_index(
+                  lib.lib_key +
+                      core::SpecIndex::key_of(rep_name, base_occ, target_occ),
+                  [&] {
+                    return core::SpecIndex::build(*lib.lib, rep_name, base_occ,
+                                                  target_occ);
+                  });
+
+          // The surrogate key carries everything the search consumed: the
+          // library's full input description, the app's identity, and the
+          // search shape (see ArtifactCache::surrogate_projection).
+          std::ostringstream key;
+          key << lib.lib_key << app_material;
+          {
+            io::RecordWriter w(key, "swapp-search-inputs", 1);
+            w.row("search")
+                .field(rep_name)
+                .field(s.search_ck)
+                .field(spec.threads)
+                .field(core::compute_options_key(spec.options.compute));
+          }
+          SearchGet got;
+          std::ostringstream label;
+          label << "surrogate (" << spec.app << " @ " << rep_name << " / "
+                << s.search_ck << ")";
+          got.label = label.str();
+          got.surrogate = cache_->surrogate_projection(
+              key.str(),
+              [&] {
+                searches_run.fetch_add(1, std::memory_order_relaxed);
+                return core::project_compute(*app, *index, base_, rep_name,
+                                             s.search_ck,
+                                             spec.options.compute);
+              },
+              &got.source);
+          return got;
+        });
+  }
+  for (const SearchGet& got : search_gets) {
+    report.artifacts.push_back(ArtifactNote{got.label, got.source});
+  }
+  report.searches_run = searches_run.load(std::memory_order_relaxed);
+  SWAPP_COUNT("sweep.searches_run", report.searches_run);
+
+  {
+    SWAPP_SPAN("sweep.project_points");
+    report.results = parallel_map(
+        report.points, [&](const SweepPoint& point) {
+          const SweepPlan::Search& search =
+              report.plan.searches[report.plan.search_of[point.index]];
+          const core::ComputeProjection& surrogate =
+              *search_gets[report.plan.search_of[point.index]].surrogate;
+
+          core::ProjectionResult out;
+          out.app = app->app;
+          out.target = point.machine.name;
+          out.cores = point.tasks;
+          out.compute =
+              point.tasks == search.search_ck
+                  ? surrogate
+                  : core::rescale_reference(surrogate, *app, search.search_ck,
+                                            point.tasks);
+          const imb::ImbDatabase& target_db =
+              *imb_gets[report.plan.comm_class_of[point.index] + 1].db;
+          out.comm = core::project_communication(
+              app->profile_at(point.tasks), point.tasks, *imb_gets[0].db,
+              target_db, out.compute.compute_scale(), spec.options.comm);
+          return out;
+        });
+  }
+  if (on_point) {
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+      on_point(report.points[i], report.results[i]);
+    }
+  }
+  end_phase("projection");
+
+  report.cache = cache_->stats();
+  if (obs::metrics_enabled()) {
+    for (const PhaseTime& p : report.phases) {
+      obs::Gauge("sweep.phase_s." + p.phase).set(p.seconds);
+      obs::Histogram("sweep.phase_us." + p.phase).observe(p.seconds * 1e6);
+    }
+  }
+  return report;
+}
+
+SweepResultDoc make_sweep_result(const SweepSpec& spec,
+                                 const SweepRunner::SweepReport& report) {
+  SweepResultDoc doc;
+  doc.app = spec.app;
+  doc.target = spec.target;
+  doc.tasks = spec.tasks;
+  doc.threads = spec.threads;
+  doc.reference = spec.reference;
+  doc.points = report.points.size();
+
+  doc.compute_classes = report.plan.compute_classes.size();
+  doc.comm_classes = report.plan.comm_classes.size();
+  doc.searches = report.plan.searches.size();
+  doc.naive_spec_targets = report.plan.naive_spec_targets;
+  doc.naive_searches = report.plan.naive_searches;
+  doc.naive_imb_databases = report.plan.naive_imb_databases;
+
+  for (const Axis& axis : spec.axes) {
+    doc.axes.push_back(
+        {axis.field, to_string(axis.mode), axis.values.size()});
+  }
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const SweepPoint& point = report.points[i];
+    const core::ProjectionResult& r = report.results[i];
+    SweepResultDoc::PointRow row;
+    row.index = point.index;
+    row.machine = point.machine.name;
+    row.tasks = point.tasks;
+    row.compute_s = r.compute.target_compute;
+    row.comm_s = r.comm.target_total();
+    row.total_s = r.total_target();
+    row.coords = point.coords;
+    doc.rows.push_back(std::move(row));
+  }
+  for (const SweepRunner::PhaseTime& p : report.phases) {
+    doc.phases.push_back({p.phase, p.seconds});
+  }
+  for (const SweepRunner::ArtifactNote& note : report.artifacts) {
+    doc.artifacts.push_back({note.name, service::to_string(note.source)});
+  }
+  return doc;
+}
+
+}  // namespace swapp::sweep

@@ -1,0 +1,205 @@
+#include "sweep/sweep.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "io/record.h"
+#include "support/error.h"
+
+namespace swapp::sweep {
+namespace {
+
+constexpr int kSweepVersion = 1;
+
+AxisMode mode_from(const std::string& word) {
+  if (word == "list") return AxisMode::kList;
+  if (word == "scale") return AxisMode::kScale;
+  if (word == "range") return AxisMode::kRange;
+  throw InvalidArgument("unknown axis mode (use list, scale, or range): " +
+                        word);
+}
+
+void validate_axis_field(const std::string& field) {
+  if (field == kTasksAxis) return;
+  machine::override_field(field);  // throws on unknown names
+}
+
+}  // namespace
+
+std::string to_string(AxisMode mode) {
+  switch (mode) {
+    case AxisMode::kList: return "list";
+    case AxisMode::kScale: return "scale";
+    case AxisMode::kRange: return "range";
+  }
+  return "?";
+}
+
+void write_sweep_spec(std::ostream& os, const SweepSpec& spec) {
+  io::RecordWriter w(os, "swapp-sweep", kSweepVersion);
+  w.row("base")
+      .field(spec.app)
+      .field(spec.target)
+      .field(spec.tasks)
+      .field(spec.threads)
+      .field(spec.reference);
+  for (const Axis& axis : spec.axes) {
+    // Range axes were resolved to their grid at parse time; re-encoding
+    // them as explicit lists keeps the round trip lossless.
+    w.row("axis").field(axis.field).field(
+        to_string(axis.mode == AxisMode::kRange ? AxisMode::kList
+                                                : axis.mode));
+    for (const double v : axis.values) w.field(v);
+  }
+}
+
+SweepSpec read_sweep_spec(std::istream& is) {
+  io::RecordReader reader(is, "swapp-sweep", kSweepVersion);
+  SweepSpec spec;
+  bool have_base = false;
+  std::set<std::string> seen_fields;
+  io::Record r;
+  while (reader.next(r)) {
+    if (r.tag == "base") {
+      if (have_base) {
+        throw InvalidArgument("sweep document has more than one base row");
+      }
+      if (r.fields.size() < 3) {
+        throw InvalidArgument(
+            "sweep base row needs: app target tasks [threads [reference]]");
+      }
+      spec.app = r.str(0);
+      spec.target = r.str(1);
+      spec.tasks = static_cast<int>(r.integer(2));
+      spec.threads = r.fields.size() > 3 ? static_cast<int>(r.integer(3)) : 1;
+      spec.reference =
+          r.fields.size() > 4 ? static_cast<int>(r.integer(4)) : 0;
+      if (spec.tasks < 1) throw InvalidArgument("sweep tasks must be >= 1");
+      if (spec.threads < 1) {
+        throw InvalidArgument("sweep threads must be >= 1");
+      }
+      if (spec.reference < 0) {
+        throw InvalidArgument("sweep reference must be >= 0");
+      }
+      have_base = true;
+    } else if (r.tag == "axis") {
+      if (r.fields.size() < 3) {
+        throw InvalidArgument("sweep axis row needs: field mode value...");
+      }
+      Axis axis;
+      axis.field = r.str(0);
+      axis.mode = mode_from(r.str(1));
+      validate_axis_field(axis.field);
+      if (!seen_fields.insert(axis.field).second) {
+        throw InvalidArgument("duplicate sweep axis: " + axis.field);
+      }
+      if (axis.mode == AxisMode::kRange) {
+        if (r.fields.size() != 5) {
+          throw InvalidArgument("range axis needs exactly: from to steps");
+        }
+        const double from = r.num(2);
+        const double to = r.num(3);
+        const std::int64_t steps = r.integer(4);
+        if (steps < 1) throw InvalidArgument("range steps must be >= 1");
+        for (std::int64_t i = 0; i < steps; ++i) {
+          axis.values.push_back(
+              steps == 1 ? from
+                         : from + static_cast<double>(i) * (to - from) /
+                                      static_cast<double>(steps - 1));
+        }
+        axis.mode = AxisMode::kList;  // the grid is now explicit
+      } else {
+        for (std::size_t i = 2; i < r.fields.size(); ++i) {
+          axis.values.push_back(r.num(i));
+        }
+      }
+      if (axis.values.empty()) {
+        throw InvalidArgument("sweep axis has no values: " + axis.field);
+      }
+      spec.axes.push_back(std::move(axis));
+    } else {
+      throw InvalidArgument("unknown sweep record: " + r.tag);
+    }
+  }
+  if (!have_base) throw InvalidArgument("sweep document has no base row");
+  spec.options.compute.surrogate_reference_cores = spec.reference;
+  return spec;
+}
+
+std::size_t point_count(const SweepSpec& spec) {
+  std::size_t count = 1;
+  for (const Axis& axis : spec.axes) count *= axis.values.size();
+  return count;
+}
+
+std::vector<SweepPoint> expand(const SweepSpec& spec,
+                               const machine::Machine& target) {
+  SWAPP_REQUIRE(spec.target == target.name,
+                "expand: target machine does not match the spec");
+  for (const Axis& axis : spec.axes) {
+    validate_axis_field(axis.field);
+    if (axis.values.empty()) {
+      throw InvalidArgument("sweep axis has no values: " + axis.field);
+    }
+  }
+  const std::string original_config = machine::describe_machine_config(target);
+  const std::size_t total = point_count(spec);
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+
+  // Row-major enumeration: odometer over axis positions, last axis fastest.
+  std::vector<std::size_t> pos(spec.axes.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    int point_tasks = spec.tasks;
+    std::vector<Coordinate> coords;
+    std::vector<machine::Override> overrides;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const Axis& axis = spec.axes[a];
+      const double v = axis.values[pos[a]];
+      if (axis.field == kTasksAxis) {
+        const double resolved =
+            axis.mode == AxisMode::kScale ? spec.tasks * v : v;
+        const auto tasks = static_cast<int>(std::llround(resolved));
+        if (tasks < 1) {
+          throw InvalidArgument("sweep tasks axis resolves below 1");
+        }
+        point_tasks = tasks;
+        coords.push_back({axis.field, static_cast<double>(tasks)});
+        continue;
+      }
+      overrides.push_back({axis.field,
+                           axis.mode == AxisMode::kScale
+                               ? machine::OverrideKind::kScale
+                               : machine::OverrideKind::kSet,
+                           v});
+      coords.push_back({axis.field, 0.0});  // resolved below
+    }
+    SweepPoint point{index, std::move(coords),
+                     machine::apply_overrides(target, overrides), point_tasks,
+                     /*identity=*/false};
+    // Fill in the resolved machine-model values (axes are distinct fields,
+    // so reading after full application is order-independent).
+    for (Coordinate& coord : point.coords) {
+      if (coord.field != kTasksAxis) {
+        coord.value = machine::read_field(point.machine, coord.field);
+      }
+    }
+    point.identity =
+        machine::describe_machine_config(point.machine) == original_config;
+    if (!point.identity) {
+      point.machine.name =
+          target.name + "~" + machine::config_fingerprint(point.machine);
+    }
+    points.push_back(std::move(point));
+
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      if (++pos[a] < spec.axes[a].values.size()) break;
+      pos[a] = 0;
+    }
+  }
+  return points;
+}
+
+}  // namespace swapp::sweep

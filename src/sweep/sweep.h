@@ -1,0 +1,116 @@
+// Sweep specifications: a base projection request plus parameter axes.
+//
+// A sweep turns the projector into a design-space exploration engine (the
+// ROADMAP's "as many scenarios as you can imagine"): one application/target
+// pair plus N axes — each a list, relative-scale, or range grid over one
+// machine-model field from machine::override_fields(), or over the special
+// "tasks" axis (the request's task count) — expands into the cross product
+// of concrete what-if configurations.  Expansion applies
+// `machine::apply_overrides` per point under the registry's strict
+// validation and names every non-identity variant with a configuration
+// fingerprint, so name-keyed artifact caches distinguish every distinct
+// machine while identity points keep the original name (and therefore share
+// cache entries with ordinary batch runs byte-for-byte).
+//
+// Document format ("swapp-sweep" v1):
+//
+//   #swapp "swapp-sweep" 1
+//   base "LU/C" "IBM POWER6 575" 8 1 0
+//   axis "network.link_bandwidth_gbs" scale 0.5 1 2
+//   axis "memory.node_bandwidth_gbs" list 20 40
+//   axis "cache.L2.capacity_kib" range 2048 8192 3
+//
+// `base` mirrors a batch request row: app, target, tasks, [threads,
+// [reference]].  Axes expand row-major with the LAST axis varying fastest.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/projector.h"
+#include "machine/machine.h"
+#include "machine/overrides.h"
+
+namespace swapp::sweep {
+
+/// How an axis enumerates its grid.
+enum class AxisMode {
+  kList,   ///< absolute values, as given
+  kScale,  ///< multipliers on the target's current value
+  kRange,  ///< inclusive linear grid: from, to, steps (resolved at parse)
+};
+
+std::string to_string(AxisMode mode);
+
+/// Name of the pseudo-axis over the request's task count.
+inline constexpr const char* kTasksAxis = "tasks";
+
+struct Axis {
+  std::string field;  ///< registry field name, or kTasksAxis
+  AxisMode mode = AxisMode::kList;
+  /// The explicit grid.  kRange axes are resolved to their grid at parse
+  /// time, so `values` is always the full enumeration.
+  std::vector<double> values;
+};
+
+/// One sweep: a base request plus the axes that perturb it.
+struct SweepSpec {
+  std::string app;
+  std::string target;  ///< machine the axes perturb
+  int tasks = 0;
+  int threads = 1;
+  int reference = 0;  ///< surrogate_reference_cores (0 = search per count)
+  std::vector<Axis> axes;
+
+  /// Projection options for every point.  Not part of the document format
+  /// except for `reference` (which read_sweep_spec folds into
+  /// options.compute.surrogate_reference_cores); programmatic callers may
+  /// shrink the GA or toggle ablations here.
+  core::ProjectionOptions options;
+};
+
+/// One resolved coordinate of a point: the field and the value it was set
+/// to (the machine-model value after application — scale multipliers are
+/// resolved, so coordinates plot directly as design-space positions).
+struct Coordinate {
+  std::string field;
+  double value = 0.0;
+};
+
+/// One expanded point: its coordinates, the concrete machine they imply,
+/// and the task count to project at.
+struct SweepPoint {
+  std::size_t index = 0;
+  std::vector<Coordinate> coords;
+  machine::Machine machine;  ///< overridden copy; renamed unless identity
+  int tasks = 0;
+  /// True iff the machine configuration is byte-identical to the unmodified
+  /// target (every override resolved to the current value) — such a point
+  /// keeps the target's original name and matches a direct projection
+  /// exactly.
+  bool identity = false;
+};
+
+// --- document io -----------------------------------------------------------
+void write_sweep_spec(std::ostream& os, const SweepSpec& spec);
+
+/// Parses and validates a sweep document: unknown axis fields, duplicate
+/// axes, empty grids, and malformed base/range rows all throw
+/// InvalidArgument.  Field names are validated against the override
+/// registry at parse time, so a bad spec fails before any work happens.
+SweepSpec read_sweep_spec(std::istream& is);
+
+/// Number of points `spec` expands to (product of axis sizes; 1 with no
+/// axes).
+std::size_t point_count(const SweepSpec& spec);
+
+/// Expands the cross product against the unmodified `target` machine
+/// (row-major, last axis fastest).  Applies overrides under registry
+/// validation, resolves coordinates, detects identity points, and gives
+/// every non-identity variant a unique fingerprint-suffixed name.
+std::vector<SweepPoint> expand(const SweepSpec& spec,
+                               const machine::Machine& target);
+
+}  // namespace swapp::sweep

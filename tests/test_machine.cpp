@@ -2,9 +2,13 @@
 // configurations.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "machine/cache.h"
 #include "machine/counters.h"
 #include "machine/machine.h"
+#include "machine/overrides.h"
 #include "support/error.h"
 
 namespace swapp::machine {
@@ -174,6 +178,133 @@ TEST(Machines, NodePlacementHelpers) {
   EXPECT_EQ(hydra.node_of_rank(16), 1);
   EXPECT_EQ(hydra.nodes_for_ranks(16), 1);
   EXPECT_EQ(hydra.nodes_for_ranks(17), 2);
+}
+
+TEST(Overrides, RegistryLookupIsStrictAndNamesAreUnique) {
+  std::set<std::string> names;
+  for (const OverrideField& f : override_fields()) {
+    EXPECT_TRUE(names.insert(f.name).second) << f.name;
+    EXPECT_LT(f.min_value, f.max_value) << f.name;
+    EXPECT_EQ(override_field(f.name).name, f.name);
+  }
+  EXPECT_THROW(override_field("no.such.field"), InvalidArgument);
+  EXPECT_THROW(read_field(make_power6_575(), "no.such.field"),
+               InvalidArgument);
+}
+
+TEST(Overrides, ReadFieldMatchesTheStructValues) {
+  const Machine m = make_power6_575();
+  EXPECT_DOUBLE_EQ(read_field(m, "processor.frequency_ghz"),
+                   m.processor.frequency_ghz);
+  EXPECT_DOUBLE_EQ(read_field(m, "cores_per_node"), m.cores_per_node);
+  EXPECT_DOUBLE_EQ(read_field(m, "memory.node_bandwidth_gbs"),
+                   m.caches.memory().node_bandwidth_gbs);
+  EXPECT_DOUBLE_EQ(read_field(m, "network.link_bandwidth_gbs"),
+                   m.network.link_bandwidth_gbs);
+  // µs fields store Seconds; the registry exposes them in µs.
+  EXPECT_DOUBLE_EQ(read_field(m, "mpi.send_overhead_us"),
+                   m.mpi.send_overhead * 1e6);
+}
+
+TEST(Overrides, SetAndScaleComposeInOrder) {
+  const Machine m = make_power6_575();
+  const Machine out = apply_overrides(
+      m, {{"network.link_bandwidth_gbs", OverrideKind::kSet, 10.0},
+          {"network.link_bandwidth_gbs", OverrideKind::kScale, 2.0},
+          {"os_jitter", OverrideKind::kScale, 0.5}});
+  EXPECT_DOUBLE_EQ(out.network.link_bandwidth_gbs, 20.0);
+  EXPECT_DOUBLE_EQ(out.os_jitter, m.os_jitter * 0.5);
+  EXPECT_EQ(out.name, m.name);  // renaming is the caller's concern
+  // The input machine is never mutated.
+  EXPECT_DOUBLE_EQ(m.network.link_bandwidth_gbs,
+                   make_power6_575().network.link_bandwidth_gbs);
+}
+
+TEST(Overrides, OutOfRangeResolvedValuesThrow) {
+  const Machine m = make_power6_575();
+  // os_jitter caps at 0.5: a direct set and a scale that lands beyond the
+  // bound both refuse — nothing is silently clamped.
+  EXPECT_THROW(apply_overrides(m, {{"os_jitter", OverrideKind::kSet, 0.9}}),
+               InvalidArgument);
+  EXPECT_THROW(
+      apply_overrides(m, {{"processor.frequency_ghz", OverrideKind::kScale,
+                           0.0}}),
+      InvalidArgument);
+  EXPECT_THROW(apply_overrides(m, {{"cores_per_node", OverrideKind::kSet,
+                                    0.4}}),  // rounds to 0 < min 1
+               InvalidArgument);
+}
+
+TEST(Overrides, IntegralFieldsRoundBeforeValidation) {
+  const Machine m = make_power6_575();
+  const double scaled = m.cores_per_node * 1.1;
+  const Machine out = apply_overrides(
+      m, {{"cores_per_node", OverrideKind::kScale, 1.1}});
+  EXPECT_EQ(out.cores_per_node, static_cast<int>(std::llround(scaled)));
+}
+
+TEST(Overrides, CacheFieldsAddressOneLevelOnly) {
+  const Machine m = make_power6_575();
+  const double l1 = read_field(m, "cache.L1.capacity_kib");
+  const Machine out = apply_overrides(
+      m, {{"cache.L2.capacity_kib", OverrideKind::kScale, 2.0}});
+  EXPECT_DOUBLE_EQ(read_field(out, "cache.L2.capacity_kib"),
+                   read_field(m, "cache.L2.capacity_kib") * 2.0);
+  EXPECT_DOUBLE_EQ(read_field(out, "cache.L1.capacity_kib"), l1);
+}
+
+TEST(Overrides, SettingTheCurrentValueIsAnIdentity) {
+  const Machine m = make_power6_575();
+  const std::string config = describe_machine_config(m);
+  for (const OverrideField& f : override_fields()) {
+    double current = 0.0;
+    try {
+      current = read_field(m, f.name);
+    } catch (const InvalidArgument&) {
+      continue;  // machine lacks this knob (absent cache level)
+    }
+    const Machine out =
+        apply_overrides(m, {{f.name, OverrideKind::kSet, current}});
+    EXPECT_EQ(describe_machine_config(out), config) << f.name;
+  }
+}
+
+TEST(Overrides, SideDescriptionsSplitTheConfiguration) {
+  const Machine m = make_power6_575();
+  // The name is excluded from every description.
+  Machine renamed = m;
+  renamed.name = "somewhere else";
+  EXPECT_EQ(describe_compute_side(renamed), describe_compute_side(m));
+  EXPECT_EQ(describe_comm_side(renamed), describe_comm_side(m));
+  EXPECT_EQ(config_fingerprint(renamed), config_fingerprint(m));
+
+  // A comm-side change leaves the compute description untouched.
+  const Machine comm = apply_overrides(
+      m, {{"network.link_bandwidth_gbs", OverrideKind::kScale, 2.0}});
+  EXPECT_EQ(describe_compute_side(comm), describe_compute_side(m));
+  EXPECT_NE(describe_comm_side(comm), describe_comm_side(m));
+
+  // A compute-side change leaves the comm description untouched.
+  const Machine compute = apply_overrides(
+      m, {{"cache.L3.capacity_kib", OverrideKind::kScale, 0.5}});
+  EXPECT_NE(describe_compute_side(compute), describe_compute_side(m));
+  EXPECT_EQ(describe_comm_side(compute), describe_comm_side(m));
+
+  // kBoth fields perturb both pipelines.
+  const Machine both =
+      apply_overrides(m, {{"os_jitter", OverrideKind::kScale, 2.0}});
+  EXPECT_NE(describe_compute_side(both), describe_compute_side(m));
+  EXPECT_NE(describe_comm_side(both), describe_comm_side(m));
+}
+
+TEST(Overrides, FingerprintIsSixteenHexDigitsKeyedOnTheConfig) {
+  const Machine m = make_power6_575();
+  const std::string fp = config_fingerprint(m);
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos);
+  const Machine other = apply_overrides(
+      m, {{"memory.node_bandwidth_gbs", OverrideKind::kScale, 1.5}});
+  EXPECT_NE(config_fingerprint(other), fp);
 }
 
 }  // namespace

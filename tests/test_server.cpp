@@ -26,6 +26,9 @@
 #include "service/batch_format.h"
 #include "service/service.h"
 #include "support/error.h"
+#include "sweep/result.h"
+#include "sweep/runner.h"
+#include "sweep/sweep.h"
 
 namespace swapp {
 namespace {
@@ -749,6 +752,141 @@ TEST_F(ServerTest, StatsRequestsBypassTheAdmissionQueue) {
   EXPECT_EQ(report.queue_depth, 1u);  // answered while work sat queued
   srv.request_stop();  // drain cuts coalesce_min short and serves the rider
   rider.join();
+  srv.wait();
+}
+
+/// Sweep-side mirror of cheap_setup: same small grids, same LU/C app.
+server::Server::SweepSetup cheap_sweep_setup() {
+  const machine::Machine base = machine::make_power5_hydra();
+  return [base](sweep::SweepRunner& runner, const sweep::SweepSpec& spec) {
+    (void)spec;
+    runner.set_spec_collector(
+        [](const machine::Machine& b, const std::vector<machine::Machine>& t,
+           const std::vector<int>& counts) {
+          return collect_spec_library(b, t, counts);
+        });
+    runner.set_imb_collector([](const machine::Machine& m) {
+      return imb::measure_database(m, kCounts, kSizes);
+    });
+    runner.add_app("LU/C",
+                   service::describe_app_inputs("LU-MZ.C", base, 1, {4, 8, 16},
+                                                {4, 8, 16}),
+                   [base] {
+                     return collect_base_data(
+                         nas::NasApp(nas::Benchmark::kLU,
+                                     nas::ProblemClass::kC),
+                         base, {4, 8, 16}, {4, 8, 16});
+                   });
+  };
+}
+
+sweep::SweepSpec bandwidth_sweep_spec() {
+  sweep::SweepSpec spec;
+  spec.app = "LU/C";
+  spec.target = machine::make_power6_575().name;
+  spec.tasks = 8;
+  spec.reference = 16;
+  spec.options.compute.surrogate_reference_cores = 16;
+  spec.axes.push_back({"network.link_bandwidth_gbs", sweep::AxisMode::kScale,
+                       {0.5, 1.0, 2.0}});
+  return spec;
+}
+
+std::string sweep_request(const sweep::SweepSpec& spec) {
+  std::ostringstream payload;
+  sweep::write_sweep_spec(payload, spec);
+  return payload.str();
+}
+
+TEST_F(ServerTest, ServedSweepMatchesALocalRunExactly) {
+  const sweep::SweepSpec spec = bandwidth_sweep_spec();
+  server::Server srv(machine::make_power5_hydra(), config("sweep.sock"),
+                     cheap_setup(), &only_lu, cheap_sweep_setup());
+  srv.start();
+  std::string payload;
+  {
+    server::Client client(*dir_ / "sweep.sock");
+    payload = client.call_raw(sweep_request(spec));
+  }
+  ASSERT_TRUE(sweep::is_sweep_result(payload))
+      << server::decode_response(payload).message;
+  std::istringstream is(payload);
+  const sweep::SweepResultDoc served = sweep::read_sweep_result(is);
+  EXPECT_EQ(served.points, 3u);
+  EXPECT_EQ(served.compute_classes, 1u);
+  EXPECT_EQ(served.searches, 1u);
+  EXPECT_EQ(served.comm_classes, 3u);
+
+  // A standalone runner with the same collectors must agree row for row —
+  // the served path adds transport and a resident cache, never arithmetic.
+  sweep::SweepRunner local(machine::make_power5_hydra(),
+                           {machine::make_power6_575()}, {});
+  cheap_sweep_setup()(local, spec);
+  const sweep::SweepResultDoc direct =
+      sweep::make_sweep_result(spec, local.run(spec));
+  ASSERT_EQ(served.rows.size(), direct.rows.size());
+  for (std::size_t i = 0; i < served.rows.size(); ++i) {
+    EXPECT_EQ(served.rows[i].machine, direct.rows[i].machine);
+    EXPECT_EQ(served.rows[i].tasks, direct.rows[i].tasks);
+    EXPECT_EQ(served.rows[i].compute_s, direct.rows[i].compute_s);
+    EXPECT_EQ(served.rows[i].comm_s, direct.rows[i].comm_s);
+    EXPECT_EQ(served.rows[i].total_s, direct.rows[i].total_s);
+  }
+  srv.request_stop();
+  srv.wait();
+  // A sweep counts its points as served requests, like a batch of rows.
+  EXPECT_EQ(srv.requests_served(), 3u);
+  EXPECT_EQ(srv.batches_run(), 1u);
+}
+
+TEST_F(ServerTest, SweepAdmissionRejectsBadSpecsAndOversizedSweeps) {
+  server::ServerConfig cfg = config("sweep-adm.sock");
+  cfg.max_sweep_points = 2;
+  server::Server srv(machine::make_power5_hydra(), cfg, cheap_setup(),
+                     &only_lu, cheap_sweep_setup());
+  srv.start();
+  server::Client client(*dir_ / "sweep-adm.sock");
+
+  // Malformed document: admission answers bad-request, connection survives.
+  const server::Response malformed = server::decode_response(
+      client.call_raw("#swapp \"swapp-sweep\" v1\nbase \"LU/C\"\n"));
+  EXPECT_FALSE(malformed.ok);
+  EXPECT_EQ(malformed.error, server::ErrorCode::kBadRequest);
+
+  // Three points against a two-point cap: rejected before any expansion
+  // work is queued.
+  const server::Response oversized = server::decode_response(
+      client.call_raw(sweep_request(bandwidth_sweep_spec())));
+  EXPECT_FALSE(oversized.ok);
+  EXPECT_EQ(oversized.error, server::ErrorCode::kBadRequest);
+
+  // The row validator vets the synthesized base row too.
+  sweep::SweepSpec wrong_app = bandwidth_sweep_spec();
+  wrong_app.app = "BT/C";
+  wrong_app.axes.clear();
+  const server::Response vetoed = server::decode_response(
+      client.call_raw(sweep_request(wrong_app)));
+  EXPECT_FALSE(vetoed.ok);
+  EXPECT_EQ(vetoed.error, server::ErrorCode::kBadRequest);
+  EXPECT_NE(vetoed.message.find("BT/C"), std::string::npos);
+
+  // Ordinary batch traffic still works on the same connection.
+  const std::string batch = client.call_raw(lu_request(8, 16));
+  EXPECT_TRUE(server::decode_response(batch).ok);
+  srv.request_stop();
+  srv.wait();
+}
+
+TEST_F(ServerTest, ServersWithoutASweepSetupRejectSweeps) {
+  server::Server srv(machine::make_power5_hydra(), config("no-sweep.sock"),
+                     cheap_setup(), &only_lu);
+  srv.start();
+  server::Client client(*dir_ / "no-sweep.sock");
+  const server::Response r = server::decode_response(
+      client.call_raw(sweep_request(bandwidth_sweep_spec())));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, server::ErrorCode::kBadRequest);
+  srv.request_stop();
   srv.wait();
 }
 

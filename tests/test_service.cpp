@@ -4,10 +4,12 @@
 // corruption fallback, eviction), and the request planner's dedup.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "core/projector.h"
@@ -361,6 +363,8 @@ TEST_F(CacheTest, DiskCapEvictsOldestFileAtWriteTime) {
     service::ArtifactCache probe(dir_);
     probe.imb_database("imb\nkey-a", &small_db);
     for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      // Only the artifact itself: the miss also leaves a 0-byte .lock file.
+      if (entry.path().extension() != ".swapp") continue;
       one = std::filesystem::file_size(entry.path());
     }
   }
@@ -395,6 +399,91 @@ TEST_F(CacheTest, DiskCapEvictsOldestFileAtWriteTime) {
   tiny.imb_database("imb\nkey-d", &small_db);
   EXPECT_TRUE(std::filesystem::exists(file_for("imb\nkey-d")));
   EXPECT_EQ(tiny.stats().disk_evictions, 2u);  // both elders ("b" and "c")
+}
+
+TEST_F(CacheTest, ConcurrentCachesComputeAPersistentArtifactOnce) {
+  // Two cache instances over one directory stand in for two standalone
+  // processes: the per-key flock lock file serialises the miss, and the
+  // loser of the race re-probes the disk after acquiring the lock and finds
+  // the winner's file instead of recomputing.
+  const std::string key = "imb\nlock-key";
+  std::atomic<int> computed{0};
+  const auto slow_make = [&computed] {
+    computed.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return small_db();
+  };
+  service::ArtifactCache first(dir_);
+  service::ArtifactCache second(dir_);
+  std::shared_ptr<const imb::ImbDatabase> a;
+  std::shared_ptr<const imb::ImbDatabase> b;
+  std::thread winner([&] { a = first.imb_database(key, slow_make); });
+  std::thread loser([&] { b = second.imb_database(key, slow_make); });
+  winner.join();
+  loser.join();
+  EXPECT_EQ(computed.load(), 1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->machine_name, b->machine_name);
+  EXPECT_EQ(first.stats().lock_waits + second.stats().lock_waits, 1u);
+  // Lock files are bookkeeping, not artifacts: never counted against the
+  // disk cap, never evicted (enforce_disk_cap only sees ".swapp").
+  bool saw_lock = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    saw_lock |= entry.path().extension() == ".lock";
+  }
+  EXPECT_TRUE(saw_lock);
+}
+
+TEST_F(CacheTest, AgeDecayRetiresStaleExpensiveEntries) {
+  const auto make = [](int occ, int sleep_ms) {
+    return [occ, sleep_ms] {
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+      core::SpecIndex index;
+      index.target_machine = "t";
+      index.base_occupancy = occ;
+      index.target_occupancy = occ;
+      return index;
+    };
+  };
+  // With a short half-life, an expensive entry left untouched for many
+  // half-lives decays below a fresh cheap entry's score, so it is the
+  // eviction victim — a long-lived daemon cannot pin a once-expensive
+  // artifact forever.
+  {
+    service::ArtifactCache cache({}, /*capacity_per_kind=*/2);
+    cache.set_eviction_half_life(1.0);
+    cache.spec_index("slow", make(1, 25));
+    cache.debug_age_entries(60.0);  // 60 half-lives: score ~ 0
+    cache.spec_index("quick-1", make(2, 5));
+    cache.spec_index("quick-2", make(3, 10));  // overflow: evict "slow"
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    service::ArtifactSource source = service::ArtifactSource::kMemory;
+    cache.spec_index("slow", make(1, 25), &source);
+    EXPECT_EQ(source, service::ArtifactSource::kComputed);  // was the victim
+    // Recomputing "slow" overflowed again and took the cheapest fresh entry;
+    // the dearer of the two quick entries is still resident.
+    source = service::ArtifactSource::kComputed;
+    cache.spec_index("quick-2", make(3, 10), &source);
+    EXPECT_EQ(source, service::ArtifactSource::kMemory);
+  }
+  // Half-life 0 disables decay: the same sequence spares the expensive
+  // entry however stale it is (pure cost-aware eviction).
+  {
+    service::ArtifactCache cache({}, /*capacity_per_kind=*/2);
+    cache.set_eviction_half_life(0.0);
+    cache.spec_index("slow", make(1, 25));
+    cache.debug_age_entries(60.0);
+    cache.spec_index("quick-1", make(2, 5));
+    cache.spec_index("quick-2", make(3, 10));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    service::ArtifactSource source = service::ArtifactSource::kComputed;
+    cache.spec_index("slow", make(1, 25), &source);
+    EXPECT_EQ(source, service::ArtifactSource::kMemory);  // pinned by cost
+  }
 }
 
 TEST_F(CacheTest, CoalescedRunMatchesIndependentRunsAndSharesSearches) {

@@ -93,6 +93,27 @@ echo "== stats: per-span self-time rollup from the warm JSONL trace =="
 grep -q "Self ms" "${WORK}/rollup.out"
 grep -q "service.run" "${WORK}/rollup.out"
 
+echo "== sweep: cold what-if expansion shares one GA search =="
+cat > "${WORK}/sweep.spec" <<'EOF'
+#swapp "swapp-sweep" v1
+base "LU/C" "IBM POWER6 575" 8 1 16
+axis "network.link_bandwidth_gbs" scale 0.5 1 2
+EOF
+"${SWAPP}" sweep --spec "${WORK}/sweep.spec" --cache-dir "${CACHE}" \
+  --out "${WORK}/sweep-cold.doc" \
+  > "${WORK}/sweep-cold.out" 2> "${WORK}/sweep-cold.err"
+# Three comm-only points factor to one spec target, one GA search, three IMB
+# databases (plan fields: compute comm searches naive_spec/search/imb).
+grep -q '^plan 1 3 1 3 3 3$' "${WORK}/sweep-cold.doc"
+[[ "$(grep -c '^point ' "${WORK}/sweep-cold.doc")" == 3 ]]
+grep -q "1 GA search," "${WORK}/sweep-cold.err"
+
+echo "== sweep: warm rerun replays from cache, byte-for-byte =="
+"${SWAPP}" sweep --spec "${WORK}/sweep.spec" --cache-dir "${CACHE}" \
+  > "${WORK}/sweep-warm.out" 2> "${WORK}/sweep-warm.err"
+diff -u "${WORK}/sweep-cold.out" "${WORK}/sweep-warm.out"
+grep -q "warm sweep: no simulation performed" "${WORK}/sweep-warm.err"
+
 echo "== serve: daemon answers requests byte-identically to batch =="
 SOCK="${WORK}/swapp.sock"
 "${SWAPP}" serve --socket "${SOCK}" --cache-dir "${WORK}/serve-cache" \
@@ -123,6 +144,11 @@ diff -u "${WORK}/cold.out" "${WORK}/served-warm.out"
 # (phase timings legitimately differ between runs).
 diff -u <(grep '^result ' "${WORK}/cold.doc") \
         <(grep '^result ' "${WORK}/served.doc")
+
+echo "== serve: sweeps ride the same socket and match the local run =="
+"${SWAPP}" sweep --spec "${WORK}/sweep.spec" --socket "${SOCK}" \
+  > "${WORK}/sweep-served.out" 2> "${WORK}/sweep-served.err"
+diff -u "${WORK}/sweep-cold.out" "${WORK}/sweep-served.out"
 
 echo "== stats: warm daemon probe carries request latency and counters =="
 "${SWAPP}" stats --socket "${SOCK}" > "${WORK}/stats-warm.out"

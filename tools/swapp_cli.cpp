@@ -50,6 +50,7 @@
 #include "service/batch_format.h"
 #include "service/service.h"
 #include "support/error.h"
+#include "sweep/runner.h"
 #include "support/obs_report.h"
 #include "support/table.h"
 
@@ -72,6 +73,8 @@ commands:
                 (--app NAME --class C|D [--threads N] |
                  --app-data FILE --spec FILE --base-imb FILE --target-imb FILE)
   batch         --requests FILE [--cache-dir DIR] [--out FILE]
+  sweep         --spec FILE [--cache-dir DIR] [--cache-dir-max-bytes N[k|m|g]]
+                [--out FILE] [--socket PATH]
   serve         --socket PATH [--cache-dir DIR] [--cache-dir-max-bytes N[k|m|g]]
                 [--max-queue N] [--max-request-bytes N[k|m|g]]
                 [--coalesce-window MS] [--metrics-sampling RATE]
@@ -123,6 +126,23 @@ wall clock without double-counting nested spans.  Malformed lines are
 skipped with a per-line warning.
 `request` sends a batch request file to a running server and prints the same
 table `swapp batch` would, byte for byte.
+
+`sweep` runs a what-if design-space exploration: one base request plus
+parameter axes over machine-model fields, expanded into the cross product of
+concrete configurations and factored by a delta-aware planner so points that
+share a compute- or comm-side configuration share SPEC libraries, GA
+surrogate searches, and IMB databases.  The spec file is an io/record
+document of kind "swapp-sweep" v1:
+  base "<app>" "<target machine>" <tasks> [<threads> [<ref>]]
+  axis "<field>" list|scale V1 V2 ...
+  axis "<field>" range FROM TO STEPS
+where <field> is a machine-model field (see machine/overrides.h; e.g.
+"network.link_bandwidth_gbs", "cache.L2.capacity_kib") or the pseudo-axis
+"tasks".  `scale` multiplies the target's current value; axes expand with
+the last axis varying fastest.  With --socket the spec is served by a
+running daemon (sharing its resident cache); otherwise it runs locally
+against --cache-dir.  Either way stdout carries the same table, byte for
+byte, and --out writes the machine-readable "swapp-sweep-result" document.
 
 --out (on batch and request) additionally writes the machine-readable
 "swapp-batch-result" document — result, phase, and artifact rows, the same
@@ -380,13 +400,14 @@ std::string validate_nas_row(const service::BatchRow& row) {
   return {};
 }
 
-/// Registers every app named by `rows` with the service — "file:PATH" rows
+/// Registers every app named by `rows` with the engine — "file:PATH" rows
 /// load eagerly, NAS rows get a lazy profiling collector keyed for the
-/// artifact cache.  Shared between `batch` and the server's per-batch
-/// ServiceSetup, so both paths produce identical cache keys.  Throws
-/// InvalidArgument for unservable app shapes.
-void register_row_apps(service::ProjectionService& svc,
-                       const machine::Machine& base,
+/// artifact cache.  Shared between `batch`, `sweep`, and the server's
+/// per-batch/per-sweep setup (ProjectionService and sweep::SweepRunner
+/// expose the same registration surface), so every path produces identical
+/// cache keys.  Throws InvalidArgument for unservable app shapes.
+template <typename Engine>
+void register_row_apps(Engine& svc, const machine::Machine& base,
                        const std::vector<service::BatchRow>& rows) {
   for (const service::BatchRow& row : rows) {
     if (svc.has_app(row.app)) continue;
@@ -415,7 +436,8 @@ void register_row_apps(service::ProjectionService& svc,
   }
 }
 
-void install_spec_collector(service::ProjectionService& svc) {
+template <typename Engine>
+void install_spec_collector(Engine& svc) {
   svc.set_spec_collector(
       [](const machine::Machine& b, const std::vector<machine::Machine>& t,
          const std::vector<int>& counts) {
@@ -559,6 +581,161 @@ int cmd_batch(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// --- sweep ------------------------------------------------------------------
+
+/// Plan summary rebuilt from the result document — the same wording
+/// SweepPlan::describe() produces, so local and served sweeps log the same
+/// factoring line.
+std::string describe_sweep_plan(const sweep::SweepResultDoc& doc) {
+  std::ostringstream os;
+  os << doc.points << (doc.points == 1 ? " point -> " : " points -> ")
+     << doc.compute_classes << " spec target"
+     << (doc.compute_classes == 1 ? "" : "s") << ", " << doc.searches
+     << " GA search" << (doc.searches == 1 ? "" : "es") << ", "
+     << doc.comm_classes << " imb database"
+     << (doc.comm_classes == 1 ? "" : "s") << " (naive: "
+     << doc.naive_spec_targets << "/" << doc.naive_searches << "/"
+     << doc.naive_imb_databases << ")";
+  return os.str();
+}
+
+/// Renders the sweep table: one row per point, one column per axis (the
+/// resolved machine-model coordinate), then the projected seconds.  Local
+/// and served sweeps both print from the document, and record doubles
+/// round-trip exactly, so their stdout is byte-identical for the same spec.
+void print_sweep_table(const sweep::SweepResultDoc& doc) {
+  std::vector<std::string> headers{"Point"};
+  for (const sweep::SweepResultDoc::AxisRow& axis : doc.axes) {
+    headers.push_back(axis.field);
+  }
+  for (const char* tail : {"Tasks", "Compute s", "Comm s", "Total s"}) {
+    headers.push_back(tail);
+  }
+  TextTable table(headers);
+  table.set_title("Sweep projections (" + doc.app + " -> " + doc.target +
+                  ", " + std::to_string(doc.points) + " points)");
+  for (const sweep::SweepResultDoc::PointRow& row : doc.rows) {
+    std::vector<std::string> cells{std::to_string(row.index)};
+    for (const sweep::SweepResultDoc::AxisRow& axis : doc.axes) {
+      std::string cell = "-";
+      for (const sweep::Coordinate& coord : row.coords) {
+        if (coord.field == axis.field) cell = TextTable::num(coord.value, 3);
+      }
+      cells.push_back(cell);
+    }
+    cells.push_back(std::to_string(row.tasks));
+    cells.push_back(TextTable::num(row.compute_s, 3));
+    cells.push_back(TextTable::num(row.comm_s, 3));
+    cells.push_back(TextTable::num(row.total_s, 3));
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+}
+
+/// Writes the machine-readable "swapp-sweep-result" document, exactly the
+/// payload a server answers a sweep request with.
+void write_sweep_document(const std::string& path,
+                          const sweep::SweepResultDoc& doc) {
+  std::ofstream out(path);
+  if (!out) throw FileError("cannot open output file for writing", path);
+  sweep::write_sweep_result(out, doc);
+  std::cerr << "wrote " << path << "\n";
+}
+
+int cmd_sweep(const std::map<std::string, std::string>& flags) {
+  if (flags.count("out")) obs::require_writable(flags.at("out"));
+  const std::string spec_path = need(flags, "spec");
+  std::ifstream in(spec_path);
+  if (!in) usage("cannot open sweep spec file: " + spec_path);
+  sweep::SweepSpec spec;
+  try {
+    spec = sweep::read_sweep_spec(in);
+  } catch (const swapp::Error& e) {
+    usage(e.what());
+  }
+
+  if (flags.count("socket")) {
+    // Served path: forward the canonical spec document; the daemon expands,
+    // plans, and executes it against its resident cache, coalesced with the
+    // batches around it.
+    std::ostringstream payload;
+    sweep::write_sweep_spec(payload, spec);
+    server::Client client(flags.at("socket"));
+    const std::string answer = client.call_raw(payload.str());
+    if (!sweep::is_sweep_result(answer)) {
+      const server::Response response = server::decode_response(answer);
+      std::cerr << "error: server " << server::to_string(response.error)
+                << ": " << response.message << "\n";
+      return 1;
+    }
+    std::istringstream decoded(answer);
+    const sweep::SweepResultDoc doc = sweep::read_sweep_result(decoded);
+    std::cerr << "plan: " << describe_sweep_plan(doc) << "\n";
+    for (const sweep::SweepResultDoc::ArtifactRow& a : doc.artifacts) {
+      std::cerr << a.name << ": " << a.source << "\n";
+    }
+    std::cerr << "phases:";
+    for (const sweep::SweepResultDoc::PhaseRow& p : doc.phases) {
+      std::cerr << ' ' << p.phase << '=' << TextTable::num(p.seconds, 3)
+                << 's';
+    }
+    std::cerr << "\n";
+    if (flags.count("out")) write_sweep_document(flags.at("out"), doc);
+    print_sweep_table(doc);
+    return 0;
+  }
+
+  // Local path: a standalone SweepRunner over --cache-dir.  Progress and
+  // reuse information go to stderr; stdout carries only the table, so cold
+  // and warm sweeps can be diffed byte-for-byte.
+  const machine::Machine base = machine::make_power5_hydra();
+  sweep::SweepConfig config;
+  if (flags.count("cache-dir")) config.cache_dir = flags.at("cache-dir");
+  if (flags.count("cache-dir-max-bytes")) {
+    config.cache_dir_max_bytes =
+        server::parse_byte_size(flags.at("cache-dir-max-bytes"));
+  }
+  sweep::SweepRunner runner(base, {machine::machine_by_name(spec.target)},
+                            config);
+  install_spec_collector(runner);
+  try {
+    register_row_apps(runner, base,
+                      {service::BatchRow{spec.app, spec.target, spec.tasks,
+                                         spec.threads, spec.reference}});
+  } catch (const swapp::Error& e) {
+    usage(e.what());
+  }
+
+  obs::set_metrics_enabled(true);
+  const std::size_t total = sweep::point_count(spec);
+  const sweep::SweepRunner::SweepReport report = runner.run(
+      spec, [total](const sweep::SweepPoint& point,
+                    const core::ProjectionResult& result) {
+        std::cerr << "point " << point.index + 1 << "/" << total << ": "
+                  << point.machine.name << " tasks=" << point.tasks << " -> "
+                  << TextTable::num(result.total_target(), 3) << "s\n";
+      });
+  const sweep::SweepResultDoc doc = sweep::make_sweep_result(spec, report);
+
+  std::cerr << "plan: " << describe_sweep_plan(doc) << "\n";
+  for (const sweep::SweepRunner::ArtifactNote& note : report.artifacts) {
+    note_source(note.name, note.source);
+  }
+  const obs::MetricsSnapshot snapshot = obs::metrics_snapshot();
+  print_metrics(std::cerr, snapshot, "sweep.");
+  print_metrics(std::cerr, snapshot, "cache.");
+  std::cerr << "phases:";
+  for (const sweep::SweepRunner::PhaseTime& p : report.phases) {
+    std::cerr << ' ' << p.phase << '=' << TextTable::num(p.seconds, 3) << 's';
+  }
+  std::cerr << "\n";
+  if (report.warm()) std::cerr << "warm sweep: no simulation performed\n";
+
+  if (flags.count("out")) write_sweep_document(flags.at("out"), doc);
+  print_sweep_table(doc);
+  return 0;
+}
+
 // --- serve / request --------------------------------------------------------
 
 /// Written by cmd_serve before installing the signal handlers; the handler
@@ -614,7 +791,13 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
         install_spec_collector(svc);
         register_row_apps(svc, base, rows);
       },
-      [](const service::BatchRow& row) { return validate_nas_row(row); });
+      [](const service::BatchRow& row) { return validate_nas_row(row); },
+      [base](sweep::SweepRunner& runner, const sweep::SweepSpec& spec) {
+        install_spec_collector(runner);
+        register_row_apps(runner, base,
+                          {service::BatchRow{spec.app, spec.target, spec.tasks,
+                                             spec.threads, spec.reference}});
+      });
   srv.start();
 
   g_shutdown_fd = srv.shutdown_fd();
@@ -848,6 +1031,7 @@ int dispatch(const std::string& command,
   if (command == "profile") return cmd_profile(flags);
   if (command == "project") return cmd_project(flags);
   if (command == "batch") return cmd_batch(flags);
+  if (command == "sweep") return cmd_sweep(flags);
   if (command == "serve") return cmd_serve(flags);
   if (command == "request") return cmd_request(flags);
   if (command == "stats") return cmd_stats(flags);
